@@ -1,0 +1,70 @@
+//! Benchmark: the max-flow baseline vs the constructive algorithm on the
+//! same pairs (the microbench behind Table T3's speedup column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::vertex_disjoint::vertex_disjoint_paths;
+use hhc_core::{disjoint, CrossingOrder, Hhc, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_flow_vs_constructive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(20);
+    for m in 1..=3u32 {
+        let h = Hhc::new(m).unwrap();
+        let g = h.materialize().unwrap();
+        let mut rng = StdRng::seed_from_u64(0xF10 + m as u64);
+        let n_nodes = 1u128 << h.n();
+        let pairs: Vec<(u32, u32)> = (0..32)
+            .map(|_| {
+                (
+                    (rng.gen::<u64>() as u128 % n_nodes) as u32,
+                    (rng.gen::<u64>() as u128 % n_nodes) as u32,
+                )
+            })
+            .filter(|(a, b)| a != b)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("flow", m), &m, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (a, z) = pairs[i % pairs.len()];
+                i += 1;
+                vertex_disjoint_paths(&g, a, z)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("constructive", m), &m, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (a, z) = pairs[i % pairs.len()];
+                i += 1;
+                disjoint::disjoint_paths(
+                    &h,
+                    NodeId::from_raw(a as u128),
+                    NodeId::from_raw(z as u128),
+                    CrossingOrder::Gray,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dinic_scaling(c: &mut Criterion) {
+    // Raw Dinic on hypercubes of growing size (unit-capacity networks).
+    let mut group = c.benchmark_group("dinic_qn");
+    group.sample_size(20);
+    for n in [6u32, 8, 10] {
+        let cube = hypercube::Cube::new(n).unwrap();
+        let g = cube.materialize().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                graphs::vertex_connectivity_between(&g, 0, (1u32 << n) - 1)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_vs_constructive, bench_dinic_scaling);
+criterion_main!(benches);

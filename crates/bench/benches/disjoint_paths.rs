@@ -1,0 +1,72 @@
+//! Benchmark: constructing the m+1 node-disjoint paths (mirrors T3's
+//! constructive column and F5's order ablation at the microbench level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hhc_core::{disjoint, CrossingOrder, Hhc, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_pairs(h: &Hhc, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = if h.n() >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << h.n()) - 1
+    };
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let a = ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask;
+        let b = ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask;
+        if a != b {
+            out.push((NodeId::from_raw(a), NodeId::from_raw(b)));
+        }
+    }
+    out
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjoint_paths");
+    for m in 1..=6u32 {
+        let h = Hhc::new(m).unwrap();
+        let pairs = random_pairs(&h, 64, 0xB0B + m as u64);
+        group.bench_with_input(BenchmarkId::new("gray", m), &m, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (u, v) = pairs[i % pairs.len()];
+                i += 1;
+                disjoint::disjoint_paths(&h, u, v, CrossingOrder::Gray).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sorted", m), &m, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (u, v) = pairs[i % pairs.len()];
+                i += 1;
+                disjoint::disjoint_paths(&h, u, v, CrossingOrder::Sorted).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_worst_case(c: &mut Criterion) {
+    // Antipodal cube fields: every position crossed (largest families).
+    let mut group = c.benchmark_group("disjoint_paths_antipodal");
+    for m in [3u32, 6] {
+        let h = Hhc::new(m).unwrap();
+        let all_x = if h.positions() >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << h.positions()) - 1
+        };
+        let u = h.node(0, 0).unwrap();
+        let v = h.node(all_x, h.positions() - 1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| disjoint::disjoint_paths(&h, u, v, CrossingOrder::Gray).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_worst_case);
+criterion_main!(benches);

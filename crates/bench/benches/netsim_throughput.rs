@@ -1,0 +1,50 @@
+//! Benchmark: simulator cycle throughput (events/s) under both routing
+//! strategies — the cost of the DES substrate itself (figure F4's engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hhc_core::Hhc;
+use netsim::{SimConfig, Simulator, Strategy};
+use workloads::Pattern;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    let h = Hhc::new(2).unwrap();
+    for (name, strategy) in [
+        ("single", Strategy::SinglePath),
+        ("multipath", Strategy::MultipathRandom),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "m2"), &strategy, |b, &s| {
+            b.iter(|| {
+                Simulator::new(&h, Pattern::UniformRandom, s).run(SimConfig {
+                    cycles: 200,
+                    drain_cycles: 2000,
+                    inject_rate: 0.1,
+                    seed: 1,
+                    ..SimConfig::default()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_analysis(c: &mut Criterion) {
+    // Static per-pair analysis cost (figure F3's inner loop).
+    use rand::SeedableRng;
+    let h = Hhc::new(3).unwrap();
+    let u = h.node(0x2B, 0b010).unwrap();
+    let v = h.node(0xD4, 0b101).unwrap();
+    let faults = workloads::random_fault_set(
+        &h,
+        16,
+        &[u, v],
+        &mut rand::rngs::StdRng::seed_from_u64(3),
+    );
+    c.bench_function("fault_analyze_m3", |b| {
+        b.iter(|| netsim::fault::analyze(&h, u, v, &faults))
+    });
+}
+
+criterion_group!(benches, bench_sim, bench_fault_analysis);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benchmark: single-path routing and primitive substrate operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hhc_core::{Hhc, NodeId};
+use hypercube::{gray, routing as qrouting, Cube};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_hhc_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hhc_route");
+    for m in [2u32, 4, 6] {
+        let h = Hhc::new(m).unwrap();
+        let mask = if h.n() >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << h.n()) - 1
+        };
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let pairs: Vec<(NodeId, NodeId)> = (0..64)
+            .map(|_| {
+                (
+                    NodeId::from_raw(((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask),
+                    NodeId::from_raw(((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask),
+                )
+            })
+            .filter(|(a, b)| a != b)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (u, v) = pairs[i % pairs.len()];
+                i += 1;
+                h.route(u, v).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_qn_shortest_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qn_shortest_path");
+    for n in [8u32, 32, 100] {
+        let cube = Cube::new(n).unwrap();
+        let mask = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+        let u = 0x5555_5555_5555_5555_5555_5555_5555_5555u128 & mask;
+        let v = 0x3333_3333_3333_3333_3333_3333_3333_3333u128 & mask;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| qrouting::shortest_path(&cube, u, v));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gray_ordering(c: &mut Criterion) {
+    let positions: Vec<u64> = (0..64).step_by(3).collect();
+    c.bench_function("gray_sort_64pos", |b| {
+        b.iter(|| gray::sort_along_gray_cycle(&positions, 6, 17))
+    });
+}
+
+criterion_group!(benches, bench_hhc_route, bench_qn_shortest_path, bench_gray_ordering);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion micro-benchmarks for the HHC suite live in `benches/`.

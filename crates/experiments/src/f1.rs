@@ -1,0 +1,50 @@
+//! F1 — path length vs cube-field Hamming distance k.
+//!
+//! For m ∈ {3, 4}, samples pairs stratified by `k = H(Xu, Xv)` and plots
+//! (as table rows) the average and maximum of the family's max path
+//! length, next to the per-pair bound `3·2^m + 2m + k`. Shape to observe:
+//! length grows gently (≈ linearly) in k and stays far below the bound.
+
+use crate::table::Table;
+use crate::util;
+use hhc_core::verify::construct_and_verify;
+use hhc_core::{bounds, Hhc};
+use rayon::prelude::*;
+
+pub fn run() {
+    let mut t = Table::new(
+        "F1: max disjoint-path length vs cube-field Hamming distance k",
+        &["m", "k", "pairs", "avg max len", "max max len", "bound"],
+    );
+    for m in [3u32, 4] {
+        let h = Hhc::new(m).unwrap();
+        for k in 0..=h.positions() {
+            let pairs: Vec<_> = {
+                let mut rng = util::rng(((0xF1u64 << 8) + (m as u64)) << 16 | k as u64);
+                (0..2000)
+                    .map(|_| util::random_pair_with_k(&h, k, &mut rng))
+                    .collect()
+            };
+            let maxima: Vec<u32> = pairs
+                .par_iter()
+                .map(|&(u, v)| construct_and_verify(&h, u, v).expect("verified"))
+                .collect();
+            let max = *maxima.iter().max().unwrap();
+            let avg = maxima.iter().map(|&x| x as f64).sum::<f64>() / maxima.len() as f64;
+            let bound = pairs
+                .iter()
+                .map(|&(u, v)| bounds::length_bound(&h, u, v))
+                .max()
+                .unwrap();
+            t.row(vec![
+                m.to_string(),
+                k.to_string(),
+                pairs.len().to_string(),
+                util::f2(avg),
+                max.to_string(),
+                bound.to_string(),
+            ]);
+        }
+    }
+    t.emit("f1_length_vs_k");
+}

@@ -1,0 +1,31 @@
+//! F2 — scaling of max path length with m.
+//!
+//! Curves (as table columns) per m: the observed maximum path length over
+//! adversarial + sampled pairs, the provable bound `4·2^m + 2m`, and the
+//! diameter `2^(m+1)`. Shape: observed tracks the diameter within a small
+//! additive term; the bound holds with slack.
+
+use crate::table::Table;
+use hhc_core::{bounds, wide, Hhc};
+
+pub fn run() {
+    let mut t = Table::new(
+        "F2: max disjoint-path length vs m (observed / bound / diameter)",
+        &["m", "pairs", "observed max", "bound", "diameter", "obs/diam"],
+    );
+    for m in 1..=6u32 {
+        let h = Hhc::new(m).unwrap();
+        let adv = wide::adversarial(&h);
+        let sam = wide::sampled(&h, if m <= 4 { 3000 } else { 800 }, 0xF2F2 + m as u64);
+        let observed = adv.observed_max.max(sam.observed_max);
+        t.row(vec![
+            m.to_string(),
+            (adv.pairs + sam.pairs).to_string(),
+            observed.to_string(),
+            bounds::wide_diameter_upper_bound(&h).to_string(),
+            h.diameter().to_string(),
+            format!("{:.2}", observed as f64 / h.diameter() as f64),
+        ]);
+    }
+    t.emit("f2_scaling");
+}

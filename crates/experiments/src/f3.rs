@@ -1,0 +1,103 @@
+//! F3 — fault tolerance: delivery success vs number of node faults.
+//!
+//! For HHC(3) (m = 3, so 4 disjoint paths), sweeps the fault count f from
+//! 0 to 3m and measures, over random pairs × random fault sets, the
+//! probability that (a) the deterministic single route survives and
+//! (b) at least one of the m+1 disjoint paths survives. Shape: multipath
+//! is exactly 1.0 for f ≤ m (the paper's guarantee) and degrades slowly
+//! after; single-path decays immediately.
+
+use crate::table::Table;
+use crate::util;
+use hhc_core::Hhc;
+use netsim::fault::analyze;
+use workloads::random_fault_set;
+
+pub fn run() {
+    let m = 3u32;
+    let h = Hhc::new(m).unwrap();
+    let trials = 2000u32;
+    let mut t = Table::new(
+        "F3: delivery success probability vs node faults f (HHC(3), 2000 trials/row)",
+        &[
+            "f",
+            "single-path ok",
+            "multipath ok",
+            "avg surviving paths",
+            "guarantee",
+        ],
+    );
+    let mut rng = util::rng(0xF3F3);
+    // Small f shows the guarantee region; the tail shows where random
+    // faults finally start hitting all m+1 paths at once.
+    let sweep: &[usize] = &[0, 1, 2, 3, 4, 6, 9, 16, 32, 64, 128, 256, 512];
+    for &f in sweep {
+        let mut single_ok = 0u32;
+        let mut multi_ok = 0u32;
+        let mut surviving_sum = 0u64;
+        for _ in 0..trials {
+            let (u, v) = util::random_pair(&h, &mut rng);
+            let faults = random_fault_set(&h, f, &[u, v], &mut rng);
+            let out = analyze(&h, u, v, &faults);
+            single_ok += out.single_path_ok as u32;
+            multi_ok += out.multipath_ok as u32;
+            surviving_sum += out.surviving_paths as u64;
+        }
+        let guarantee = if f as u32 <= m { "f ≤ m ⇒ 1.0" } else { "" };
+        if f as u32 <= m {
+            assert_eq!(multi_ok, trials, "guarantee violated at f={f}");
+        }
+        t.row(vec![
+            f.to_string(),
+            util::f4(single_ok as f64 / trials as f64),
+            util::f4(multi_ok as f64 / trials as f64),
+            util::f2(surviving_sum as f64 / trials as f64),
+            guarantee.into(),
+        ]);
+    }
+    t.emit("f3_fault_tolerance");
+    run_adversarial();
+}
+
+/// F3b — the adversarial companion: faults placed *on* the pair's
+/// disjoint paths (one interior node per path, round-robin). Shows the
+/// theorem's threshold is tight: f ≤ m adversarial faults still leave a
+/// live path, f = m + 1 kills every blockable path.
+pub fn run_adversarial() {
+    use workloads::adversarial_fault_set;
+    let m = 3u32;
+    let h = Hhc::new(m).unwrap();
+    let trials = 500u32;
+    let mut t = Table::new(
+        "F3b: adversarial fault placement on the disjoint family (HHC(3))",
+        &["f", "multipath ok", "avg surviving paths", "note"],
+    );
+    let mut rng = util::rng(0xF3B0);
+    for f in 0..=(m as usize + 2) {
+        let mut multi_ok = 0u32;
+        let mut surviving_sum = 0u64;
+        for _ in 0..trials {
+            let (u, v) = util::random_pair(&h, &mut rng);
+            let paths = h.disjoint_paths(u, v).unwrap();
+            let faults = adversarial_fault_set(&paths, f, &mut rng);
+            let out = analyze(&h, u, v, &faults);
+            multi_ok += out.multipath_ok as u32;
+            surviving_sum += out.surviving_paths as u64;
+        }
+        let note = if f as u32 <= m {
+            "theorem: survives"
+        } else {
+            "beyond threshold"
+        };
+        if f as u32 <= m {
+            assert_eq!(multi_ok, trials, "adversary beat the theorem at f={f}");
+        }
+        t.row(vec![
+            f.to_string(),
+            util::f4(multi_ok as f64 / trials as f64),
+            util::f2(surviving_sum as f64 / trials as f64),
+            note.into(),
+        ]);
+    }
+    t.emit("f3b_adversarial");
+}

@@ -1,0 +1,55 @@
+//! F6 — simulated performance: HHC vs hypercube at equal node count.
+//!
+//! Runs the same uniform workload through both topologies (64 nodes:
+//! HHC(2) vs Q_6; 2048 nodes: HHC(3) vs Q_11) and reports mean latency,
+//! mean hops and link utilisation. Shape: the hypercube is faster (its
+//! routes are ~2–3× shorter) but pays for it with `n / (m+1)` times the
+//! links; per-link utilisation on the HHC is accordingly higher at the
+//! same offered load.
+
+use crate::table::Table;
+use crate::util;
+use hhc_core::Hhc;
+use netsim::{CubeNet, Network, SimConfig, Simulator, Strategy};
+use workloads::Pattern;
+
+pub fn run() {
+    let mut t = Table::new(
+        "F6: simulated latency at equal node count (uniform traffic, single-path)",
+        &[
+            "topology", "nodes", "degree", "rate", "mean lat", "mean hops", "link util",
+        ],
+    );
+    for m in [2u32, 3] {
+        let h = Hhc::new(m).unwrap();
+        let q = CubeNet::matching_hhc(m);
+        let rates: &[f64] = if m == 2 { &[0.05, 0.20] } else { &[0.02, 0.10] };
+        for &rate in rates {
+            let cfg = SimConfig {
+                cycles: if m == 2 { 600 } else { 200 },
+                drain_cycles: 20_000,
+                inject_rate: rate,
+                seed: 0xF6F6,
+                ..SimConfig::default()
+            };
+            row(&mut t, &h, rate, cfg);
+            row(&mut t, &q, rate, cfg);
+        }
+    }
+    t.emit("f6_topology_sim");
+}
+
+fn row<N: Network>(t: &mut Table, net: &N, rate: f64, cfg: SimConfig) {
+    let stats = Simulator::new(net, Pattern::UniformRandom, Strategy::SinglePath).run(cfg);
+    assert_eq!(stats.delivered, stats.injected, "{} did not drain", net.name());
+    let links = stats.nodes * net.degree() as u64;
+    t.row(vec![
+        net.name(),
+        net.num_addresses().to_string(),
+        net.degree().to_string(),
+        util::f2(rate),
+        util::f2(stats.mean_latency().unwrap_or(0.0)),
+        util::f2(stats.mean_hops().unwrap_or(0.0)),
+        util::f4(stats.link_utilization(links)),
+    ]);
+}

@@ -1,0 +1,57 @@
+//! F7 — permutation traffic: deterministic vs randomised routing.
+//!
+//! Bit-complement is the classic adversarial permutation. The measured
+//! outcome on the HHC is a (worth reporting) *negative* result for
+//! randomisation: every complement pair is diametral, so the
+//! deterministic Gray route is already exactly diameter-length and — by
+//! the permutation's symmetry — perfectly load-balanced. The congestion
+//! knee (~rate 0.3 on HHC(2)) is the network's *capacity* limit
+//! (8 hops/packet × rate vs 3 links/node), which no routing policy can
+//! move; Valiant's ~1.25× hop padding only brings the knee closer. The
+//! figure documents that HHC + Gray routing needs no Valiant-style
+//! randomisation for symmetric permutations.
+
+use crate::table::Table;
+use crate::util;
+use hhc_core::Hhc;
+use netsim::{SimConfig, Simulator, Strategy};
+use workloads::Pattern;
+
+pub fn run() {
+    let mut t = Table::new(
+        "F7: bit-complement permutation — deterministic vs Valiant vs multipath (HHC(2))",
+        &[
+            "rate",
+            "single lat",
+            "valiant lat",
+            "multi lat",
+            "single hops",
+            "valiant hops",
+        ],
+    );
+    let h = Hhc::new(2).unwrap();
+    for rate in [0.05, 0.10, 0.20, 0.30, 0.40, 0.50] {
+        let cfg = SimConfig {
+            cycles: 600,
+            drain_cycles: 40_000,
+            inject_rate: rate,
+            seed: 0xF7F7,
+            ..SimConfig::default()
+        };
+        let s = Simulator::new(&h, Pattern::BitComplement, Strategy::SinglePath).run(cfg);
+        let va = Simulator::new(&h, Pattern::BitComplement, Strategy::Valiant).run(cfg);
+        let mu = Simulator::new(&h, Pattern::BitComplement, Strategy::MultipathRandom).run(cfg);
+        for (name, st) in [("single", &s), ("valiant", &va), ("multi", &mu)] {
+            assert_eq!(st.delivered, st.injected, "{name} did not drain at {rate}");
+        }
+        t.row(vec![
+            util::f2(rate),
+            util::f2(s.mean_latency().unwrap()),
+            util::f2(va.mean_latency().unwrap()),
+            util::f2(mu.mean_latency().unwrap()),
+            util::f2(s.mean_hops().unwrap()),
+            util::f2(va.mean_hops().unwrap()),
+        ]);
+    }
+    t.emit("f7_permutation");
+}

@@ -1,0 +1,53 @@
+//! F8 — switching discipline: store-and-forward vs virtual cut-through.
+//!
+//! For multi-flit packets the textbook result is SAF latency ≈ hops × len
+//! vs VCT ≈ hops + len − 1 at low load, with identical sustainable
+//! throughput (links serialise `len` cycles per packet either way). The
+//! HHC's longer routes (hops ≈ 10 at m = 3) make cut-through especially
+//! valuable — exactly the regime hierarchical networks live in.
+
+use crate::table::Table;
+use crate::util;
+use hhc_core::Hhc;
+use netsim::{SimConfig, Simulator, Strategy, Switching};
+use workloads::Pattern;
+
+pub fn run() {
+    let mut t = Table::new(
+        "F8: store-and-forward vs cut-through latency (uniform, low load)",
+        &["m", "packet len", "SAF lat", "VCT lat", "hops", "VCT floor (hops+len-1)", "speedup"],
+    );
+    for m in [2u32, 3] {
+        let h = Hhc::new(m).unwrap();
+        for len in [1u64, 2, 4, 8, 16] {
+            let mk = |switching| SimConfig {
+                cycles: if m == 2 { 400 } else { 150 },
+                drain_cycles: 60_000,
+                inject_rate: 0.01,
+                seed: 0xF8F8,
+                packet_len: len,
+                switching,
+                queue_capacity: None,
+            };
+            let sim = Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath);
+            let saf = sim.run(mk(Switching::StoreAndForward));
+            let vct = sim.run(mk(Switching::CutThrough));
+            assert_eq!(saf.delivered, saf.injected);
+            assert_eq!(vct.delivered, vct.injected);
+            let hops = vct.mean_hops().unwrap();
+            t.row(vec![
+                m.to_string(),
+                len.to_string(),
+                util::f2(saf.mean_latency().unwrap()),
+                util::f2(vct.mean_latency().unwrap()),
+                util::f2(hops),
+                util::f2(hops + len as f64 - 1.0),
+                format!(
+                    "{:.2}x",
+                    saf.mean_latency().unwrap() / vct.mean_latency().unwrap()
+                ),
+            ]);
+        }
+    }
+    t.emit("f8_switching");
+}

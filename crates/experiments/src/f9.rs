@@ -1,0 +1,56 @@
+//! F9 — finite buffers: throughput, loss and deadlock vs queue capacity.
+//!
+//! Open-loop simulators usually assume unbounded queues; real routers do
+//! not. The measured result is stark: under sustained bit-complement
+//! load, *every* finite capacity eventually wedges into the classic
+//! store-and-forward buffer-cycle deadlock — the wedged count is exactly
+//! the full buffer ring (2·|links|·cap... the whole network), and larger
+//! buffers only deliver more packets before locking up. Unrestricted
+//! Gray routing has cyclic channel dependencies, so this is expected:
+//! the figure quantifies why real routers need deadlock-free routing
+//! (turn restrictions, escape channels) or credit-based end-to-end
+//! control, both out of scope for this suite.
+
+use crate::table::Table;
+use crate::util;
+use hhc_core::Hhc;
+use netsim::{SimConfig, Simulator, Strategy};
+use workloads::Pattern;
+
+pub fn run() {
+    let mut t = Table::new(
+        "F9: finite link buffers at load 0.3 (bit-complement, HHC(2))",
+        &[
+            "capacity",
+            "injected",
+            "delivered",
+            "inj. drops",
+            "HOL stalls",
+            "wedged",
+            "mean lat",
+        ],
+    );
+    let h = Hhc::new(2).unwrap();
+    for cap in [Some(1u64), Some(2), Some(4), Some(8), None] {
+        let cfg = SimConfig {
+            cycles: 600,
+            drain_cycles: 20_000,
+            inject_rate: 0.3,
+            seed: 0xF9F9,
+            queue_capacity: cap,
+            ..SimConfig::default()
+        };
+        let s = Simulator::new(&h, Pattern::BitComplement, Strategy::SinglePath).run(cfg);
+        assert_eq!(s.delivered + s.in_flight_at_end, s.injected, "conservation");
+        t.row(vec![
+            cap.map_or("∞".into(), |c| c.to_string()),
+            s.injected.to_string(),
+            s.delivered.to_string(),
+            s.dropped_backpressure.to_string(),
+            s.backpressure_stalls.to_string(),
+            s.in_flight_at_end.to_string(),
+            util::f2(s.mean_latency().unwrap_or(0.0)),
+        ]);
+    }
+    t.emit("f9_finite_buffers");
+}

@@ -1,0 +1,69 @@
+//! Experiment driver: regenerates every table and figure of the
+//! evaluation (see DESIGN.md §3 for the index).
+//!
+//! ```text
+//! cargo run -p experiments --release -- <t1|…|t7|f1|…|f9|all>
+//! ```
+//!
+//! Each experiment prints its table to stdout and writes a CSV copy under
+//! `results/`.
+
+mod f1;
+mod f2;
+mod f3;
+mod f4;
+mod f5;
+mod f6;
+mod f7;
+mod f8;
+mod f9;
+mod t1;
+mod t2;
+mod t3;
+mod t4;
+mod t5;
+mod t6;
+mod t7;
+mod table;
+mod util;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let known: &[(&str, fn())] = &[
+        ("t1", t1::run),
+        ("t2", t2::run),
+        ("t3", t3::run),
+        ("t4", t4::run),
+        ("t5", t5::run),
+        ("t6", t6::run),
+        ("t7", t7::run),
+        ("f1", f1::run),
+        ("f2", f2::run),
+        ("f3", f3::run),
+        ("f4", f4::run),
+        ("f5", f5::run),
+        ("f6", f6::run),
+        ("f7", f7::run),
+        ("f8", f8::run),
+        ("f9", f9::run),
+    ];
+    match which {
+        "all" => {
+            for (name, f) in known {
+                eprintln!("== running {name} ==");
+                f();
+            }
+        }
+        _ => match known.iter().find(|(n, _)| *n == which) {
+            Some((_, f)) => f(),
+            None => {
+                eprintln!(
+                    "unknown experiment {which:?}; expected one of \
+                     t1 t2 t3 t4 t5 t6 t7 f1 f2 f3 f4 f5 f6 f7 f8 f9 all"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}

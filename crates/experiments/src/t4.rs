@@ -1,0 +1,42 @@
+//! T4 — wide-diameter estimates.
+//!
+//! The `(m+1)`-wide diameter is the min-max length over disjoint-path
+//! families; the construction upper-bounds it. Reported per m: the largest
+//! maximum path length the construction produces (exhaustive for m ≤ 2,
+//! adversarial + sampled otherwise), the provable bound and the diameter.
+
+use crate::table::Table;
+use hhc_core::{wide, Hhc};
+
+pub fn run() {
+    let mut t = Table::new(
+        "T4: wide-diameter estimates (construction max length)",
+        &["m", "mode", "pairs", "observed max", "upper bound", "diameter"],
+    );
+    for m in 1..=6u32 {
+        let h = Hhc::new(m).unwrap();
+        let (est, mode) = if m <= 2 {
+            (wide::exhaustive(&h), "exhaustive")
+        } else {
+            let adv = wide::adversarial(&h);
+            let sam = wide::sampled(&h, if m <= 4 { 4000 } else { 1000 }, 0xD1CE + m as u64);
+            (
+                wide::WideDiameterEstimate {
+                    observed_max: adv.observed_max.max(sam.observed_max),
+                    pairs: adv.pairs + sam.pairs,
+                    upper_bound: adv.upper_bound,
+                },
+                "adversarial+sampled",
+            )
+        };
+        t.row(vec![
+            m.to_string(),
+            mode.into(),
+            est.pairs.to_string(),
+            est.observed_max.to_string(),
+            est.upper_bound.to_string(),
+            h.diameter().to_string(),
+        ]);
+    }
+    t.emit("t4_wide_diameter");
+}

@@ -1,0 +1,152 @@
+//! Articulation points and biconnectivity (Tarjan's low-link DFS).
+//!
+//! Used by the robustness analysis: a network tolerates any single node
+//! fault without disconnecting iff it has no articulation points. The
+//! HHC is (m+1)-connected, so every materialised instance must report an
+//! empty articulation set — a structural cross-check on the topology
+//! generator that is independent of the flow machinery.
+
+use crate::csr::CsrGraph;
+
+/// Returns the articulation points (cut vertices) of `g`, ascending.
+///
+/// Iterative Tarjan DFS (explicit stack), so large materialised
+/// topologies cannot overflow the call stack.
+pub fn articulation_points(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_nodes() as usize;
+    const UNVISITED: u32 = u32::MAX;
+    let mut disc = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut parent = vec![UNVISITED; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0u32;
+
+    for root in 0..n as u32 {
+        if disc[root as usize] != UNVISITED {
+            continue;
+        }
+        // Frame: (node, index into its neighbour list).
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        let mut root_children = 0u32;
+
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *i < nbrs.len() {
+                let w = nbrs[*i];
+                *i += 1;
+                if disc[w as usize] == UNVISITED {
+                    parent[w as usize] = v;
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    stack.push((w, 0));
+                } else if w != parent[v as usize] {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    // Non-root p is a cut vertex if some child's subtree
+                    // cannot reach above p.
+                    if p != root && low[v as usize] >= disc[p as usize] {
+                        is_cut[p as usize] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root as usize] = true;
+        }
+    }
+
+    (0..n as u32).filter(|&v| is_cut[v as usize]).collect()
+}
+
+/// Whether `g` is biconnected: connected, ≥ 3 nodes, and free of
+/// articulation points.
+pub fn is_biconnected(g: &CsrGraph) -> bool {
+    g.num_nodes() >= 3 && crate::bfs::is_connected(g) && articulation_points(g).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> CsrGraph {
+        CsrGraph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+    }
+
+    fn cycle(n: u32) -> CsrGraph {
+        CsrGraph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn path_interiors_are_cuts() {
+        let g = path_graph(5);
+        assert_eq!(articulation_points(&g), vec![1, 2, 3]);
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn cycles_have_none() {
+        assert!(articulation_points(&cycle(7)).is_empty());
+        assert!(is_biconnected(&cycle(7)));
+    }
+
+    #[test]
+    fn bowtie_cut_at_the_waist() {
+        // Two triangles sharing node 2.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        assert_eq!(articulation_points(&g), vec![2]);
+    }
+
+    #[test]
+    fn bridge_graph_cuts() {
+        // Triangle 0-1-2, bridge 2-3, triangle 3-4-5.
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        );
+        assert_eq!(articulation_points(&g), vec![2, 3]);
+    }
+
+    #[test]
+    fn star_center_is_the_only_cut() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(articulation_points(&g), vec![0]);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        assert_eq!(articulation_points(&g), vec![1, 4]);
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // 100k-node path: recursion would blow the stack; iteration must not.
+        let n = 100_000u32;
+        let g = path_graph(n);
+        let cuts = articulation_points(&g);
+        assert_eq!(cuts.len() as u32, n - 2);
+    }
+
+    #[test]
+    fn agrees_with_flow_connectivity_on_small_graphs() {
+        // No articulation points ⟺ κ(G) ≥ 2 for connected graphs ≥ 3 nodes.
+        let bicon = cycle(9);
+        assert!(crate::vertex_disjoint::vertex_connectivity(&bicon) >= 2);
+        assert!(is_biconnected(&bicon));
+        let cut = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        assert_eq!(crate::vertex_disjoint::vertex_connectivity(&cut), 1);
+        assert!(!is_biconnected(&cut));
+    }
+}

@@ -1,0 +1,226 @@
+//! Breadth-first search: ground-truth distances for cross-validation.
+//!
+//! Symbolic routing and path constructions in `hypercube` and `hhc-core`
+//! are checked against BFS distances computed here on materialised graphs.
+
+use crate::csr::CsrGraph;
+use std::collections::VecDeque;
+
+/// Distance value for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// A single-source BFS result: distances and parent pointers.
+pub struct Bfs {
+    source: u32,
+    dist: Vec<u32>,
+    parent: Vec<u32>,
+}
+
+impl Bfs {
+    /// Runs BFS from `source`.
+    pub fn run(g: &CsrGraph, source: u32) -> Self {
+        Self::run_avoiding(g, source, |_| false)
+    }
+
+    /// Runs BFS from `source`, never entering nodes for which
+    /// `blocked(v)` is true (the source itself is always entered).
+    ///
+    /// Used by the fault-tolerance experiments to compute ground-truth
+    /// reachability in a faulty network.
+    pub fn run_avoiding<F: Fn(u32) -> bool>(g: &CsrGraph, source: u32, blocked: F) -> Self {
+        let n = g.num_nodes() as usize;
+        assert!((source as usize) < n, "source out of range");
+        let mut dist = vec![UNREACHABLE; n];
+        let mut parent = vec![UNREACHABLE; n];
+        let mut queue = VecDeque::new();
+        dist[source as usize] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize];
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == UNREACHABLE && !blocked(w) {
+                    dist[w as usize] = dv + 1;
+                    parent[w as usize] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        Bfs {
+            source,
+            dist,
+            parent,
+        }
+    }
+
+    /// Distance from the source to `v`, or `None` if unreachable.
+    #[inline]
+    pub fn dist(&self, v: u32) -> Option<u32> {
+        match self.dist[v as usize] {
+            UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+
+    /// The source node this BFS was run from.
+    #[inline]
+    pub fn source(&self) -> u32 {
+        self.source
+    }
+
+    /// Maximum finite distance from the source (eccentricity), or `None`
+    /// if the graph has a single node and no other reachable node.
+    pub fn eccentricity(&self) -> Option<u32> {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+    }
+
+    /// Number of nodes reachable from the source (including the source).
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != UNREACHABLE).count()
+    }
+
+    /// Reconstructs a shortest path from the source to `t`
+    /// (inclusive of both endpoints), or `None` if unreachable.
+    pub fn path_to(&self, t: u32) -> Option<Vec<u32>> {
+        if self.dist[t as usize] == UNREACHABLE {
+            return None;
+        }
+        let mut path = vec![t];
+        let mut cur = t;
+        while cur != self.source {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Exact diameter by all-pairs BFS. Intended for small graphs
+/// (every materialised HHC with m ≤ 3, i.e. ≤ 2048 nodes).
+///
+/// Returns `None` for a disconnected or empty graph.
+pub fn diameter(g: &CsrGraph) -> Option<u32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in 0..n {
+        let bfs = Bfs::run(g, v);
+        if bfs.reachable_count() != n as usize {
+            return None;
+        }
+        best = best.max(bfs.eccentricity().unwrap_or(0));
+    }
+    Some(best)
+}
+
+/// Lower bound on the diameter from BFS at a sample of sources.
+/// `sources` may contain duplicates; out-of-range ids panic.
+pub fn diameter_lower_bound(g: &CsrGraph, sources: &[u32]) -> u32 {
+    sources
+        .iter()
+        .map(|&s| Bfs::run(g, s).eccentricity().unwrap_or(0))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Whether `g` is connected (trivially true for the empty graph).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    let n = g.num_nodes();
+    n == 0 || Bfs::run(g, 0).reachable_count() == n as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> CsrGraph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn cycle_graph(n: u32) -> CsrGraph {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(5);
+        let bfs = Bfs::run(&g, 0);
+        for v in 0..5 {
+            assert_eq!(bfs.dist(v), Some(v));
+        }
+        assert_eq!(bfs.eccentricity(), Some(4));
+    }
+
+    #[test]
+    fn path_reconstruction_is_shortest() {
+        let g = cycle_graph(8);
+        let bfs = Bfs::run(&g, 0);
+        let p = bfs.path_to(3).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&3));
+        assert_eq!(p.len() as u32 - 1, bfs.dist(3).unwrap());
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn path_to_source_is_singleton() {
+        let g = cycle_graph(4);
+        let bfs = Bfs::run(&g, 2);
+        assert_eq!(bfs.path_to(2), Some(vec![2]));
+        assert_eq!(bfs.dist(2), Some(0));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(diameter(&cycle_graph(8)), Some(4));
+        assert_eq!(diameter(&cycle_graph(9)), Some(4));
+        assert_eq!(diameter(&path_graph(6)), Some(5));
+    }
+
+    #[test]
+    fn disconnected_graph_reports_none_diameter() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(diameter(&g), None);
+        assert!(!is_connected(&g));
+        let bfs = Bfs::run(&g, 0);
+        assert_eq!(bfs.dist(2), None);
+        assert_eq!(bfs.path_to(3), None);
+        assert_eq!(bfs.reachable_count(), 2);
+    }
+
+    #[test]
+    fn blocked_nodes_are_avoided() {
+        // 0-1-2 and 0-3-2: blocking 1 forces the longer way around.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3), (3, 2)]);
+        let bfs = Bfs::run_avoiding(&g, 0, |v| v == 1);
+        assert_eq!(bfs.dist(2), Some(2));
+        assert_eq!(bfs.path_to(2), Some(vec![0, 3, 2]));
+        assert_eq!(bfs.dist(1), None);
+    }
+
+    #[test]
+    fn diameter_lower_bound_no_larger_than_diameter() {
+        let g = cycle_graph(10);
+        let lb = diameter_lower_bound(&g, &[0, 3]);
+        assert!(lb <= diameter(&g).unwrap());
+        assert_eq!(lb, 5); // cycle is vertex-transitive: every ecc = 5
+    }
+
+    #[test]
+    fn connected_check() {
+        assert!(is_connected(&cycle_graph(5)));
+        assert!(is_connected(&CsrGraph::from_edges(0, &[])));
+        assert!(is_connected(&CsrGraph::from_edges(1, &[])));
+        assert!(!is_connected(&CsrGraph::from_edges(2, &[])));
+    }
+}

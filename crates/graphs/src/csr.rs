@@ -1,0 +1,221 @@
+//! Compressed-sparse-row adjacency for undirected graphs.
+//!
+//! Node ids are `u32`; explicit graphs in this suite stay well below
+//! 2^24 nodes (the largest materialised HHC has m = 4, i.e. 2^20 nodes),
+//! so `u32` halves the memory traffic relative to `usize` indices.
+
+/// An immutable undirected graph in CSR form.
+///
+/// Both endpoints of every undirected edge appear in each other's
+/// neighbour list. Neighbour lists are sorted, which makes adjacency
+/// queries `O(log deg)` and iteration cache-friendly.
+///
+/// # Examples
+/// ```
+/// use graphs::CsrGraph;
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(3, 0));
+/// assert_eq!(graphs::bfs::diameter(&g), Some(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` nodes from an undirected edge list.
+    ///
+    /// Self-loops and duplicate edges are rejected with a panic: every
+    /// topology in this suite is simple, and silently deduplicating would
+    /// mask generator bugs.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`, on self-loops, or on duplicate edges.
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u32; n as usize];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for n={n}");
+            assert_ne!(a, b, "self-loop at node {a}");
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n as usize + 1];
+        for v in 0..n as usize {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut targets = vec![0u32; 2 * edges.len()];
+        let mut cursor: Vec<u32> = offsets[..n as usize].to_vec();
+        for &(a, b) in edges {
+            targets[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        for v in 0..n as usize {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            targets[lo..hi].sort_unstable();
+            for w in targets[lo..hi].windows(2) {
+                assert_ne!(w[0], w[1], "duplicate edge at node {v}");
+            }
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Builds a graph by calling `neighbors_of` for every node.
+    ///
+    /// The closure must be symmetric (`b ∈ f(a)` ⟺ `a ∈ f(b)`); this is
+    /// checked during construction. This is how symbolic topologies
+    /// (hypercube, HHC) are materialised for cross-validation.
+    pub fn from_fn<F, I>(n: u32, mut neighbors_of: F) -> Self
+    where
+        F: FnMut(u32) -> I,
+        I: IntoIterator<Item = u32>,
+    {
+        let mut edges = Vec::new();
+        let mut seen_deg = vec![0u32; n as usize];
+        for v in 0..n {
+            for w in neighbors_of(v) {
+                assert!(w < n, "neighbor {w} of {v} out of range");
+                assert_ne!(v, w, "self-loop at {v}");
+                seen_deg[v as usize] += 1;
+                if v < w {
+                    edges.push((v, w));
+                }
+            }
+        }
+        let g = Self::from_edges(n, &edges);
+        // A asymmetric neighbour function yields 2*|edges| != sum(seen_deg).
+        let total: u32 = seen_deg.iter().sum();
+        assert_eq!(
+            total as usize,
+            g.targets.len(),
+            "neighbor function is not symmetric"
+        );
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Whether edge `{a, b}` exists (binary search over `a`'s list).
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all undirected edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_nodes()).flat_map(move |a| {
+            self.neighbors(a)
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(2), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn edge_iterator_yields_each_edge_once() {
+        let g = triangle();
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_lists() {
+        let g = CsrGraph::from_edges(4, &[(1, 2)]);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn from_fn_builds_cycle() {
+        let n = 6u32;
+        let g = CsrGraph::from_fn(n, |v| vec![(v + 1) % n, (v + n - 1) % n]);
+        assert_eq!(g.num_edges(), 6);
+        for v in 0..n {
+            assert_eq!(g.degree(v), 2);
+            assert!(g.has_edge(v, (v + 1) % n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        CsrGraph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn from_fn_rejects_asymmetric() {
+        // 0 lists 1 but 1 lists nothing.
+        CsrGraph::from_fn(2, |v| if v == 0 { vec![1] } else { vec![] });
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Used as the exact engine behind two baselines:
+//! * [`crate::vertex_disjoint`] — Menger-optimal internally vertex-disjoint
+//!   path sets on materialised networks (the comparator in Table T3);
+//! * the disjoint *fan* construction inside a son-cube
+//!   (`hypercube::fan`), where the graph has at most `2^m ≤ 64` nodes.
+//!
+//! Complexity is `O(V^2 E)` in general and `O(E sqrt(V))` on unit-capacity
+//! networks, which is all this suite ever feeds it.
+
+/// Arc index into the flat arc array.
+type ArcId = u32;
+
+/// A directed arc with residual bookkeeping. `to` is the head,
+/// `cap` the remaining capacity, `rev` the index of the reverse arc.
+#[derive(Clone, Debug)]
+struct Arc {
+    to: u32,
+    cap: u32,
+    rev: ArcId,
+}
+
+/// A Dinic max-flow instance over a directed graph with integer capacities.
+pub struct Dinic {
+    /// Per-node outgoing arc ids.
+    adj: Vec<Vec<ArcId>>,
+    arcs: Vec<Arc>,
+    /// BFS level of each node in the current phase.
+    level: Vec<u32>,
+    /// DFS iterator position per node (current-arc optimisation).
+    iter: Vec<usize>,
+}
+
+const NO_LEVEL: u32 = u32::MAX;
+
+impl Dinic {
+    /// Creates an empty flow network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Dinic {
+            adj: vec![Vec::new(); n],
+            arcs: Vec::new(),
+            level: vec![NO_LEVEL; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed arc `from → to` with capacity `cap`.
+    /// Returns the arc id, usable with [`Dinic::flow_on`] after solving.
+    pub fn add_edge(&mut self, from: u32, to: u32, cap: u32) -> ArcId {
+        assert!((from as usize) < self.adj.len() && (to as usize) < self.adj.len());
+        let a = self.arcs.len() as ArcId;
+        let b = a + 1;
+        self.arcs.push(Arc { to, cap, rev: b });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            rev: a,
+        });
+        self.adj[from as usize].push(a);
+        self.adj[to as usize].push(b);
+        a
+    }
+
+    /// Flow currently pushed through arc `id` (reverse arc's residual).
+    pub fn flow_on(&self, id: ArcId) -> u32 {
+        let rev = self.arcs[id as usize].rev;
+        self.arcs[rev as usize].cap
+    }
+
+    fn bfs_levels(&mut self, s: u32, t: u32) -> bool {
+        self.level.fill(NO_LEVEL);
+        self.level[s as usize] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &aid in &self.adj[v as usize] {
+                let arc = &self.arcs[aid as usize];
+                if arc.cap > 0 && self.level[arc.to as usize] == NO_LEVEL {
+                    self.level[arc.to as usize] = self.level[v as usize] + 1;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        self.level[t as usize] != NO_LEVEL
+    }
+
+    fn dfs_augment(&mut self, v: u32, t: u32, pushed: u32) -> u32 {
+        if v == t {
+            return pushed;
+        }
+        while self.iter[v as usize] < self.adj[v as usize].len() {
+            let aid = self.adj[v as usize][self.iter[v as usize]];
+            let (to, cap) = {
+                let arc = &self.arcs[aid as usize];
+                (arc.to, arc.cap)
+            };
+            if cap > 0 && self.level[to as usize] == self.level[v as usize] + 1 {
+                let got = self.dfs_augment(to, t, pushed.min(cap));
+                if got > 0 {
+                    self.arcs[aid as usize].cap -= got;
+                    let rev = self.arcs[aid as usize].rev;
+                    self.arcs[rev as usize].cap += got;
+                    return got;
+                }
+            }
+            self.iter[v as usize] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum `s → t` flow. May be called once per instance
+    /// (subsequent calls continue from the residual network, which is only
+    /// meaningful if `s`/`t` are unchanged).
+    pub fn max_flow(&mut self, s: u32, t: u32) -> u32 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut total = 0u32;
+        while self.bfs_levels(s, t) {
+            self.iter.fill(0);
+            loop {
+                let pushed = self.dfs_augment(s, t, u32::MAX);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    /// All arcs leaving `v` that carry positive flow, as `(arc_id, head)`.
+    pub fn flow_arcs_from(&self, v: u32) -> impl Iterator<Item = (ArcId, u32)> + '_ {
+        self.adj[v as usize]
+            .iter()
+            .copied()
+            // Even arc ids are forward arcs; odd ids are residual reverses.
+            .filter(|&aid| aid % 2 == 0)
+            .filter(move |&aid| self.flow_on(aid) > 0)
+            .map(move |aid| (aid, self.arcs[aid as usize].to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut d = Dinic::new(2);
+        let a = d.add_edge(0, 1, 7);
+        assert_eq!(d.max_flow(0, 1), 7);
+        assert_eq!(d.flow_on(a), 7);
+    }
+
+    #[test]
+    fn series_bottleneck() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 5);
+        d.add_edge(1, 2, 3);
+        assert_eq!(d.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 2);
+        d.add_edge(1, 3, 2);
+        d.add_edge(0, 2, 3);
+        d.add_edge(2, 3, 3);
+        assert_eq!(d.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS figure: max flow 23.
+        let mut d = Dinic::new(6);
+        d.add_edge(0, 1, 16);
+        d.add_edge(0, 2, 13);
+        d.add_edge(1, 2, 10);
+        d.add_edge(2, 1, 4);
+        d.add_edge(1, 3, 12);
+        d.add_edge(3, 2, 9);
+        d.add_edge(2, 4, 14);
+        d.add_edge(4, 3, 7);
+        d.add_edge(3, 5, 20);
+        d.add_edge(4, 5, 4);
+        assert_eq!(d.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn rerouting_through_residual_arcs() {
+        // Flow must back out of a greedy first choice to reach optimum.
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 1);
+        d.add_edge(0, 2, 1);
+        d.add_edge(1, 2, 1);
+        d.add_edge(1, 3, 1);
+        d.add_edge(2, 3, 1);
+        assert_eq!(d.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn zero_when_disconnected() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 9);
+        d.add_edge(2, 3, 9);
+        assert_eq!(d.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let mut d = Dinic::new(5);
+        d.add_edge(0, 1, 4);
+        d.add_edge(0, 2, 2);
+        d.add_edge(1, 2, 3);
+        d.add_edge(1, 3, 1);
+        d.add_edge(2, 4, 5);
+        d.add_edge(3, 4, 2);
+        let f = d.max_flow(0, 4);
+        assert_eq!(f, 6);
+        // Net outflow of interior nodes must be zero.
+        for v in 1..4u32 {
+            let out: u32 = d.flow_arcs_from(v).map(|(a, _)| d.flow_on(a)).sum();
+            let inflow: u32 = (0..5u32)
+                .flat_map(|u| d.flow_arcs_from(u).collect::<Vec<_>>())
+                .filter(|&(_, to)| to == v)
+                .map(|(a, _)| d.flow_on(a))
+                .sum();
+            assert_eq!(out, inflow, "conservation violated at {v}");
+        }
+    }
+
+    #[test]
+    fn unit_capacity_matches_edge_connectivity_of_cycle() {
+        // 6-cycle: exactly 2 edge-disjoint paths between opposite nodes.
+        let n = 6u32;
+        let mut d = Dinic::new(n as usize);
+        for v in 0..n {
+            let w = (v + 1) % n;
+            d.add_edge(v, w, 1);
+            d.add_edge(w, v, 1);
+        }
+        assert_eq!(d.max_flow(0, 3), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Edge-disjoint paths (Menger, edge version).
+//!
+//! Used to confirm that the HHC construction's families — which are
+//! *vertex*-disjoint, the stronger property — are a fortiori
+//! edge-disjoint, and to measure edge connectivity `λ(s, t)` on
+//! materialised topologies (`λ = κ = m+1` on the HHC, being regular
+//! and maximally connected).
+//!
+//! Model: one flow node per graph node, each undirected edge becomes two
+//! unit-capacity directed arcs. Max-flow = max number of edge-disjoint
+//! paths; decomposition walks positive-flow arcs.
+
+use crate::csr::CsrGraph;
+use crate::dinic::Dinic;
+use std::collections::HashMap;
+
+/// Maximum number of edge-disjoint `s–t` paths (`λ(s, t)`).
+pub fn edge_connectivity_between(g: &CsrGraph, s: u32, t: u32) -> u32 {
+    assert_ne!(s, t, "terminals must differ");
+    let mut d = build(g);
+    d.max_flow(s, t)
+}
+
+/// Computes a maximum set of pairwise edge-disjoint `s–t` paths.
+/// Paths are simple individually but may share nodes (not edges).
+pub fn edge_disjoint_paths(g: &CsrGraph, s: u32, t: u32) -> Vec<Vec<u32>> {
+    assert_ne!(s, t, "terminals must differ");
+    let mut d = build(g);
+    let flow = d.max_flow(s, t);
+    // Remaining flow per directed node pair.
+    let mut remaining: HashMap<(u32, u32), u32> = HashMap::new();
+    for v in 0..g.num_nodes() {
+        for (aid, to) in d.flow_arcs_from(v) {
+            *remaining.entry((v, to)).or_insert(0) += d.flow_on(aid);
+        }
+    }
+    // Cancel opposing flow (a unit u→w and w→u annihilate; they only
+    // arise from decomposition artefacts and would create loops).
+    let keys: Vec<(u32, u32)> = remaining.keys().copied().collect();
+    for (a, b) in keys {
+        if a < b {
+            let fwd = remaining.get(&(a, b)).copied().unwrap_or(0);
+            let back = remaining.get(&(b, a)).copied().unwrap_or(0);
+            let cancel = fwd.min(back);
+            if cancel > 0 {
+                *remaining.get_mut(&(a, b)).unwrap() -= cancel;
+                *remaining.get_mut(&(b, a)).unwrap() -= cancel;
+            }
+        }
+    }
+    let mut take = |from: u32, to: u32| -> bool {
+        match remaining.get_mut(&(from, to)) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                true
+            }
+            _ => false,
+        }
+    };
+    let mut paths = Vec::with_capacity(flow as usize);
+    for _ in 0..flow {
+        let mut path = vec![s];
+        let mut cur = s;
+        // Walk until t; loops are impossible after opposing-flow
+        // cancellation because net out-degree strictly decreases.
+        while cur != t {
+            let next = g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .find(|&w| take(cur, w))
+                .expect("edge-disjoint decomposition stuck (bug)");
+            path.push(next);
+            cur = next;
+        }
+        // Shortcut any revisits so each returned path is simple.
+        paths.push(simplify(path));
+    }
+    paths
+}
+
+fn build(g: &CsrGraph) -> Dinic {
+    let mut d = Dinic::new(g.num_nodes() as usize);
+    for (a, b) in g.edges() {
+        d.add_edge(a, b, 1);
+        d.add_edge(b, a, 1);
+    }
+    d
+}
+
+/// Removes loops from a walk: keeps the first occurrence of each node and
+/// drops everything between repeats.
+fn simplify(walk: Vec<u32>) -> Vec<u32> {
+    let mut seen: HashMap<u32, usize> = HashMap::new();
+    let mut out: Vec<u32> = Vec::with_capacity(walk.len());
+    for v in walk {
+        if let Some(&idx) = seen.get(&v) {
+            for dropped in out.drain(idx + 1..) {
+                seen.remove(&dropped);
+            }
+        } else {
+            seen.insert(v, out.len());
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Checks that `paths` are valid `s–t` paths sharing no (undirected) edge.
+pub fn check_edge_disjoint(
+    g: &CsrGraph,
+    s: u32,
+    t: u32,
+    paths: &[Vec<u32>],
+) -> Result<(), String> {
+    let mut used = std::collections::HashSet::new();
+    for (i, p) in paths.iter().enumerate() {
+        if p.first() != Some(&s) || p.last() != Some(&t) {
+            return Err(format!("path {i}: wrong endpoints"));
+        }
+        for w in p.windows(2) {
+            if !g.has_edge(w[0], w[1]) {
+                return Err(format!("path {i}: non-edge ({}, {})", w[0], w[1]));
+            }
+            let key = (w[0].min(w[1]), w[0].max(w[1]));
+            if !used.insert(key) {
+                return Err(format!("paths share edge {key:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> CsrGraph {
+        CsrGraph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn cycle_has_two_edge_disjoint_paths() {
+        let g = cycle(6);
+        assert_eq!(edge_connectivity_between(&g, 0, 3), 2);
+        let ps = edge_disjoint_paths(&g, 0, 3);
+        assert_eq!(ps.len(), 2);
+        check_edge_disjoint(&g, 0, 3, &ps).unwrap();
+    }
+
+    #[test]
+    fn theta_graph_counts_three() {
+        // Two endpoints joined by three internally disjoint paths.
+        let g = CsrGraph::from_edges(
+            5,
+            &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)],
+        );
+        assert_eq!(edge_connectivity_between(&g, 0, 4), 3);
+        let ps = edge_disjoint_paths(&g, 0, 4);
+        assert_eq!(ps.len(), 3);
+        check_edge_disjoint(&g, 0, 4, &ps).unwrap();
+    }
+
+    #[test]
+    fn edge_ge_vertex_connectivity() {
+        // λ(s,t) ≥ κ(s,t) always; equal on the (node-symmetric) cycle.
+        let g = cycle(8);
+        let lam = edge_connectivity_between(&g, 1, 5);
+        let kap = crate::vertex_disjoint::vertex_connectivity_between(&g, 1, 5);
+        assert!(lam >= kap);
+        assert_eq!(lam, 2);
+    }
+
+    #[test]
+    fn bridge_limits_to_one() {
+        // Two triangles joined by a bridge edge.
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        );
+        assert_eq!(edge_connectivity_between(&g, 0, 5), 1);
+        let ps = edge_disjoint_paths(&g, 0, 5);
+        check_edge_disjoint(&g, 0, 5, &ps).unwrap();
+    }
+
+    #[test]
+    fn adjacent_terminals_in_k4() {
+        let mut e = Vec::new();
+        for a in 0..4u32 {
+            for b in a + 1..4 {
+                e.push((a, b));
+            }
+        }
+        let g = CsrGraph::from_edges(4, &e);
+        assert_eq!(edge_connectivity_between(&g, 0, 1), 3);
+        let ps = edge_disjoint_paths(&g, 0, 1);
+        check_edge_disjoint(&g, 0, 1, &ps).unwrap();
+    }
+
+    #[test]
+    fn simplify_removes_loops() {
+        assert_eq!(simplify(vec![0, 1, 2, 1, 3]), vec![0, 1, 3]);
+        assert_eq!(simplify(vec![0, 1, 2, 3]), vec![0, 1, 2, 3]);
+        assert_eq!(simplify(vec![5]), vec![5]);
+        // Nested loops collapse correctly.
+        assert_eq!(simplify(vec![0, 1, 2, 3, 2, 1, 4]), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn hypercube_edge_connectivity_is_n() {
+        // Q_3: λ between antipodes = 3 = degree.
+        let mut edges = Vec::new();
+        for v in 0..8u32 {
+            for d in 0..3 {
+                let w = v ^ (1 << d);
+                if v < w {
+                    edges.push((v, w));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(8, &edges);
+        assert_eq!(edge_connectivity_between(&g, 0, 7), 3);
+        let ps = edge_disjoint_paths(&g, 0, 7);
+        assert_eq!(ps.len(), 3);
+        check_edge_disjoint(&g, 0, 7, &ps).unwrap();
+    }
+}

@@ -1,0 +1,195 @@
+//! General one-to-many vertex-disjoint fans on explicit graphs.
+//!
+//! Generalises `hypercube::fan` (which is specialised to son-cubes) to an
+//! arbitrary [`CsrGraph`]: given a source `s` and distinct targets
+//! `t_1 … t_k`, finds paths `s → t_i` that are pairwise vertex-disjoint
+//! except at `s`, or reports that no complete fan exists. This is the
+//! ground-truth baseline for one-to-many disjoint routing on materialised
+//! HHC instances (the one-to-many generalisation of the paper's theorem,
+//! which follow-up literature develops; symbolic construction is future
+//! work — see DESIGN.md §6).
+//!
+//! Flow model: vertex split with unit interior capacities, unbounded
+//! source, one unit sink arc per target.
+
+use crate::csr::CsrGraph;
+use crate::dinic::Dinic;
+use std::collections::HashMap;
+
+#[inline]
+fn v_in(v: u32) -> u32 {
+    2 * v
+}
+#[inline]
+fn v_out(v: u32) -> u32 {
+    2 * v + 1
+}
+
+/// Computes a complete fan from `s` to every target, or `None` if the
+/// graph does not admit one (max flow < number of targets).
+///
+/// `paths[i]` runs `s → targets[i]`. Targets must be distinct and ≠ `s`.
+pub fn fan_paths(g: &CsrGraph, s: u32, targets: &[u32]) -> Option<Vec<Vec<u32>>> {
+    let n = g.num_nodes();
+    assert!(s < n, "source out of range");
+    {
+        let mut seen = std::collections::HashSet::new();
+        for &t in targets {
+            assert!(t < n, "target out of range");
+            assert!(t != s && seen.insert(t), "targets must be distinct and ≠ s");
+        }
+    }
+    if targets.is_empty() {
+        return Some(Vec::new());
+    }
+    let sink = 2 * n;
+    let mut d = Dinic::new(sink as usize + 1);
+    for v in 0..n {
+        let cap = if v == s { u32::MAX / 2 } else { 1 };
+        d.add_edge(v_in(v), v_out(v), cap);
+    }
+    for (a, b) in g.edges() {
+        d.add_edge(v_out(a), v_in(b), 1);
+        d.add_edge(v_out(b), v_in(a), 1);
+    }
+    let mut terminal: HashMap<u32, usize> = HashMap::new();
+    for (i, &t) in targets.iter().enumerate() {
+        d.add_edge(v_out(t), sink, 1);
+        terminal.insert(t, i);
+    }
+    let flow = d.max_flow(v_in(s), sink);
+    if (flow as usize) < targets.len() {
+        return None;
+    }
+
+    let mut remaining: HashMap<(u32, u32), u32> = HashMap::new();
+    for v in 0..=sink {
+        for (aid, to) in d.flow_arcs_from(v) {
+            *remaining.entry((v, to)).or_insert(0) += d.flow_on(aid);
+        }
+    }
+    let mut take = |from: u32, to: u32| -> bool {
+        match remaining.get_mut(&(from, to)) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                true
+            }
+            _ => false,
+        }
+    };
+    let mut paths: Vec<Option<Vec<u32>>> = vec![None; targets.len()];
+    for _ in 0..flow {
+        let mut path = vec![s];
+        let mut cur = s;
+        loop {
+            let _ = take(v_in(cur), v_out(cur));
+            if let Some(&idx) = terminal.get(&cur) {
+                if take(v_out(cur), sink) {
+                    assert!(paths[idx].is_none(), "target reached twice");
+                    paths[idx] = Some(path);
+                    break;
+                }
+            }
+            let next = g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .find(|&w| take(v_out(cur), v_in(w)))
+                .expect("fan decomposition stuck (bug)");
+            path.push(next);
+            cur = next;
+        }
+    }
+    Some(paths.into_iter().map(|p| p.expect("missing fan path")).collect())
+}
+
+/// Checks fan validity: `paths[i]` runs `s → targets[i]`, each simple,
+/// pairwise sharing only `s`.
+pub fn check_fan(g: &CsrGraph, s: u32, targets: &[u32], paths: &[Vec<u32>]) -> Result<(), String> {
+    if paths.len() != targets.len() {
+        return Err("path/target count mismatch".into());
+    }
+    let mut used = std::collections::HashSet::new();
+    for (i, p) in paths.iter().enumerate() {
+        if p.first() != Some(&s) || p.last() != Some(&targets[i]) {
+            return Err(format!("path {i}: wrong endpoints"));
+        }
+        let mut own = std::collections::HashSet::new();
+        for w in p.windows(2) {
+            if !g.has_edge(w[0], w[1]) {
+                return Err(format!("path {i}: non-edge"));
+            }
+        }
+        for &x in p {
+            if !own.insert(x) {
+                return Err(format!("path {i}: revisit"));
+            }
+        }
+        for &x in &p[1..] {
+            if !used.insert(x) {
+                return Err(format!("paths share node {x} beyond the source"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> CsrGraph {
+        CsrGraph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn two_way_fan_on_cycle() {
+        let g = cycle(8);
+        let targets = [3u32, 5];
+        let f = fan_paths(&g, 0, &targets).unwrap();
+        check_fan(&g, 0, &targets, &f).unwrap();
+    }
+
+    #[test]
+    fn three_targets_on_cycle_impossible() {
+        // Degree 2 at the source: no 3-fan can exist.
+        let g = cycle(8);
+        assert!(fan_paths(&g, 0, &[2, 4, 6]).is_none());
+    }
+
+    #[test]
+    fn complete_graph_fans_everywhere() {
+        let mut e = Vec::new();
+        for a in 0..5u32 {
+            for b in a + 1..5 {
+                e.push((a, b));
+            }
+        }
+        let g = CsrGraph::from_edges(5, &e);
+        let targets = [1u32, 2, 3, 4];
+        let f = fan_paths(&g, 0, &targets).unwrap();
+        check_fan(&g, 0, &targets, &f).unwrap();
+        assert!(f.iter().all(|p| p.len() == 2), "K5 fans are direct edges");
+    }
+
+    #[test]
+    fn empty_targets() {
+        let g = cycle(4);
+        assert_eq!(fan_paths(&g, 0, &[]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn fan_blocked_by_cut_vertex() {
+        // Star: all targets behind the centre — only one path can pass.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        assert!(fan_paths(&g, 0, &[2, 3]).is_none());
+        let f = fan_paths(&g, 0, &[2]).unwrap();
+        check_fan(&g, 0, &[2], &f).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_duplicate_targets() {
+        fan_paths(&cycle(6), 0, &[2, 2]);
+    }
+}

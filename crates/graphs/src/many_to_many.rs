@@ -1,0 +1,224 @@
+//! Unpaired many-to-many vertex-disjoint paths (flow baseline).
+//!
+//! Given disjoint source and target sets `S`, `T` with `|S| = |T| = k`,
+//! find `k` fully vertex-disjoint paths, each from *some* source to
+//! *some* target, covering every source and every target. (This is the
+//! *unpaired* variant studied by the many-to-many disjoint-path
+//! literature on hypercubes and their hierarchies; the *paired* variant
+//! is a different, much harder problem.)
+//!
+//! Unlike the one-to-one and one-to-many cases, here the paths share no
+//! node at all — sources are distinct, so every vertex has unit capacity.
+//! Flow model: super-source → each `s`, each `t` → super-sink, vertex
+//! split throughout.
+
+use crate::csr::CsrGraph;
+use crate::dinic::Dinic;
+use std::collections::HashMap;
+
+#[inline]
+fn v_in(v: u32) -> u32 {
+    2 * v
+}
+#[inline]
+fn v_out(v: u32) -> u32 {
+    2 * v + 1
+}
+
+/// Computes an unpaired many-to-many disjoint path cover, or `None` if
+/// fewer than `k` fully disjoint paths exist.
+///
+/// Sources and targets must each be duplicate-free and mutually disjoint
+/// sets of equal size. Each returned path runs from a source to a target;
+/// every source and target appears in exactly one path; no two paths
+/// share any vertex.
+pub fn many_to_many_paths(
+    g: &CsrGraph,
+    sources: &[u32],
+    targets: &[u32],
+) -> Option<Vec<Vec<u32>>> {
+    let n = g.num_nodes();
+    assert_eq!(sources.len(), targets.len(), "|S| must equal |T|");
+    {
+        let mut seen = std::collections::HashSet::new();
+        for &x in sources.iter().chain(targets) {
+            assert!(x < n, "endpoint out of range");
+            assert!(seen.insert(x), "S and T must be disjoint and duplicate-free");
+        }
+    }
+    let k = sources.len();
+    if k == 0 {
+        return Some(Vec::new());
+    }
+    let super_src = 2 * n;
+    let super_snk = 2 * n + 1;
+    let mut d = Dinic::new(super_snk as usize + 1);
+    for v in 0..n {
+        d.add_edge(v_in(v), v_out(v), 1);
+    }
+    for (a, b) in g.edges() {
+        d.add_edge(v_out(a), v_in(b), 1);
+        d.add_edge(v_out(b), v_in(a), 1);
+    }
+    for &s in sources {
+        d.add_edge(super_src, v_in(s), 1);
+    }
+    let mut terminal: HashMap<u32, ()> = HashMap::new();
+    for &t in targets {
+        d.add_edge(v_out(t), super_snk, 1);
+        terminal.insert(t, ());
+    }
+    let flow = d.max_flow(super_src, super_snk);
+    if (flow as usize) < k {
+        return None;
+    }
+
+    let mut remaining: HashMap<(u32, u32), u32> = HashMap::new();
+    for v in 0..=super_snk {
+        for (aid, to) in d.flow_arcs_from(v) {
+            *remaining.entry((v, to)).or_insert(0) += d.flow_on(aid);
+        }
+    }
+    let mut take = |from: u32, to: u32| -> bool {
+        match remaining.get_mut(&(from, to)) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                true
+            }
+            _ => false,
+        }
+    };
+    let mut paths = Vec::with_capacity(k);
+    for &s in sources {
+        assert!(take(super_src, v_in(s)), "source {s} unserved (bug)");
+        let mut path = vec![s];
+        let mut cur = s;
+        loop {
+            let _ = take(v_in(cur), v_out(cur));
+            if terminal.contains_key(&cur) && take(v_out(cur), super_snk) {
+                break;
+            }
+            let next = g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .find(|&w| take(v_out(cur), v_in(w)))
+                .expect("decomposition stuck (bug)");
+            path.push(next);
+            cur = next;
+        }
+        paths.push(path);
+    }
+    Some(paths)
+}
+
+/// Checks a many-to-many cover: k fully vertex-disjoint simple paths,
+/// sources and targets each covered exactly once.
+pub fn check_many_to_many(
+    g: &CsrGraph,
+    sources: &[u32],
+    targets: &[u32],
+    paths: &[Vec<u32>],
+) -> Result<(), String> {
+    if paths.len() != sources.len() {
+        return Err("wrong path count".into());
+    }
+    let mut used = std::collections::HashSet::new();
+    let mut src_left: std::collections::HashSet<u32> = sources.iter().copied().collect();
+    let mut tgt_left: std::collections::HashSet<u32> = targets.iter().copied().collect();
+    for (i, p) in paths.iter().enumerate() {
+        let (first, last) = (*p.first().unwrap(), *p.last().unwrap());
+        if !src_left.remove(&first) {
+            return Err(format!("path {i}: source {first} not available"));
+        }
+        if !tgt_left.remove(&last) {
+            return Err(format!("path {i}: target {last} not available"));
+        }
+        for w in p.windows(2) {
+            if !g.has_edge(w[0], w[1]) {
+                return Err(format!("path {i}: non-edge"));
+            }
+        }
+        for &x in p {
+            if !used.insert(x) {
+                return Err(format!("paths share node {x}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> CsrGraph {
+        CsrGraph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    fn hypercube(n: u32) -> CsrGraph {
+        CsrGraph::from_fn(1 << n, |v| {
+            (0..n).map(move |d| v ^ (1u32 << d)).collect::<Vec<_>>()
+        })
+    }
+
+    #[test]
+    fn two_pairs_on_a_cycle() {
+        let g = cycle(8);
+        let ps = many_to_many_paths(&g, &[0, 4], &[2, 6]).unwrap();
+        check_many_to_many(&g, &[0, 4], &[2, 6], &ps).unwrap();
+    }
+
+    #[test]
+    fn cycle_feasibility_dichotomy() {
+        let g = cycle(12);
+        // Sources adjacent, targets adjacent on the far side: feasible.
+        assert!(many_to_many_paths(&g, &[0, 1], &[6, 7]).is_some());
+        // Spread S/T blocks around the ring: feasible (local hops).
+        let ps = many_to_many_paths(&g, &[0, 4, 8], &[2, 6, 10]).unwrap();
+        check_many_to_many(&g, &[0, 4, 8], &[2, 6, 10], &ps).unwrap();
+        // A 3-source block: the middle source (1) is walled in by its
+        // own neighbours 0 and 2 (both sources) — at most 2 paths exist.
+        assert!(many_to_many_paths(&g, &[0, 1, 2], &[6, 7, 8]).is_none());
+    }
+
+    #[test]
+    fn hypercube_antipodal_sets() {
+        // Q_4: match {even-weight corners} to {odd-weight corners}.
+        let g = hypercube(4);
+        let sources = [0b0000u32, 0b0011, 0b0101, 0b1001];
+        let targets = [0b1111u32, 0b1110, 0b0111, 0b1011];
+        let ps = many_to_many_paths(&g, &sources, &targets).unwrap();
+        check_many_to_many(&g, &sources, &targets, &ps).unwrap();
+    }
+
+    #[test]
+    fn empty_sets() {
+        let g = cycle(4);
+        assert_eq!(many_to_many_paths(&g, &[], &[]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn single_pair_reduces_to_a_path() {
+        let g = hypercube(3);
+        let ps = many_to_many_paths(&g, &[0], &[7]).unwrap();
+        check_many_to_many(&g, &[0], &[7], &ps).unwrap();
+        assert_eq!(ps[0].first(), Some(&0));
+        assert_eq!(ps[0].last(), Some(&7));
+    }
+
+    #[test]
+    fn unpaired_matching_freedom() {
+        // Path endpoints may cross-match: S = {0, 3}, T = {1, 2} on a
+        // path graph 0-1-2-3 only works as 0→1 and 3→2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let ps = many_to_many_paths(&g, &[0, 3], &[1, 2]).unwrap();
+        check_many_to_many(&g, &[0, 3], &[1, 2], &ps).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn rejects_overlapping_sets() {
+        many_to_many_paths(&cycle(6), &[0, 1], &[1, 3]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Structural property checks used by the topology validation experiments
+//! (Table T1) and by tests that materialise symbolic topologies.
+
+use crate::csr::CsrGraph;
+
+/// Whether every node has degree exactly `d`.
+pub fn is_regular(g: &CsrGraph, d: u32) -> bool {
+    (0..g.num_nodes()).all(|v| g.degree(v) == d)
+}
+
+/// Minimum and maximum degree, or `None` for the empty graph.
+pub fn degree_range(g: &CsrGraph) -> Option<(u32, u32)> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut lo = u32::MAX;
+    let mut hi = 0;
+    for v in 0..n {
+        let d = g.degree(v);
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    Some((lo, hi))
+}
+
+/// Whether the graph is bipartite (2-colourable).
+///
+/// Both `Q_n` and the HHC are bipartite (every edge flips exactly one bit
+/// of the combined address), and T1 verifies this on materialised instances.
+pub fn is_bipartite(g: &CsrGraph) -> bool {
+    let n = g.num_nodes() as usize;
+    let mut color = vec![u8::MAX; n];
+    for start in 0..n as u32 {
+        if color[start as usize] != u8::MAX {
+            continue;
+        }
+        color[start as usize] = 0;
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if color[w as usize] == u8::MAX {
+                    color[w as usize] = 1 - color[v as usize];
+                    stack.push(w);
+                } else if color[w as usize] == color[v as usize] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Counts triangles (3-cycles). Bipartite graphs must report 0.
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    let mut count = 0u64;
+    for (a, b) in g.edges() {
+        // Intersect sorted neighbour lists, counting each triangle once
+        // via the ordering a < b < c.
+        let (mut i, mut j) = (0, 0);
+        let na = g.neighbors(a);
+        let nb = g.neighbors(b);
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if na[i] > b {
+                        count += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Girth (length of a shortest cycle) computed by BFS from every node,
+/// or `None` for a forest. Small graphs only.
+pub fn girth(g: &CsrGraph) -> Option<u32> {
+    use std::collections::VecDeque;
+    let n = g.num_nodes();
+    let mut best: Option<u32> = None;
+    for s in 0..n {
+        let mut dist = vec![u32::MAX; n as usize];
+        let mut parent = vec![u32::MAX; n as usize];
+        dist[s as usize] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    parent[w as usize] = v;
+                    q.push_back(w);
+                } else if parent[v as usize] != w {
+                    // Non-tree edge closes a cycle through s of length
+                    // dist[v] + dist[w] + 1 (an upper bound that is tight
+                    // for the node on the shortest cycle).
+                    let c = dist[v as usize] + dist[w as usize] + 1;
+                    best = Some(best.map_or(c, |b| b.min(c)));
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> CsrGraph {
+        CsrGraph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn cycle_is_two_regular() {
+        assert!(is_regular(&cycle(6), 2));
+        assert!(!is_regular(&cycle(6), 3));
+        assert_eq!(degree_range(&cycle(6)), Some((2, 2)));
+    }
+
+    #[test]
+    fn even_cycles_bipartite_odd_not() {
+        assert!(is_bipartite(&cycle(8)));
+        assert!(!is_bipartite(&cycle(7)));
+    }
+
+    #[test]
+    fn triangle_counting() {
+        let k4 = {
+            let mut e = Vec::new();
+            for a in 0..4u32 {
+                for b in a + 1..4 {
+                    e.push((a, b));
+                }
+            }
+            CsrGraph::from_edges(4, &e)
+        };
+        assert_eq!(triangle_count(&k4), 4);
+        assert_eq!(triangle_count(&cycle(8)), 0);
+    }
+
+    #[test]
+    fn girth_values() {
+        assert_eq!(girth(&cycle(5)), Some(5));
+        assert_eq!(girth(&cycle(12)), Some(12));
+        let path = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(girth(&path), None);
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(degree_range(&g), None);
+        assert!(is_bipartite(&g));
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(girth(&g), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! Command parsing and execution for the `hhc` binary.
+//!
+//! Kept in a library so the dispatch logic is unit-testable; `main.rs`
+//! only forwards `std::env::args` and sets the exit code.
+//!
+//! ```text
+//! hhc info <m>
+//! hhc route <m> <X:Y> <X:Y>
+//! hhc disjoint <m> <X:Y> <X:Y> [--sorted]
+//! hhc wide <m> [--samples N]
+//! hhc broadcast <m> <X:Y>
+//! hhc trace <m> <X:Y> <X:Y>
+//! ```
+//!
+//! Node syntax: `X:Y` where both fields are hexadecimal (`0x` optional),
+//! e.g. `a5:3` = cube field 0xA5, node field 3.
+
+use hhc_core::disjoint::ConstructionCase;
+use hhc_core::{bounds, collectives, disjoint, verify, wide, CrossingOrder, Hhc, NodeId};
+use std::fmt::Write as _;
+
+/// A parsed command, ready to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    Info { m: u32 },
+    Route { m: u32, u: (u128, u32), v: (u128, u32) },
+    Disjoint { m: u32, u: (u128, u32), v: (u128, u32), sorted: bool },
+    Wide { m: u32, samples: u64 },
+    Broadcast { m: u32, root: (u128, u32) },
+    Trace { m: u32, u: (u128, u32), v: (u128, u32) },
+}
+
+/// A CLI error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage:
+  hhc info <m>                         topology facts for HHC(m)
+  hhc route <m> <X:Y> <X:Y>            single Gray route between two nodes
+  hhc disjoint <m> <X:Y> <X:Y> [--sorted]
+                                       the m+1 node-disjoint paths (verified)
+  hhc wide <m> [--samples N]           wide-diameter estimate
+  hhc broadcast <m> <X:Y>              one-port broadcast schedule (m ≤ 3)
+  hhc trace <m> <X:Y> <X:Y>            dissect the construction (plans, fans)
+node syntax: X:Y, both fields hexadecimal (e.g. a5:3)";
+
+/// Parses a node literal `X:Y` (hex fields, optional `0x` prefixes).
+pub fn parse_node(s: &str) -> Result<(u128, u32), CliError> {
+    let (x, y) = s
+        .split_once(':')
+        .ok_or_else(|| CliError(format!("node {s:?} is not of the form X:Y")))?;
+    let strip = |t: &str| t.trim().trim_start_matches("0x").trim_start_matches("0X").to_string();
+    let xv = u128::from_str_radix(&strip(x), 16)
+        .map_err(|e| CliError(format!("cube field {x:?}: {e}")))?;
+    let yv = u32::from_str_radix(&strip(y), 16)
+        .map_err(|e| CliError(format!("node field {y:?}: {e}")))?;
+    Ok((xv, yv))
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let cmd = args.first().ok_or_else(|| CliError(USAGE.into()))?;
+    let m = |i: usize| -> Result<u32, CliError> {
+        args.get(i)
+            .ok_or_else(|| CliError("missing <m>".into()))?
+            .parse::<u32>()
+            .map_err(|e| CliError(format!("bad m: {e}")))
+    };
+    let node = |i: usize| -> Result<(u128, u32), CliError> {
+        parse_node(args.get(i).ok_or_else(|| CliError("missing node".into()))?)
+    };
+    match cmd.as_str() {
+        "info" => Ok(Command::Info { m: m(1)? }),
+        "route" => Ok(Command::Route { m: m(1)?, u: node(2)?, v: node(3)? }),
+        "disjoint" => Ok(Command::Disjoint {
+            m: m(1)?,
+            u: node(2)?,
+            v: node(3)?,
+            sorted: args.get(4).map(|s| s == "--sorted").unwrap_or(false),
+        }),
+        "wide" => {
+            let samples = match (args.get(2).map(String::as_str), args.get(3)) {
+                (Some("--samples"), Some(n)) => n
+                    .parse()
+                    .map_err(|e| CliError(format!("bad sample count: {e}")))?,
+                (None, _) => 1000,
+                _ => return Err(CliError(USAGE.into())),
+            };
+            Ok(Command::Wide { m: m(1)?, samples })
+        }
+        "broadcast" => Ok(Command::Broadcast { m: m(1)?, root: node(2)? }),
+        "trace" => Ok(Command::Trace { m: m(1)?, u: node(2)?, v: node(3)? }),
+        other => Err(CliError(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+/// Executes a command, returning the text to print.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    let net = |m: u32| Hhc::new(m).map_err(|e| CliError(e.to_string()));
+    let mk = |h: &Hhc, (x, y): (u128, u32)| -> Result<NodeId, CliError> {
+        h.node(x, y).map_err(|e| CliError(e.to_string()))
+    };
+    match *cmd {
+        Command::Info { m } => {
+            let h = net(m)?;
+            let _ = writeln!(out, "HHC({m}): n = {} address bits", h.n());
+            let _ = writeln!(out, "  nodes         : 2^{} = {}", h.n(), h.num_nodes());
+            let _ = writeln!(out, "  degree        : {} (= connectivity)", h.degree());
+            let _ = writeln!(out, "  son-cube      : Q_{m} ({} nodes)", h.positions());
+            let _ = writeln!(out, "  diameter      : {}", h.diameter());
+            let _ = writeln!(
+                out,
+                "  wide-diameter ≤ {}",
+                bounds::wide_diameter_upper_bound(&h)
+            );
+        }
+        Command::Route { m, u, v } => {
+            let h = net(m)?;
+            let (u, v) = (mk(&h, u)?, mk(&h, v)?);
+            let p = h.route(u, v).map_err(|e| CliError(e.to_string()))?;
+            let _ = writeln!(out, "route length {}:", p.len() - 1);
+            for x in &p {
+                let _ = writeln!(out, "  {}", h.format_node(*x));
+            }
+        }
+        Command::Disjoint { m, u, v, sorted } => {
+            let h = net(m)?;
+            let (u, v) = (mk(&h, u)?, mk(&h, v)?);
+            let order = if sorted {
+                CrossingOrder::Sorted
+            } else {
+                CrossingOrder::Gray
+            };
+            let paths = disjoint::disjoint_paths(&h, u, v, order)
+                .map_err(|e| CliError(e.to_string()))?;
+            verify::verify_disjoint_paths(&h, u, v, &paths).map_err(CliError)?;
+            let bound = bounds::length_bound(&h, u, v);
+            let _ = writeln!(
+                out,
+                "{} node-disjoint paths (verified; bound {bound}):",
+                paths.len()
+            );
+            for (i, p) in paths.iter().enumerate() {
+                let hops: Vec<String> = p.iter().map(|x| h.format_node(*x)).collect();
+                let _ = writeln!(out, "  P{i} len {:2}: {}", p.len() - 1, hops.join(" -> "));
+            }
+        }
+        Command::Wide { m, samples } => {
+            let h = net(m)?;
+            let est = if m <= 2 {
+                wide::exhaustive(&h)
+            } else {
+                wide::sampled(&h, samples, 0xC11)
+            };
+            let _ = writeln!(
+                out,
+                "wide diameter estimate over {} pairs: observed max {}, bound {}, diameter {}",
+                est.pairs,
+                est.observed_max,
+                est.upper_bound,
+                h.diameter()
+            );
+        }
+        Command::Broadcast { m, root } => {
+            let h = net(m)?;
+            let root = mk(&h, root)?;
+            let schedule =
+                collectives::one_port_broadcast(&h, root).map_err(|e| CliError(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "one-port broadcast from {}: {} rounds (lower bound {})",
+                h.format_node(root),
+                schedule.len(),
+                collectives::broadcast_round_lower_bound(&h)
+            );
+            for (r, round) in schedule.iter().enumerate() {
+                let _ = writeln!(out, "  round {r:2}: {} sends", round.len());
+            }
+        }
+        Command::Trace { m, u, v } => {
+            let h = net(m)?;
+            let (u, v) = (mk(&h, u)?, mk(&h, v)?);
+            let (paths, trace) =
+                disjoint::disjoint_paths_traced(&h, u, v, CrossingOrder::Gray)
+                    .map_err(|e| CliError(e.to_string()))?;
+            verify::verify_disjoint_paths(&h, u, v, &paths).map_err(CliError)?;
+            let _ = writeln!(
+                out,
+                "case {:?}: {} rotations + {} detours",
+                trace.case, trace.rotations, trace.detours
+            );
+            if trace.case == ConstructionCase::CrossCube {
+                let _ = writeln!(out, "source fan → {:?}", trace.source_fan_targets);
+                let _ = writeln!(out, "target fan → {:?}", trace.target_fan_targets);
+            }
+            for (i, (path, plan)) in paths.iter().zip(&trace.plans).enumerate() {
+                match plan {
+                    Some(p) => {
+                        let _ = writeln!(
+                            out,
+                            "  P{i}: len {:2}, crossings {:?}",
+                            path.len() - 1,
+                            p.positions
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "  P{i}: len {:2}, in-cube", path.len() - 1);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_nodes() {
+        assert_eq!(parse_node("a5:3"), Ok((0xA5, 3)));
+        assert_eq!(parse_node("0xFF:0x7"), Ok((0xFF, 7)));
+        assert!(parse_node("zz:1").is_err());
+        assert!(parse_node("12").is_err());
+    }
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(parse(&argv("info 3")), Ok(Command::Info { m: 3 }));
+        assert_eq!(
+            parse(&argv("route 2 0:1 f:2")),
+            Ok(Command::Route { m: 2, u: (0, 1), v: (0xF, 2) })
+        );
+        assert_eq!(
+            parse(&argv("disjoint 2 0:1 f:2 --sorted")),
+            Ok(Command::Disjoint { m: 2, u: (0, 1), v: (0xF, 2), sorted: true })
+        );
+        assert_eq!(parse(&argv("wide 4 --samples 50")), Ok(Command::Wide { m: 4, samples: 50 }));
+        assert_eq!(parse(&argv("wide 4")), Ok(Command::Wide { m: 4, samples: 1000 }));
+        assert_eq!(
+            parse(&argv("trace 3 0:1 2b:4")),
+            Ok(Command::Trace { m: 3, u: (0, 1), v: (0x2B, 4) })
+        );
+        assert!(parse(&argv("bogus")).is_err());
+        assert!(parse(&argv("")).is_err());
+    }
+
+    #[test]
+    fn execute_info() {
+        let out = execute(&Command::Info { m: 3 }).unwrap();
+        assert!(out.contains("2^11"));
+        assert!(out.contains("diameter      : 16"));
+    }
+
+    #[test]
+    fn execute_route_and_disjoint() {
+        let out = execute(&Command::Route { m: 2, u: (0, 0), v: (0xA, 3) }).unwrap();
+        assert!(out.contains("route length"));
+        let out = execute(&Command::Disjoint {
+            m: 2,
+            u: (0, 0),
+            v: (0xA, 3),
+            sorted: false,
+        })
+        .unwrap();
+        assert!(out.contains("3 node-disjoint paths (verified"));
+    }
+
+    #[test]
+    fn execute_wide_and_broadcast() {
+        let out = execute(&Command::Wide { m: 1, samples: 10 }).unwrap();
+        assert!(out.contains("observed max"));
+        let out = execute(&Command::Broadcast { m: 1, root: (0, 0) }).unwrap();
+        assert!(out.contains("rounds"));
+    }
+
+    #[test]
+    fn execute_trace() {
+        let out = execute(&Command::Trace { m: 3, u: (0, 1), v: (0x2B, 4) }).unwrap();
+        assert!(out.contains("rotations"));
+        assert!(out.contains("P3"));
+        let same = execute(&Command::Trace { m: 3, u: (5, 0), v: (5, 7) }).unwrap();
+        assert!(same.contains("SameCube"));
+        assert!(same.contains("in-cube"));
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(execute(&Command::Info { m: 9 }).is_err());
+        let err = execute(&Command::Route { m: 2, u: (0, 0), v: (0x1F, 0) }).unwrap_err();
+        assert!(err.0.contains("out of range"));
+        // Equal nodes for disjoint is an error.
+        assert!(execute(&Command::Disjoint { m: 2, u: (0, 0), v: (0, 0), sorted: false }).is_err());
+    }
+}

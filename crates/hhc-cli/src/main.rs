@@ -1,0 +1,14 @@
+//! `hhc` — command-line interface to the HHC suite.
+//!
+//! See [`hhc_cli::USAGE`] or run without arguments.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hhc_cli::parse(&args).and_then(|cmd| hhc_cli::execute(&cmd)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

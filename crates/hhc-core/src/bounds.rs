@@ -1,0 +1,106 @@
+//! Worst-case length bounds for the construction.
+//!
+//! These are the *provable* bounds the implementation guarantees (and the
+//! test suite asserts); the measured maxima reported by experiment F2 are
+//! substantially smaller. All bounds assume [`crate::CrossingOrder::Gray`].
+//!
+//! Derivation (case B, `k = H(Xu, Xv) ≥ 1` differing positions):
+//!
+//! * terminal segments come from fans inside the two terminal son-cubes —
+//!   a simple path in `Q_m` has at most `2^m − 1` edges, so each segment
+//!   contributes at most `2^m − 1`;
+//! * each path crosses at most `k + 2` times (rotations cross `k` times,
+//!   detours `k + 2`);
+//! * intra-cube walks between crossings follow the Gray cycle: the gaps
+//!   telescope to at most one lap, `2^m`, plus at most `m` to enter and
+//!   `m` to leave the lap for detour plans.
+//!
+//! Total: `(2^m − 1)·2 + (k + 2) + 2^m + 2m = 3·2^m + 2m + k`.
+//!
+//! Case A (`k = 0`, same son-cube, `d = H(Yu, Yv) ≥ 1`): the in-cube paths
+//! have length ≤ `d + 2`; the external path has length `3d + 4`, which
+//! dominates.
+
+use crate::node::NodeId;
+use crate::topology::Hhc;
+
+/// Provable upper bound on the length of every path produced by
+/// [`crate::disjoint::disjoint_paths`] with Gray crossing order, for this
+/// specific pair.
+///
+/// # Examples
+/// ```
+/// use hhc_core::{bounds, Hhc};
+/// let net = Hhc::new(3).unwrap();
+/// let u = net.node(0x00, 0).unwrap();
+/// let v = net.node(0x07, 0).unwrap();            // k = 3 crossings
+/// assert_eq!(bounds::length_bound(&net, u, v), 3 * 8 + 2 * 3 + 3);
+/// ```
+pub fn length_bound(hhc: &Hhc, u: NodeId, v: NodeId) -> u32 {
+    let k = (hhc.cube_field(u) ^ hhc.cube_field(v)).count_ones();
+    let d = (hhc.node_field(u) ^ hhc.node_field(v)).count_ones();
+    if k == 0 {
+        3 * d + 4
+    } else {
+        3 * hhc.positions() + 2 * hhc.m() + k
+    }
+}
+
+/// Pair-independent bound: the maximum of [`length_bound`] over all pairs,
+/// i.e. an upper bound on the `(m+1)`-wide diameter of `HHC(m)`.
+///
+/// `k ≤ 2^m` gives `4·2^m + 2m` for cross-cube pairs; same-cube pairs are
+/// bounded by `3m + 4`, which is always smaller for `m ≥ 1`.
+pub fn wide_diameter_upper_bound(hhc: &Hhc) -> u32 {
+    4 * hhc.positions() + 2 * hhc.m()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_cube_bound() {
+        let h = Hhc::new(3).unwrap();
+        let u = h.node(0x11, 0b000).unwrap();
+        let v = h.node(0x11, 0b011).unwrap(); // d = 2
+        assert_eq!(length_bound(&h, u, v), 10);
+    }
+
+    #[test]
+    fn cross_cube_bound() {
+        let h = Hhc::new(3).unwrap();
+        let u = h.node(0x00, 0b000).unwrap();
+        let v = h.node(0x07, 0b000).unwrap(); // k = 3
+        assert_eq!(length_bound(&h, u, v), 3 * 8 + 6 + 3);
+    }
+
+    #[test]
+    fn wide_bound_dominates_every_pair_bound() {
+        for m in 1..=6 {
+            let h = Hhc::new(m).unwrap();
+            let wb = wide_diameter_upper_bound(&h);
+            // Max k = 2^m, max d = m.
+            let u = h.node(0, 0).unwrap();
+            let all_x = if h.positions() >= 128 {
+                u128::MAX
+            } else {
+                (1u128 << h.positions()) - 1
+            };
+            let v = h.node(all_x, (1 << m) - 1).unwrap();
+            assert!(length_bound(&h, u, v) <= wb);
+            let w = h.node(0, (1 << m) - 1).unwrap();
+            assert!(length_bound(&h, u, w) <= wb, "same-cube case m={m}");
+        }
+    }
+
+    #[test]
+    fn bound_exceeds_diameter() {
+        // The wide diameter can't be below the diameter; sanity-check the
+        // bound is on the right side.
+        for m in 1..=6 {
+            let h = Hhc::new(m).unwrap();
+            assert!(wide_diameter_upper_bound(&h) >= h.diameter());
+        }
+    }
+}

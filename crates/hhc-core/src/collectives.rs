@@ -1,0 +1,138 @@
+//! Collective operations on materialisable HHC instances.
+//!
+//! One-port broadcast: in each round every informed node may forward the
+//! message to at most one uninformed neighbour. The greedy schedule here
+//! (lowest-address uninformed neighbour first, ties broken by sender
+//! address) is within a small factor of the `⌈log₂ N⌉` doubling lower
+//! bound on the HHC despite its low degree — one of the properties that
+//! make the topology attractive for collectives. Enumerating a schedule
+//! requires visiting every node, so this is guarded to `n ≤ 16`
+//! (m ≤ 3); the experiments use it for protocol-level sanity checks.
+
+use crate::error::HhcError;
+use crate::node::NodeId;
+use crate::topology::Hhc;
+use std::collections::BTreeSet;
+
+/// A broadcast schedule: per round, the `(sender, receiver)` pairs.
+pub type Schedule = Vec<Vec<(NodeId, NodeId)>>;
+
+/// Computes a one-port broadcast schedule from `root`.
+///
+/// Every node appears as a receiver exactly once; every sender is
+/// informed before it sends; each node sends at most once per round.
+///
+/// # Examples
+/// ```
+/// use hhc_core::{collectives, Hhc, NodeId};
+/// let net = Hhc::new(2).unwrap();
+/// let schedule = collectives::one_port_broadcast(&net, NodeId::from_raw(0)).unwrap();
+/// let informed: usize = schedule.iter().map(|round| round.len()).sum();
+/// assert_eq!(informed as u128, net.num_nodes() - 1);
+/// ```
+pub fn one_port_broadcast(hhc: &Hhc, root: NodeId) -> Result<Schedule, HhcError> {
+    if hhc.n() > 16 {
+        return Err(HhcError::TooLargeToMaterialize(hhc.m()));
+    }
+    hhc.check(root)?;
+    let mut informed: BTreeSet<NodeId> = BTreeSet::from([root]);
+    let total = hhc.num_nodes();
+    let mut schedule = Vec::new();
+    while (informed.len() as u128) < total {
+        let mut round = Vec::new();
+        let mut newly: Vec<NodeId> = Vec::new();
+        let mut claimed: BTreeSet<NodeId> = BTreeSet::new();
+        for &sender in informed.iter() {
+            // Lowest uninformed, unclaimed neighbour.
+            let choice = hhc
+                .neighbors(sender)
+                .into_iter()
+                .filter(|w| !informed.contains(w) && !claimed.contains(w))
+                .min();
+            if let Some(receiver) = choice {
+                claimed.insert(receiver);
+                round.push((sender, receiver));
+                newly.push(receiver);
+            }
+        }
+        assert!(!round.is_empty(), "broadcast stalled (disconnected?)");
+        informed.extend(newly);
+        schedule.push(round);
+    }
+    Ok(schedule)
+}
+
+/// The doubling lower bound on one-port broadcast rounds: `⌈log₂ N⌉`.
+pub fn broadcast_round_lower_bound(hhc: &Hhc) -> u32 {
+    hhc.n() // N = 2^n, so ⌈log₂ N⌉ = n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_schedule(hhc: &Hhc, root: NodeId, schedule: &Schedule) {
+        let mut informed = std::collections::HashSet::from([root]);
+        for (r, round) in schedule.iter().enumerate() {
+            let mut senders_this_round = std::collections::HashSet::new();
+            for &(s, t) in round {
+                assert!(informed.contains(&s), "round {r}: uninformed sender");
+                assert!(hhc.is_edge(s, t), "round {r}: non-edge send");
+                assert!(senders_this_round.insert(s), "round {r}: two sends by one node");
+                assert!(informed.insert(t), "round {r}: duplicate delivery");
+            }
+        }
+        assert_eq!(informed.len() as u128, hhc.num_nodes(), "incomplete broadcast");
+    }
+
+    #[test]
+    fn broadcast_on_the_eight_cycle() {
+        let h = Hhc::new(1).unwrap();
+        let root = NodeId::from_raw(0);
+        let s = one_port_broadcast(&h, root).unwrap();
+        check_schedule(&h, root, &s);
+        // A cycle informs at most 2 new nodes per round after the first.
+        assert!(s.len() >= 4, "8-cycle broadcast needs ≥ 4 rounds, got {}", s.len());
+    }
+
+    #[test]
+    fn broadcast_m2_near_lower_bound() {
+        let h = Hhc::new(2).unwrap();
+        let root = NodeId::from_raw(17);
+        let s = one_port_broadcast(&h, root).unwrap();
+        check_schedule(&h, root, &s);
+        let lb = broadcast_round_lower_bound(&h) as usize;
+        assert!(s.len() >= lb);
+        assert!(
+            s.len() <= 3 * lb,
+            "greedy schedule unexpectedly slow: {} rounds vs lb {lb}",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn broadcast_m3_completes() {
+        let h = Hhc::new(3).unwrap();
+        let root = NodeId::from_raw(2047);
+        let s = one_port_broadcast(&h, root).unwrap();
+        check_schedule(&h, root, &s);
+        assert!(s.len() >= h.n() as usize);
+    }
+
+    #[test]
+    fn every_root_equivalent_on_m1() {
+        // Vertex-transitivity: same round count from every root.
+        let h = Hhc::new(1).unwrap();
+        let counts: std::collections::HashSet<usize> = h
+            .iter_nodes()
+            .map(|root| one_port_broadcast(&h, root).unwrap().len())
+            .collect();
+        assert_eq!(counts.len(), 1, "round counts differ across roots: {counts:?}");
+    }
+
+    #[test]
+    fn guard_on_large_m() {
+        let h = Hhc::new(5).unwrap();
+        assert!(one_port_broadcast(&h, NodeId::from_raw(0)).is_err());
+    }
+}

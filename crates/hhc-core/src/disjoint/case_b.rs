@@ -1,0 +1,230 @@
+//! The general (cross-cube) case of the construction.
+//!
+//! Given `u = (Xu, Yu)` and `v = (Xv, Yv)` with `Xu ≠ Xv`, let
+//! `D = {p : Xu[p] ≠ Xv[p]}`, `k = |D| ≥ 1`. The `m + 1` paths are built
+//! from crossing plans of two shapes:
+//!
+//! * **rotations** — cyclic rotations of `D` ordered along the Gray cycle
+//!   of `Q_m`. Rotation `r` visits intermediate cubes `Xu ⊕ (cyclic
+//!   interval of D starting at r)`; distinct rotations give distinct
+//!   intervals, hence disjoint intermediate cube sets.
+//! * **detours** — for a position `b ∉ D`: cross `b`, cross all of `D`,
+//!   cross `b` again. Every intermediate cube has bit `b` flipped, which
+//!   separates detours from all rotations and from each other.
+//!
+//! Plan selection must satisfy two *degree constraints*: the source node
+//! has only `m` internal neighbours, so exactly one plan must leave `u`
+//! through its external edge — i.e. have first crossing `int(Yu)` — and
+//! symmetrically exactly one plan must enter `v` through its external
+//! edge (last crossing `int(Yv)`). If `int(Yu) ∈ D` the rotation starting
+//! there is forced into the selection; otherwise the detour `b = int(Yu)`
+//! is. Likewise on the target side.
+//!
+//! Inside the source cube, the remaining `m` plans start at distinct
+//! coordinates; a disjoint *fan* from `Yu` to those coordinates (Menger's
+//! fan lemma, computed exactly by max-flow on the ≤ 2^m-node son-cube)
+//! provides internally disjoint stubs. Symmetrically in the target cube.
+//! Since all other cube sets are disjoint, the full paths are internally
+//! vertex-disjoint by construction.
+
+use super::plan::{assemble, CrossingPlan};
+use super::{ConstructionCase, ConstructionTrace, CrossingOrder};
+use crate::error::HhcError;
+use crate::node::NodeId;
+use crate::topology::Hhc;
+use crate::Path;
+use hypercube::fan::fan_paths;
+use hypercube::gray::sort_along_gray_cycle;
+use std::collections::HashMap;
+
+/// Orders the differing positions for a plan according to `order`,
+/// anchored at `anchor` (Gray order starts at the first position the Gray
+/// cycle visits at-or-after the anchor).
+fn order_positions(d: &[u32], m: u32, anchor: u32, order: CrossingOrder) -> Vec<u32> {
+    match order {
+        CrossingOrder::Gray => {
+            let d64: Vec<u64> = d.iter().map(|&p| p as u64).collect();
+            sort_along_gray_cycle(&d64, m, anchor as u64)
+                .into_iter()
+                .map(|p| p as u32)
+                .collect()
+        }
+        CrossingOrder::Sorted => {
+            let mut s = d.to_vec();
+            s.sort_unstable();
+            s
+        }
+    }
+}
+
+pub(super) fn disjoint_paths_cross_cube(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    order: CrossingOrder,
+) -> Result<(Vec<Path>, ConstructionTrace), HhcError> {
+    let m = hhc.m();
+    let total = (m + 1) as usize;
+    let cube = hhc.son_cube();
+    let (yu, yv) = (hhc.node_field(u), hhc.node_field(v));
+    let (xu, xv) = (hhc.cube_field(u), hhc.cube_field(v));
+    let dx = xu ^ xv;
+    debug_assert_ne!(dx, 0, "case B requires differing cube fields");
+
+    let d_positions: Vec<u32> = (0..hhc.positions()).filter(|&p| dx >> p & 1 == 1).collect();
+    let k = d_positions.len();
+    let in_d = |p: u32| dx >> p & 1 == 1;
+
+    // The rotation base order (shared by all rotations so that their
+    // intermediate cube sets are cyclic intervals of one fixed sequence).
+    let gd = order_positions(&d_positions, m, yu, order);
+
+    // --- Plan selection -------------------------------------------------
+    // Required detours: the side coordinates not coverable by a rotation.
+    let mut det_req: Vec<u32> = Vec::new();
+    if !in_d(yu) {
+        det_req.push(yu);
+    }
+    if !in_d(yv) && !det_req.contains(&yv) {
+        det_req.push(yv);
+    }
+    let nd = total.saturating_sub(k).max(det_req.len());
+    let nr = total - nd;
+    debug_assert!(nr <= k);
+
+    // Required rotations: start at int(Yu) / end at int(Yv) when in D.
+    let mut rot_req: Vec<usize> = Vec::new();
+    if in_d(yu) {
+        let i = gd.iter().position(|&p| p == yu).expect("yu in D");
+        rot_req.push(i);
+    }
+    if in_d(yv) {
+        let i = gd.iter().position(|&p| p == yv).expect("yv in D");
+        let r = (i + 1) % k;
+        if !rot_req.contains(&r) {
+            rot_req.push(r);
+        }
+    }
+    debug_assert!(
+        rot_req.len() <= nr,
+        "required rotations {} exceed budget {nr}",
+        rot_req.len()
+    );
+    let mut rot_sel = rot_req;
+    for r in 0..k {
+        if rot_sel.len() == nr {
+            break;
+        }
+        if !rot_sel.contains(&r) {
+            rot_sel.push(r);
+        }
+    }
+
+    let mut det_sel = det_req;
+    for b in 0..hhc.positions() {
+        if det_sel.len() == nd {
+            break;
+        }
+        if !in_d(b) && !det_sel.contains(&b) {
+            det_sel.push(b);
+        }
+    }
+    debug_assert_eq!(det_sel.len(), nd, "not enough clean positions (impossible)");
+
+    // --- Plans -----------------------------------------------------------
+    let mut plans: Vec<CrossingPlan> = Vec::with_capacity(total);
+    for &r in &rot_sel {
+        let mut positions = gd[r..].to_vec();
+        positions.extend_from_slice(&gd[..r]);
+        plans.push(CrossingPlan { positions });
+    }
+    for &b in &det_sel {
+        // Each detour orders D anchored at its own entry coordinate; the
+        // disjointness argument only needs bit b, not a shared order.
+        let mut positions = vec![b];
+        positions.extend(order_positions(&d_positions, m, b, order));
+        positions.push(b);
+        plans.push(CrossingPlan { positions });
+    }
+    debug_assert_eq!(plans.len(), total);
+    debug_assert!(plans.iter().all(|p| p.total_mask() == dx));
+    #[cfg(debug_assertions)]
+    check_cube_disjointness(&plans, xu, xv);
+
+    // --- End segments via disjoint fans ----------------------------------
+    let firsts: Vec<u32> = plans.iter().map(|p| p.first()).collect();
+    let lasts: Vec<u32> = plans.iter().map(|p| p.last()).collect();
+    debug_assert_eq!(firsts.iter().filter(|&&f| f == yu).count(), 1);
+    debug_assert_eq!(lasts.iter().filter(|&&l| l == yv).count(), 1);
+
+    let src_targets: Vec<u128> = firsts
+        .iter()
+        .copied()
+        .filter(|&f| f != yu)
+        .map(|f| f as u128)
+        .collect();
+    let tgt_targets: Vec<u128> = lasts
+        .iter()
+        .copied()
+        .filter(|&l| l != yv)
+        .map(|l| l as u128)
+        .collect();
+    debug_assert_eq!(src_targets.len(), m as usize);
+    debug_assert_eq!(tgt_targets.len(), m as usize);
+
+    let src_fan = fan_paths(&cube, yu as u128, &src_targets)
+        .expect("fan lemma: m distinct targets in Q_m");
+    let tgt_fan = fan_paths(&cube, yv as u128, &tgt_targets)
+        .expect("fan lemma: m distinct targets in Q_m");
+
+    let mut src_map: HashMap<u32, Vec<u32>> = HashMap::with_capacity(total);
+    src_map.insert(yu, vec![yu]);
+    for (t, p) in src_targets.iter().zip(&src_fan) {
+        src_map.insert(*t as u32, p.iter().map(|&y| y as u32).collect());
+    }
+    let mut tgt_map: HashMap<u32, Vec<u32>> = HashMap::with_capacity(total);
+    tgt_map.insert(yv, vec![yv]);
+    for (t, p) in tgt_targets.iter().zip(&tgt_fan) {
+        // Fan runs Yv → l; the path needs l → Yv.
+        let mut rev: Vec<u32> = p.iter().map(|&y| y as u32).collect();
+        rev.reverse();
+        tgt_map.insert(*t as u32, rev);
+    }
+
+    // --- Assembly ---------------------------------------------------------
+    let paths: Result<Vec<Path>, HhcError> = plans
+        .iter()
+        .map(|plan| {
+            assemble(
+                hhc,
+                u,
+                &src_map[&plan.first()],
+                plan,
+                &tgt_map[&plan.last()],
+            )
+        })
+        .collect();
+    let trace = ConstructionTrace {
+        case: ConstructionCase::CrossCube,
+        rotations: nr,
+        detours: nd,
+        plans: plans.into_iter().map(Some).collect(),
+        source_fan_targets: src_targets.iter().map(|&t| t as u32).collect(),
+        target_fan_targets: tgt_targets.iter().map(|&t| t as u32).collect(),
+    };
+    Ok((paths?, trace))
+}
+
+/// Debug check: intermediate cube sets are pairwise disjoint and avoid
+/// both terminal cubes.
+#[cfg(debug_assertions)]
+fn check_cube_disjointness(plans: &[CrossingPlan], xu: u128, xv: u128) {
+    let mut seen = std::collections::HashSet::new();
+    for (i, plan) in plans.iter().enumerate() {
+        for c in plan.intermediate_cubes(xu) {
+            assert_ne!(c, xu, "plan {i} revisits the source cube");
+            assert_ne!(c, xv, "plan {i} enters the target cube early");
+            assert!(seen.insert(c), "plans share intermediate cube {c:#x}");
+        }
+    }
+}

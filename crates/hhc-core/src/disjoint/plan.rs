@@ -1,0 +1,178 @@
+//! Crossing plans and path assembly.
+//!
+//! A *crossing plan* is the ordered list of cube-field positions a path
+//! crosses. Realising a plan means: walk inside the current son-cube to
+//! the next crossing coordinate, take the external edge there, repeat, and
+//! finally walk to the destination's son-cube coordinate.
+//!
+//! Assembly is split into three pieces because the construction controls
+//! the end segments explicitly (they come from disjoint *fans* inside the
+//! source and target cubes) while the middle segments are plain e-cube
+//! walks:
+//!
+//! ```text
+//!  u ──src_seg──▸ (Xu, p₁) ──cross──▸ … mids: walk+cross … ──▸ (Xv, p_t) ──tgt_seg──▸ v
+//! ```
+
+use crate::error::HhcError;
+use crate::node::NodeId;
+use crate::topology::Hhc;
+use crate::Path;
+use hypercube::routing::shortest_path;
+
+/// A crossing plan: the exact sequence of cube-field positions crossed,
+/// in order. XOR of `e_p` over the plan must equal `Xu ⊕ Xv`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossingPlan {
+    /// Crossing positions, each `< 2^m`.
+    pub positions: Vec<u32>,
+}
+
+impl CrossingPlan {
+    /// First crossing position (the coordinate at which the path leaves
+    /// the source cube).
+    pub fn first(&self) -> u32 {
+        *self.positions.first().expect("plans are non-empty")
+    }
+
+    /// Last crossing position (the coordinate at which the path enters
+    /// the target cube).
+    pub fn last(&self) -> u32 {
+        *self.positions.last().expect("plans are non-empty")
+    }
+
+    /// The intermediate cube fields this plan's path visits, given the
+    /// source cube field: the proper prefix XORs (excluding the source
+    /// cube itself and the final cube).
+    pub fn intermediate_cubes(&self, xu: u128) -> Vec<u128> {
+        let mut out = Vec::with_capacity(self.positions.len().saturating_sub(1));
+        let mut x = xu;
+        for &p in &self.positions[..self.positions.len() - 1] {
+            x ^= 1u128 << p;
+            out.push(x);
+        }
+        out
+    }
+
+    /// XOR of all crossed positions as a cube-field mask.
+    pub fn total_mask(&self) -> u128 {
+        self.positions.iter().fold(0u128, |acc, &p| acc ^ (1u128 << p))
+    }
+}
+
+/// Assembles a full path from its three pieces.
+///
+/// * `src_seg` — son-cube coordinates from `Yu` to `plan.first()`,
+///   inclusive on both ends (`[Yu]` alone when the path leaves `u`
+///   directly via its external edge);
+/// * `plan` — the crossing plan; crossings after `src_seg` and between the
+///   e-cube walks to each subsequent position;
+/// * `tgt_seg` — coordinates from `plan.last()` to `Yv`, inclusive.
+///
+/// Panics (debug) if the segments do not line up; the caller — the
+/// construction — guarantees they do, and `verify` re-checks the output.
+pub fn assemble(
+    hhc: &Hhc,
+    u: NodeId,
+    src_seg: &[u32],
+    plan: &CrossingPlan,
+    tgt_seg: &[u32],
+) -> Result<Path, HhcError> {
+    debug_assert_eq!(src_seg.first(), Some(&hhc.node_field(u)));
+    debug_assert_eq!(src_seg.last(), Some(&plan.first()));
+    debug_assert_eq!(tgt_seg.first(), Some(&plan.last()));
+    let cube = hhc.son_cube();
+    let mut path = vec![u];
+    let mut cur = u;
+
+    // Source segment inside the source cube (fan-provided, may be any
+    // simple coordinate walk).
+    for &y in &src_seg[1..] {
+        cur = hhc.node(hhc.cube_field(cur), y)?;
+        path.push(cur);
+    }
+    // First crossing.
+    cur = hhc.external_neighbor(cur);
+    path.push(cur);
+
+    // Middle: e-cube walk to each next position, then cross.
+    for &p in &plan.positions[1..] {
+        let seg = shortest_path(&cube, hhc.node_field(cur) as u128, p as u128);
+        for &y in &seg[1..] {
+            cur = hhc.node(hhc.cube_field(cur), y as u32)?;
+            path.push(cur);
+        }
+        cur = hhc.external_neighbor(cur);
+        path.push(cur);
+    }
+
+    // Target segment inside the target cube (reversed fan path).
+    for &y in &tgt_seg[1..] {
+        cur = hhc.node(hhc.cube_field(cur), y)?;
+        path.push(cur);
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intermediate_cubes_are_prefix_xors() {
+        let plan = CrossingPlan {
+            positions: vec![0, 2, 3],
+        };
+        let xu = 0b0000u128;
+        assert_eq!(plan.intermediate_cubes(xu), vec![0b0001, 0b0101]);
+        assert_eq!(plan.total_mask(), 0b1101);
+        assert_eq!(plan.first(), 0);
+        assert_eq!(plan.last(), 3);
+    }
+
+    #[test]
+    fn assemble_direct_external_hop() {
+        // Plan [Yu] with trivial segments: u → external neighbour.
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0b0000, 0b10).unwrap();
+        let plan = CrossingPlan {
+            positions: vec![0b10],
+        };
+        let p = assemble(&h, u, &[0b10], &plan, &[0b10]).unwrap();
+        assert_eq!(p, vec![u, h.external_neighbor(u)]);
+    }
+
+    #[test]
+    fn assemble_multi_crossing_path() {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0b0000, 0b00).unwrap();
+        // Cross at 0, then at 3: ends in cube 0b1001 at coordinate 3.
+        let plan = CrossingPlan {
+            positions: vec![0, 3],
+        };
+        let p = assemble(&h, u, &[0], &plan, &[3, 2]).unwrap();
+        // Validate every hop is an edge and endpoints are right.
+        assert_eq!(*p.first().unwrap(), u);
+        let last = *p.last().unwrap();
+        assert_eq!(h.cube_field(last), 0b1001);
+        assert_eq!(h.node_field(last), 2);
+        for w in p.windows(2) {
+            assert!(h.is_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn assemble_uses_fan_segment_verbatim() {
+        let h = Hhc::new(3).unwrap();
+        let u = h.node(0, 0b000).unwrap();
+        // Custom (non-e-cube) source walk 000 → 100 → 101.
+        let plan = CrossingPlan {
+            positions: vec![0b101],
+        };
+        let p = assemble(&h, u, &[0b000, 0b100, 0b101], &plan, &[0b101]).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(h.node_field(p[1]), 0b100);
+        assert_eq!(h.node_field(p[2]), 0b101);
+        assert_eq!(h.cube_field(p[3]), 1 << 0b101);
+    }
+}

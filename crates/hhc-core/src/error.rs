@@ -1,0 +1,38 @@
+//! Error type shared across the crate.
+
+use crate::node::NodeId;
+
+/// Errors raised by HHC construction, addressing and path algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HhcError {
+    /// `m` outside the supported range `1..=6` (node labels pack into a
+    /// `u128`: `n = 2^m + m ≤ 70` bits).
+    BadParameter(u32),
+    /// Cube field has bits above `2^m`.
+    CubeFieldOutOfRange(u128),
+    /// Node field has bits above `m`.
+    NodeFieldOutOfRange(u32),
+    /// A node label does not belong to this network.
+    NodeOutOfRange(NodeId),
+    /// Operation requires two distinct nodes.
+    EqualNodes,
+    /// Materialisation requested above the explicit-graph guard (`m ≤ 4`).
+    TooLargeToMaterialize(u32),
+}
+
+impl std::fmt::Display for HhcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HhcError::BadParameter(m) => write!(f, "HHC parameter m={m} not in 1..=6"),
+            HhcError::CubeFieldOutOfRange(x) => write!(f, "cube field {x:#x} out of range"),
+            HhcError::NodeFieldOutOfRange(y) => write!(f, "node field {y:#x} out of range"),
+            HhcError::NodeOutOfRange(v) => write!(f, "node {v:?} outside this network"),
+            HhcError::EqualNodes => write!(f, "operation requires distinct nodes"),
+            HhcError::TooLargeToMaterialize(m) => {
+                write!(f, "refusing to materialise HHC(m={m}) (> 2^20 nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HhcError {}

@@ -1,0 +1,71 @@
+//! Packed node addresses.
+//!
+//! A node of `HHC(m)` is the pair `(X, Y)` with `Y ∈ {0,1}^m` (node field)
+//! and `X ∈ {0,1}^(2^m)` (cube field). Both pack into one `u128`:
+//! bits `[0, m)` hold `Y`, bits `[m, m + 2^m)` hold `X`. For the supported
+//! range `m ≤ 6` the address needs at most `70` bits.
+//!
+//! The packing is an implementation detail: all field access goes through
+//! [`crate::Hhc`], which knows `m`. `NodeId` itself is deliberately opaque
+//! (plus `raw`/`from_raw` escape hatches for serialisation and indexing).
+
+/// An opaque packed HHC node address.
+///
+/// Ordering and hashing follow the raw packed value, so `NodeId` works as
+/// a key in maps/sets and sorts deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u128);
+
+impl NodeId {
+    /// The raw packed address (low `m` bits `Y`, then `2^m` bits `X`).
+    #[inline]
+    pub fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Reconstructs a node from a raw packed address.
+    ///
+    /// The value is *not* validated here; pass it through
+    /// [`crate::Hhc::check`] when it comes from outside.
+    #[inline]
+    pub fn from_raw(raw: u128) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // m is unknown here; show the raw value. `Hhc::format_node` gives
+        // the (X, Y) split.
+        write!(f, "NodeId({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let v = NodeId::from_raw(0xdead_beef);
+        assert_eq!(v.raw(), 0xdead_beef);
+        assert_eq!(v, NodeId::from_raw(0xdead_beef));
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(NodeId::from_raw(1) < NodeId::from_raw(2));
+    }
+
+    #[test]
+    fn debug_shows_hex() {
+        assert_eq!(format!("{:?}", NodeId::from_raw(255)), "NodeId(0xff)");
+    }
+
+    #[test]
+    fn usable_in_hash_set() {
+        let mut s = std::collections::HashSet::new();
+        assert!(s.insert(NodeId::from_raw(7)));
+        assert!(!s.insert(NodeId::from_raw(7)));
+    }
+}

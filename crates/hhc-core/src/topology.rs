@@ -1,0 +1,350 @@
+//! The `HHC(m)` network: addressing, adjacency, materialisation.
+
+use crate::error::HhcError;
+use crate::node::NodeId;
+use graphs::CsrGraph;
+use hypercube::Cube;
+
+/// A hierarchical hypercube network `HHC(m)`, `1 ≤ m ≤ 6`.
+///
+/// All operations are symbolic: memory use is independent of the
+/// `2^(2^m + m)` node count (over 10^21 nodes at m = 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hhc {
+    m: u32,
+    /// Total address bits, `n = 2^m + m`.
+    n: u32,
+}
+
+impl Hhc {
+    /// Creates `HHC(m)`.
+    pub fn new(m: u32) -> Result<Self, HhcError> {
+        if (1..=6).contains(&m) {
+            Ok(Hhc { m, n: (1 << m) + m })
+        } else {
+            Err(HhcError::BadParameter(m))
+        }
+    }
+
+    /// The hierarchy parameter `m` (son-cube dimension).
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Total address bits `n = 2^m + m`.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Node degree (= connectivity), `m + 1`.
+    #[inline]
+    pub fn degree(&self) -> u32 {
+        self.m + 1
+    }
+
+    /// Number of nodes, `2^n`.
+    #[inline]
+    pub fn num_nodes(&self) -> u128 {
+        1u128 << self.n
+    }
+
+    /// Number of positions in the cube field, `2^m` (also the number of
+    /// nodes per son-cube).
+    #[inline]
+    pub fn positions(&self) -> u32 {
+        1 << self.m
+    }
+
+    /// The son-cube `Q_m` all intra-cluster algorithms run in.
+    #[inline]
+    pub fn son_cube(&self) -> Cube {
+        Cube::new(self.m).expect("m validated at construction")
+    }
+
+    /// Diameter of the network, `2^(m+1)`.
+    ///
+    /// Verified by exhaustive BFS for m ≤ 3 in this crate's tests and in
+    /// experiment T1 (the diametral pairs must cross every cube-field
+    /// position, which forces a full tour of the son-cube's coordinates).
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        1 << (self.m + 1)
+    }
+
+    /// Builds the node `(X = cube_field, Y = node_field)`.
+    pub fn node(&self, cube_field: u128, node_field: u32) -> Result<NodeId, HhcError> {
+        if cube_field >> self.positions() != 0 {
+            return Err(HhcError::CubeFieldOutOfRange(cube_field));
+        }
+        if node_field >> self.m != 0 {
+            return Err(HhcError::NodeFieldOutOfRange(node_field));
+        }
+        Ok(NodeId(cube_field << self.m | node_field as u128))
+    }
+
+    /// The cube field `X` of `v`.
+    #[inline]
+    pub fn cube_field(&self, v: NodeId) -> u128 {
+        v.0 >> self.m
+    }
+
+    /// The node field `Y` of `v` (its coordinate within the son-cube).
+    #[inline]
+    pub fn node_field(&self, v: NodeId) -> u32 {
+        (v.0 & ((1 << self.m) - 1)) as u32
+    }
+
+    /// Validates that `v` is an address of this network.
+    pub fn check(&self, v: NodeId) -> Result<(), HhcError> {
+        if v.0 >> self.n == 0 {
+            Ok(())
+        } else {
+            Err(HhcError::NodeOutOfRange(v))
+        }
+    }
+
+    /// Human-readable `(X, Y)` rendering of a node.
+    pub fn format_node(&self, v: NodeId) -> String {
+        format!(
+            "(X={:0>width$b}, Y={:0>m$b})",
+            self.cube_field(v),
+            self.node_field(v),
+            width = self.positions() as usize,
+            m = self.m as usize,
+        )
+    }
+
+    /// The internal neighbour across son-cube dimension `i < m`.
+    #[inline]
+    pub fn internal_neighbor(&self, v: NodeId, i: u32) -> NodeId {
+        debug_assert!(i < self.m, "internal dimension {i} out of range");
+        NodeId(v.0 ^ (1u128 << i))
+    }
+
+    /// The unique external neighbour: flips cube-field bit `int(Y)`.
+    #[inline]
+    pub fn external_neighbor(&self, v: NodeId) -> NodeId {
+        let y = self.node_field(v);
+        NodeId(v.0 ^ (1u128 << (self.m + y)))
+    }
+
+    /// All `m + 1` neighbours: internal (dimension order), then external.
+    pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.m as usize + 1);
+        for i in 0..self.m {
+            out.push(self.internal_neighbor(v, i));
+        }
+        out.push(self.external_neighbor(v));
+        out
+    }
+
+    /// Whether `{a, b}` is an edge of the network.
+    pub fn is_edge(&self, a: NodeId, b: NodeId) -> bool {
+        let xa = self.cube_field(a);
+        let xb = self.cube_field(b);
+        let ya = self.node_field(a);
+        let yb = self.node_field(b);
+        if xa == xb {
+            (ya ^ yb).count_ones() == 1
+        } else {
+            ya == yb && (xa ^ xb) == 1u128 << ya
+        }
+    }
+
+    /// Graph distance lower bound: every edge fixes exactly one differing
+    /// bit of either field, so at least `H(Xa, Xb) + H(Ya, Yb)` hops are
+    /// needed. Exact distance requires search; this bound is used by tests
+    /// and by the simulator's statistics.
+    pub fn distance_lower_bound(&self, a: NodeId, b: NodeId) -> u32 {
+        let dx = (self.cube_field(a) ^ self.cube_field(b)).count_ones();
+        let dy = (self.node_field(a) ^ self.node_field(b)).count_ones();
+        dx + dy
+    }
+
+    /// Materialises the network as an explicit [`CsrGraph`] with node ids
+    /// equal to raw packed addresses (which are dense in `[0, 2^n)`).
+    /// Guarded to `m ≤ 4` (`2^20` nodes).
+    pub fn materialize(&self) -> Result<CsrGraph, HhcError> {
+        if self.m > 4 {
+            return Err(HhcError::TooLargeToMaterialize(self.m));
+        }
+        let n_nodes = 1u32 << self.n;
+        Ok(CsrGraph::from_fn(n_nodes, |raw| {
+            self.neighbors(NodeId(raw as u128))
+                .into_iter()
+                .map(|w| w.0 as u32)
+                .collect::<Vec<_>>()
+        }))
+    }
+
+    /// Iterator over every node (small m only: `2^n` items).
+    pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> {
+        assert!(self.n <= 24, "iter_nodes on a network too large");
+        (0..1u128 << self.n).map(NodeId)
+    }
+
+    /// Constructs the `m + 1` node-disjoint paths between `u` and `v`
+    /// (the paper's construction, Gray crossing order). Convenience for
+    /// [`crate::disjoint::disjoint_paths`].
+    pub fn disjoint_paths(&self, u: NodeId, v: NodeId) -> Result<Vec<crate::Path>, HhcError> {
+        crate::disjoint::disjoint_paths(self, u, v, crate::disjoint::CrossingOrder::Gray)
+    }
+
+    /// Single-path route between `u` and `v` (Gray-ordered crossings).
+    /// Convenience for [`crate::routing::route`].
+    pub fn route(&self, u: NodeId, v: NodeId) -> Result<crate::Path, HhcError> {
+        crate::routing::route(self, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{bfs, props};
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Hhc::new(0).is_err());
+        assert!(Hhc::new(1).is_ok());
+        assert!(Hhc::new(6).is_ok());
+        assert!(Hhc::new(7).is_err());
+    }
+
+    #[test]
+    fn address_arithmetic() {
+        let h = Hhc::new(3).unwrap();
+        assert_eq!(h.n(), 11);
+        assert_eq!(h.num_nodes(), 2048);
+        assert_eq!(h.degree(), 4);
+        assert_eq!(h.positions(), 8);
+        let v = h.node(0b1010_0110, 0b101).unwrap();
+        assert_eq!(h.cube_field(v), 0b1010_0110);
+        assert_eq!(h.node_field(v), 0b101);
+        h.check(v).unwrap();
+    }
+
+    #[test]
+    fn field_range_checks() {
+        let h = Hhc::new(2).unwrap();
+        assert!(h.node(0b10000, 0).is_err()); // X needs ≤ 4 bits
+        assert!(h.node(0, 0b100).is_err()); // Y needs ≤ 2 bits
+        assert!(h.check(NodeId::from_raw(1 << 6)).is_err()); // n = 6
+    }
+
+    #[test]
+    fn external_neighbor_flips_indexed_bit() {
+        let h = Hhc::new(3).unwrap();
+        let v = h.node(0b0000_0000, 0b101).unwrap(); // Y = 5
+        let w = h.external_neighbor(v);
+        assert_eq!(h.cube_field(w), 1 << 5);
+        assert_eq!(h.node_field(w), 0b101);
+        // Involution: crossing back returns home.
+        assert_eq!(h.external_neighbor(w), v);
+    }
+
+    #[test]
+    fn neighbor_lists_are_involutive_and_regular() {
+        let h = Hhc::new(2).unwrap();
+        for v in h.iter_nodes() {
+            let nbrs = h.neighbors(v);
+            assert_eq!(nbrs.len(), 3);
+            for w in nbrs {
+                assert!(h.is_edge(v, w));
+                assert!(h.is_edge(w, v));
+                assert!(h.neighbors(w).contains(&v));
+                assert_ne!(v, w);
+            }
+        }
+    }
+
+    #[test]
+    fn m1_is_the_eight_cycle() {
+        let h = Hhc::new(1).unwrap();
+        let g = h.materialize().unwrap();
+        assert_eq!(g.num_nodes(), 8);
+        assert!(props::is_regular(&g, 2));
+        assert_eq!(bfs::diameter(&g), Some(4));
+        assert_eq!(props::girth(&g), Some(8));
+        assert_eq!(h.diameter(), 4);
+    }
+
+    #[test]
+    fn materialized_m2_matches_theory() {
+        let h = Hhc::new(2).unwrap();
+        let g = h.materialize().unwrap();
+        assert_eq!(g.num_nodes(), 64);
+        assert_eq!(g.num_edges() as u32, 64 * 3 / 2);
+        assert!(props::is_regular(&g, 3));
+        assert!(props::is_bipartite(&g));
+        assert!(bfs::is_connected(&g));
+        assert_eq!(bfs::diameter(&g), Some(h.diameter()));
+    }
+
+    #[test]
+    fn materialized_m3_diameter_matches_formula() {
+        let h = Hhc::new(3).unwrap();
+        let g = h.materialize().unwrap();
+        assert_eq!(g.num_nodes(), 2048);
+        assert!(props::is_regular(&g, 4));
+        assert_eq!(bfs::diameter(&g), Some(h.diameter())); // 2^3 + 3 + 1 = 12
+    }
+
+    #[test]
+    fn materialize_guard() {
+        assert!(matches!(
+            Hhc::new(5).unwrap().materialize(),
+            Err(HhcError::TooLargeToMaterialize(5))
+        ));
+    }
+
+    #[test]
+    fn connectivity_equals_degree_on_small_instances() {
+        for m in 1..=2 {
+            let h = Hhc::new(m).unwrap();
+            let g = h.materialize().unwrap();
+            assert_eq!(
+                graphs::vertex_disjoint::vertex_connectivity(&g),
+                h.degree(),
+                "κ(HHC({m})) should be m+1"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_lower_bound_is_a_lower_bound() {
+        let h = Hhc::new(2).unwrap();
+        let g = h.materialize().unwrap();
+        for u in h.iter_nodes() {
+            let bfs = graphs::Bfs::run(&g, u.raw() as u32);
+            for v in h.iter_nodes() {
+                let d = bfs.dist(v.raw() as u32).unwrap();
+                assert!(
+                    h.distance_lower_bound(u, v) <= d,
+                    "lb violated for {} → {}",
+                    h.format_node(u),
+                    h.format_node(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn format_node_is_padded_binary() {
+        let h = Hhc::new(2).unwrap();
+        let v = h.node(0b0110, 0b01).unwrap();
+        assert_eq!(h.format_node(v), "(X=0110, Y=01)");
+    }
+
+    #[test]
+    fn symbolic_m6_operations() {
+        let h = Hhc::new(6).unwrap();
+        assert_eq!(h.n(), 70);
+        let x = (1u128 << 64) - 1;
+        let v = h.node(x, 0b111111).unwrap();
+        let w = h.external_neighbor(v);
+        assert_eq!(h.cube_field(w), x ^ (1u128 << 63));
+        assert_eq!(h.neighbors(v).len(), 7);
+    }
+}

@@ -1,0 +1,142 @@
+//! Independent verification of path families.
+//!
+//! Nothing produced by the construction is trusted: every test and every
+//! experiment re-checks results through this module, which knows only the
+//! adjacency predicate — not how the paths were built.
+
+use crate::node::NodeId;
+use crate::topology::Hhc;
+use crate::Path;
+use std::collections::HashSet;
+
+/// Checks that `path` is a simple `u → v` walk along edges of `hhc`.
+pub fn verify_path(hhc: &Hhc, u: NodeId, v: NodeId, path: &Path) -> Result<(), String> {
+    if path.first() != Some(&u) {
+        return Err(format!("path does not start at {}", hhc.format_node(u)));
+    }
+    if path.last() != Some(&v) {
+        return Err(format!("path does not end at {}", hhc.format_node(v)));
+    }
+    for (i, w) in path.windows(2).enumerate() {
+        if !hhc.is_edge(w[0], w[1]) {
+            return Err(format!(
+                "hop {i} is not an edge: {} → {}",
+                hhc.format_node(w[0]),
+                hhc.format_node(w[1])
+            ));
+        }
+    }
+    let distinct: HashSet<_> = path.iter().collect();
+    if distinct.len() != path.len() {
+        return Err("path revisits a node".into());
+    }
+    Ok(())
+}
+
+/// Checks that `paths` is a family of simple `u → v` paths, pairwise
+/// internally vertex-disjoint (sharing only `u` and `v`).
+///
+/// Does **not** require the family to have `m + 1` members, so it can
+/// also check baseline (max-flow) path sets of any size.
+pub fn verify_disjoint_paths(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    paths: &[Path],
+) -> Result<(), String> {
+    let mut interiors: HashSet<NodeId> = HashSet::new();
+    for (i, p) in paths.iter().enumerate() {
+        verify_path(hhc, u, v, p).map_err(|e| format!("path {i}: {e}"))?;
+        for &x in &p[1..p.len() - 1] {
+            if !interiors.insert(x) {
+                return Err(format!(
+                    "path {i} shares interior node {} with an earlier path",
+                    hhc.format_node(x)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: constructs, verifies, and returns the maximum path length
+/// of the `m + 1` disjoint paths for a pair. Used by experiments and
+/// stress tests.
+pub fn construct_and_verify(hhc: &Hhc, u: NodeId, v: NodeId) -> Result<u32, String> {
+    let paths = hhc.disjoint_paths(u, v).map_err(|e| e.to_string())?;
+    if paths.len() as u32 != hhc.degree() {
+        return Err(format!(
+            "expected {} paths, got {}",
+            hhc.degree(),
+            paths.len()
+        ));
+    }
+    verify_disjoint_paths(hhc, u, v, &paths)?;
+    let bound = crate::bounds::length_bound(hhc, u, v);
+    let max = paths.iter().map(|p| (p.len() - 1) as u32).max().unwrap();
+    if max > bound {
+        return Err(format!("max length {max} exceeds bound {bound}"));
+    }
+    Ok(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_family() {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0b0000, 0b00).unwrap();
+        let v = h.node(0b0110, 0b11).unwrap();
+        let paths = h.disjoint_paths(u, v).unwrap();
+        verify_disjoint_paths(&h, u, v, &paths).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_endpoints() {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0, 0).unwrap();
+        let v = h.node(0, 1).unwrap();
+        let w = h.node(0, 2).unwrap();
+        let p = vec![u, w];
+        assert!(verify_path(&h, u, v, &p).is_err());
+    }
+
+    #[test]
+    fn rejects_non_edges() {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0, 0).unwrap();
+        let v = h.node(0b1111, 0b11).unwrap();
+        assert!(verify_path(&h, u, v, &vec![u, v]).is_err());
+    }
+
+    #[test]
+    fn rejects_revisits() {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0, 0).unwrap();
+        let a = h.node(0, 1).unwrap();
+        let p = vec![u, a, u, a];
+        assert!(verify_path(&h, u, a, &p).is_err());
+    }
+
+    #[test]
+    fn rejects_shared_interiors() {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0, 0b00).unwrap();
+        let v = h.node(0, 0b11).unwrap();
+        let a = h.node(0, 0b01).unwrap();
+        let p = vec![u, a, v];
+        assert!(verify_disjoint_paths(&h, u, v, &[p.clone(), p]).is_err());
+    }
+
+    #[test]
+    fn construct_and_verify_reports_max_length() {
+        let h = Hhc::new(3).unwrap();
+        let u = h.node(0x0F, 0b001).unwrap();
+        let v = h.node(0xF0, 0b110).unwrap();
+        let max = construct_and_verify(&h, u, v).unwrap();
+        assert!(max >= 1);
+        assert!(max <= crate::bounds::length_bound(&h, u, v));
+    }
+}

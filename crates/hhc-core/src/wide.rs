@@ -1,0 +1,171 @@
+//! Wide-diameter estimation.
+//!
+//! The `(m+1)`-wide diameter `D_{m+1}(HHC(m))` is the smallest `L` such
+//! that every pair of distinct nodes is joined by `m + 1` internally
+//! disjoint paths of length ≤ `L`. The construction gives the upper bound
+//! [`crate::bounds::wide_diameter_upper_bound`]; this module measures the
+//! largest maximum-path-length the construction actually produces —
+//! exhaustively for tiny networks, over samples otherwise (experiment T4).
+
+use crate::topology::Hhc;
+use crate::verify::construct_and_verify;
+
+/// Result of a wide-diameter sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideDiameterEstimate {
+    /// Largest max-path-length observed over the examined pairs.
+    pub observed_max: u32,
+    /// Number of (ordered) pairs examined.
+    pub pairs: u64,
+    /// Provable upper bound for this network.
+    pub upper_bound: u32,
+}
+
+/// Exhaustive sweep over all ordered pairs. Only feasible for `m ≤ 2`
+/// (HHC(2) has 64 nodes ⇒ 4032 ordered pairs); panics above.
+pub fn exhaustive(hhc: &Hhc) -> WideDiameterEstimate {
+    assert!(hhc.m() <= 2, "exhaustive wide-diameter sweep needs m ≤ 2");
+    let mut observed = 0;
+    let mut pairs = 0;
+    for u in hhc.iter_nodes() {
+        for v in hhc.iter_nodes() {
+            if u == v {
+                continue;
+            }
+            let max = construct_and_verify(hhc, u, v).expect("construction must verify");
+            observed = observed.max(max);
+            pairs += 1;
+        }
+    }
+    WideDiameterEstimate {
+        observed_max: observed,
+        pairs,
+        upper_bound: crate::bounds::wide_diameter_upper_bound(hhc),
+    }
+}
+
+/// Sampled sweep over `count` pseudo-random ordered pairs drawn from the
+/// given seed (deterministic; independent of platform).
+pub fn sampled(hhc: &Hhc, count: u64, seed: u64) -> WideDiameterEstimate {
+    let mut rng = SplitMix64::new(seed);
+    let xmask = if hhc.positions() >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << hhc.positions()) - 1
+    };
+    let ymod = 1u64 << hhc.m();
+    let mut observed = 0;
+    let mut pairs = 0;
+    while pairs < count {
+        let u = hhc
+            .node(rng.next_u128() & xmask, (rng.next() % ymod) as u32)
+            .expect("in range");
+        let v = hhc
+            .node(rng.next_u128() & xmask, (rng.next() % ymod) as u32)
+            .expect("in range");
+        if u == v {
+            continue;
+        }
+        let max = construct_and_verify(hhc, u, v).expect("construction must verify");
+        observed = observed.max(max);
+        pairs += 1;
+    }
+    WideDiameterEstimate {
+        observed_max: observed,
+        pairs,
+        upper_bound: crate::bounds::wide_diameter_upper_bound(hhc),
+    }
+}
+
+/// Pairs stressing the worst case: antipodal cube fields and node fields.
+/// Returns the observed max over a structured family of `hard` pairs
+/// (all-ones cube-field difference with every `(Yu, Yv)` combination).
+pub fn adversarial(hhc: &Hhc) -> WideDiameterEstimate {
+    let all_x = if hhc.positions() >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << hhc.positions()) - 1
+    };
+    let mut observed = 0;
+    let mut pairs = 0;
+    for yu in 0..hhc.positions() {
+        for yv in 0..hhc.positions() {
+            let u = hhc.node(0, yu).expect("in range");
+            let v = hhc.node(all_x, yv).expect("in range");
+            let max = construct_and_verify(hhc, u, v).expect("construction must verify");
+            observed = observed.max(max);
+            pairs += 1;
+        }
+    }
+    WideDiameterEstimate {
+        observed_max: observed,
+        pairs,
+        upper_bound: crate::bounds::wide_diameter_upper_bound(hhc),
+    }
+}
+
+/// Minimal deterministic PRNG (SplitMix64) so the crate needs no RNG
+/// dependency; experiment-facing randomness lives in `workloads`.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        (self.next() as u128) << 64 | self.next() as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_m1() {
+        let h = Hhc::new(1).unwrap();
+        let est = exhaustive(&h);
+        assert_eq!(est.pairs, 8 * 7);
+        assert!(est.observed_max <= est.upper_bound);
+        // HHC(1) is the 8-cycle: two disjoint paths between any pair, the
+        // longer of which has length ≥ 4 for antipodal pairs.
+        assert!(est.observed_max >= 4);
+    }
+
+    #[test]
+    fn exhaustive_m2() {
+        let h = Hhc::new(2).unwrap();
+        let est = exhaustive(&h);
+        assert_eq!(est.pairs, 64 * 63);
+        assert!(est.observed_max <= est.upper_bound);
+        assert!(est.observed_max >= h.diameter());
+    }
+
+    #[test]
+    fn sampled_is_deterministic() {
+        let h = Hhc::new(4).unwrap();
+        let a = sampled(&h, 50, 42);
+        let b = sampled(&h, 50, 42);
+        assert_eq!(a, b);
+        assert!(a.observed_max <= a.upper_bound);
+    }
+
+    #[test]
+    fn adversarial_pairs_verify() {
+        let h = Hhc::new(3).unwrap();
+        let est = adversarial(&h);
+        assert_eq!(est.pairs, 64);
+        assert!(est.observed_max <= est.upper_bound);
+    }
+}

@@ -1,0 +1,140 @@
+//! Stress suite: dense verification sweeps over HHC(3) and structured
+//! adversarial families for every supported m, parallelised with rayon.
+
+use hhc_core::verify::construct_and_verify;
+use hhc_core::{CrossingOrder, Hhc, NodeId};
+use rayon::prelude::*;
+
+/// Every pair (u, v) where u ranges over a full son-cube and v over a
+/// structured grid of cube fields — ~16k pairs on HHC(3), all verified.
+#[test]
+fn dense_structured_sweep_m3() {
+    let h = Hhc::new(3).unwrap();
+    let sources: Vec<NodeId> = (0..8u32).map(|y| h.node(0x00, y).unwrap()).collect();
+    let cube_fields: Vec<u128> = (0..=255u128).step_by(5).collect();
+    let pairs: Vec<(NodeId, NodeId)> = sources
+        .iter()
+        .flat_map(|&u| {
+            cube_fields.iter().flat_map(move |&x| {
+                (0..8u32).map(move |y| (u, x, y))
+            })
+        })
+        .filter_map(|(u, x, y)| {
+            let v = h.node(x, y).unwrap();
+            (u != v).then_some((u, v))
+        })
+        .collect();
+    assert!(pairs.len() > 3000);
+    let worst = pairs
+        .par_iter()
+        .map(|&(u, v)| construct_and_verify(&h, u, v).expect("must verify"))
+        .max()
+        .unwrap();
+    assert!(worst <= hhc_core::bounds::wide_diameter_upper_bound(&h));
+}
+
+/// For every m, every pair with a single differing cube-field position p,
+/// swept over all p and a grid of (Yu, Yv) — the k = 1 family hits the
+/// detour-selection edge cases (yu/yv in or out of D).
+#[test]
+fn all_single_crossing_families() {
+    for m in 1..=5u32 {
+        let h = Hhc::new(m).unwrap();
+        let cases: Vec<(NodeId, NodeId)> = (0..h.positions())
+            .flat_map(|p| {
+                (0..h.positions()).flat_map(move |yu| {
+                    (0..h.positions()).map(move |yv| (p, yu, yv))
+                })
+            })
+            .map(|(p, yu, yv)| {
+                let u = h.node(0, yu).unwrap();
+                let v = h.node(1u128 << p, yv).unwrap();
+                (u, v)
+            })
+            .collect();
+        cases.par_iter().for_each(|&(u, v)| {
+            construct_and_verify(&h, u, v)
+                .unwrap_or_else(|e| panic!("m={m} {u:?}→{v:?}: {e}"));
+        });
+    }
+}
+
+/// Pairs inside one son-cube (case A) for every m and every (Yu, Yv).
+#[test]
+fn all_same_cube_families() {
+    for m in 1..=6u32 {
+        let h = Hhc::new(m).unwrap();
+        let x = if h.positions() >= 128 {
+            0x5555_5555_5555_5555u128
+        } else {
+            0x55u128 & ((1u128 << h.positions()) - 1)
+        };
+        for yu in 0..h.positions() {
+            for yv in 0..h.positions() {
+                if yu == yv {
+                    continue;
+                }
+                let u = h.node(x, yu).unwrap();
+                let v = h.node(x, yv).unwrap();
+                construct_and_verify(&h, u, v)
+                    .unwrap_or_else(|e| panic!("m={m} yu={yu} yv={yv}: {e}"));
+            }
+        }
+    }
+}
+
+/// k = 2^m (all positions differ) with every (Yu, Yv) — the pure-rotation
+/// regime where detours only appear for the endpoint coordinates.
+#[test]
+fn all_antipodal_cube_field_families() {
+    for m in 1..=4u32 {
+        let h = Hhc::new(m).unwrap();
+        let all_x = (1u128 << h.positions()) - 1;
+        let pairs: Vec<(NodeId, NodeId)> = (0..h.positions())
+            .flat_map(|yu| (0..h.positions()).map(move |yv| (yu, yv)))
+            .map(|(yu, yv)| {
+                (h.node(0, yu).unwrap(), h.node(all_x, yv).unwrap())
+            })
+            .collect();
+        pairs.par_iter().for_each(|&(u, v)| {
+            construct_and_verify(&h, u, v)
+                .unwrap_or_else(|e| panic!("m={m} {u:?}→{v:?}: {e}"));
+        });
+    }
+}
+
+/// Both crossing orders on a random m = 4..6 sample (the big symbolic
+/// networks), verifying and comparing lengths: Gray must never be worse
+/// on the per-pair *bound*, and both must verify.
+#[test]
+fn orders_verify_on_large_networks() {
+    let mut state = 0xD00D_F00Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for m in 4..=6u32 {
+        let h = Hhc::new(m).unwrap();
+        let mask = if h.n() >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << h.n()) - 1
+        };
+        let pairs: Vec<(NodeId, NodeId)> = (0..60)
+            .filter_map(|_| {
+                let a = ((next() as u128) << 64 | next() as u128) & mask;
+                let b = ((next() as u128) << 64 | next() as u128) & mask;
+                (a != b).then(|| (NodeId::from_raw(a), NodeId::from_raw(b)))
+            })
+            .collect();
+        pairs.par_iter().for_each(|&(u, v)| {
+            for order in [CrossingOrder::Gray, CrossingOrder::Sorted] {
+                let paths = hhc_core::disjoint::disjoint_paths(&h, u, v, order).unwrap();
+                hhc_core::verify::verify_disjoint_paths(&h, u, v, &paths)
+                    .unwrap_or_else(|e| panic!("m={m} {order:?}: {e}"));
+            }
+        });
+    }
+}

@@ -1,0 +1,243 @@
+//! Buddy-system subcube allocation (extension feature).
+//!
+//! Hierarchical hypercubes target massively parallel systems, where jobs
+//! request processor *subcubes*. The classic allocator is the buddy
+//! system: a free `k`-subcube splits into two `(k−1)`-subcube buddies
+//! differing in bit `k−1`; freeing re-coalesces buddies bottom-up. All
+//! blocks are aligned (a `k`-subcube's base has its low `k` bits clear),
+//! so overlap-freedom is structural.
+//!
+//! This is the standard companion substrate for son-cube-level job
+//! placement; it is exact and O(n) per operation.
+
+use crate::cube::{Cube, Node};
+use std::collections::BTreeSet;
+
+/// An allocated subcube: the `2^dim` nodes sharing `base`'s high bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subcube {
+    /// Base address; the low `dim` bits are zero.
+    pub base: Node,
+    /// Dimension of the subcube (it contains `2^dim` nodes).
+    pub dim: u32,
+}
+
+impl Subcube {
+    /// Whether `v` belongs to this subcube.
+    pub fn contains(&self, v: Node) -> bool {
+        v >> self.dim == self.base >> self.dim
+    }
+
+    /// Iterator over the member nodes (small subcubes only; `dim ≤ 20`).
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        assert!(self.dim <= 20, "subcube too large to enumerate");
+        (0..1u128 << self.dim).map(move |off| self.base | off)
+    }
+}
+
+/// A buddy allocator over the nodes of `Q_n`.
+pub struct BuddyAllocator {
+    n: u32,
+    /// `free[k]` holds the bases of free k-subcubes.
+    free: Vec<BTreeSet<Node>>,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator with the whole cube free.
+    pub fn new(cube: &Cube) -> Self {
+        let n = cube.dim();
+        let mut free = vec![BTreeSet::new(); n as usize + 1];
+        free[n as usize].insert(0);
+        BuddyAllocator { n, free }
+    }
+
+    /// Allocates a `k`-subcube, splitting larger free blocks as needed.
+    /// Returns `None` when no free block of dimension ≥ k exists.
+    pub fn allocate(&mut self, k: u32) -> Option<Subcube> {
+        assert!(k <= self.n, "requested dimension exceeds the cube");
+        // Smallest free dimension ≥ k.
+        let mut d = (k..=self.n).find(|&d| !self.free[d as usize].is_empty())?;
+        let base = *self.free[d as usize].iter().next().expect("non-empty");
+        self.free[d as usize].remove(&base);
+        // Split down to k, freeing the upper buddy at each level.
+        while d > k {
+            d -= 1;
+            let buddy = base | (1u128 << d);
+            self.free[d as usize].insert(buddy);
+        }
+        Some(Subcube { base, dim: k })
+    }
+
+    /// Frees a previously allocated subcube, coalescing buddies.
+    ///
+    /// # Panics
+    /// Panics on misaligned blocks or double frees (the block, or a
+    /// block overlapping it, is already free).
+    pub fn free(&mut self, sc: Subcube) {
+        assert!(sc.dim <= self.n, "block larger than the cube");
+        assert_eq!(
+            sc.base & ((1u128 << sc.dim) - 1),
+            0,
+            "misaligned subcube base"
+        );
+        // Overlap / double-free detection: any already-free block that
+        // contains sc, or is contained in it, is an error.
+        for d in 0..=self.n {
+            let hi = d.max(sc.dim);
+            for &b in &self.free[d as usize] {
+                // Aligned power-of-two blocks overlap iff one contains the
+                // other, i.e. they agree above the larger dimension.
+                assert!(
+                    b >> hi != sc.base >> hi,
+                    "double free / overlapping free of {sc:?}"
+                );
+            }
+        }
+        let mut base = sc.base;
+        let mut d = sc.dim;
+        // Coalesce while the buddy is free.
+        while d < self.n {
+            let buddy = base ^ (1u128 << d);
+            if !self.free[d as usize].remove(&buddy) {
+                break;
+            }
+            base &= !(1u128 << d);
+            d += 1;
+        }
+        self.free[d as usize].insert(base);
+    }
+
+    /// Total free nodes.
+    pub fn free_nodes(&self) -> u128 {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(d, set)| set.len() as u128 * (1u128 << d))
+            .sum()
+    }
+
+    /// Largest free subcube dimension, or `None` if fully allocated.
+    pub fn largest_free_dim(&self) -> Option<u32> {
+        (0..=self.n).rev().find(|&d| !self.free[d as usize].is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(n: u32) -> Cube {
+        Cube::new(n).unwrap()
+    }
+
+    #[test]
+    fn fills_completely_with_equal_blocks() {
+        let mut a = BuddyAllocator::new(&cube(6));
+        let mut blocks = Vec::new();
+        for _ in 0..16 {
+            blocks.push(a.allocate(2).expect("room for 16 Q_2 blocks"));
+        }
+        assert_eq!(a.allocate(2), None, "cube exhausted");
+        assert_eq!(a.free_nodes(), 0);
+        // Overlap freedom: all 64 nodes covered exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for b in &blocks {
+            for v in b.nodes() {
+                assert!(seen.insert(v), "overlap at {v}");
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn free_coalesces_back_to_full_cube() {
+        let mut a = BuddyAllocator::new(&cube(5));
+        let blocks: Vec<_> = (0..8).map(|_| a.allocate(2).unwrap()).collect();
+        assert_eq!(a.largest_free_dim(), None);
+        for b in blocks {
+            a.free(b);
+        }
+        assert_eq!(a.largest_free_dim(), Some(5), "must coalesce fully");
+        assert_eq!(a.free_nodes(), 32);
+        // And the whole cube is allocatable again.
+        assert!(a.allocate(5).is_some());
+    }
+
+    #[test]
+    fn mixed_sizes_and_reuse() {
+        let mut a = BuddyAllocator::new(&cube(4));
+        let big = a.allocate(3).unwrap();
+        let s1 = a.allocate(1).unwrap();
+        let s2 = a.allocate(2).unwrap();
+        assert_eq!(a.free_nodes(), 16 - 8 - 2 - 4);
+        a.free(s1);
+        let s3 = a.allocate(1).unwrap();
+        assert_eq!(s3, s1, "freed block is reused");
+        a.free(big);
+        a.free(s2);
+        a.free(s3);
+        assert_eq!(a.largest_free_dim(), Some(4));
+    }
+
+    #[test]
+    fn zero_dim_blocks_are_single_nodes() {
+        let mut a = BuddyAllocator::new(&cube(2));
+        let singles: Vec<_> = (0..4).map(|_| a.allocate(0).unwrap()).collect();
+        assert_eq!(a.allocate(0), None);
+        let bases: std::collections::HashSet<_> = singles.iter().map(|s| s.base).collect();
+        assert_eq!(bases.len(), 4);
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_requests() {
+        let mut a = BuddyAllocator::new(&cube(3));
+        let x = a.allocate(0).unwrap(); // pins one node
+        assert_eq!(a.allocate(3), None, "full cube no longer available");
+        assert!(a.allocate(2).is_some(), "other half still has a Q_2");
+        a.free(x);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn detects_double_free() {
+        let mut a = BuddyAllocator::new(&cube(3));
+        let b = a.allocate(1).unwrap();
+        a.free(b);
+        a.free(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn rejects_misaligned_free() {
+        let mut a = BuddyAllocator::new(&cube(3));
+        a.free(Subcube { base: 1, dim: 1 });
+    }
+
+    #[test]
+    fn subcube_membership() {
+        let sc = Subcube { base: 0b1100, dim: 2 };
+        assert!(sc.contains(0b1101));
+        assert!(sc.contains(0b1111));
+        assert!(!sc.contains(0b1000));
+        assert_eq!(sc.nodes().count(), 4);
+    }
+
+    #[test]
+    fn son_cube_allocation_scenario() {
+        // Typical HHC job placement: carve a son-cube (Q_6) into job
+        // partitions, free in arbitrary order, end fully coalesced.
+        let mut a = BuddyAllocator::new(&cube(6));
+        let jobs: Vec<_> = [3u32, 3, 2, 2, 2, 1, 1, 0, 0]
+            .iter()
+            .map(|&k| a.allocate(k).expect("fits"))
+            .collect();
+        assert_eq!(
+            a.free_nodes(),
+            64 - jobs.iter().map(|j| 1u128 << j.dim).sum::<u128>()
+        );
+        for j in jobs.into_iter().rev() {
+            a.free(j);
+        }
+        assert_eq!(a.largest_free_dim(), Some(6));
+    }
+}

@@ -1,0 +1,231 @@
+//! The symbolic hypercube `Q_n` and its node representation.
+
+use graphs::CsrGraph;
+
+/// A vertex of `Q_n`, packed into the low `n` bits of a `u128`.
+///
+/// Two vertices are adjacent iff their labels differ in exactly one bit.
+pub type Node = u128;
+
+/// Errors from cube construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CubeError {
+    /// Dimension outside the supported range `1..=127`.
+    BadDimension(u32),
+    /// A node label has bits above the cube dimension.
+    NodeOutOfRange(Node),
+    /// Operation requires two distinct nodes.
+    EqualNodes,
+    /// Materialisation requested for a cube too large to build explicitly.
+    TooLargeToMaterialize(u32),
+}
+
+impl std::fmt::Display for CubeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CubeError::BadDimension(n) => write!(f, "cube dimension {n} not in 1..=127"),
+            CubeError::NodeOutOfRange(v) => write!(f, "node {v:#x} outside the cube"),
+            CubeError::EqualNodes => write!(f, "operation requires distinct nodes"),
+            CubeError::TooLargeToMaterialize(n) => {
+                write!(f, "refusing to materialise Q_{n} (> 2^24 nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CubeError {}
+
+/// The `n`-dimensional hypercube, `1 ≤ n ≤ 127`.
+///
+/// All algorithms are symbolic; memory use is independent of `2^n`.
+///
+/// # Examples
+/// ```
+/// use hypercube::Cube;
+/// let q = Cube::new(10).unwrap();
+/// assert_eq!(q.num_nodes(), 1024);
+/// assert_eq!(q.distance(0b0000000000, 0b1100000011), 4);
+/// assert_eq!(q.neighbors(0).count(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cube {
+    n: u32,
+}
+
+impl Cube {
+    /// Creates `Q_n`.
+    pub fn new(n: u32) -> Result<Self, CubeError> {
+        if (1..=127).contains(&n) {
+            Ok(Cube { n })
+        } else {
+            Err(CubeError::BadDimension(n))
+        }
+    }
+
+    /// Dimension `n` (= degree = connectivity = diameter).
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of vertices, `2^n`.
+    #[inline]
+    pub fn num_nodes(&self) -> u128 {
+        1u128 << self.n
+    }
+
+    /// Whether `v` is a valid vertex label.
+    #[inline]
+    pub fn contains(&self, v: Node) -> bool {
+        v >> self.n == 0
+    }
+
+    /// Validates a node label.
+    pub fn check(&self, v: Node) -> Result<(), CubeError> {
+        if self.contains(v) {
+            Ok(())
+        } else {
+            Err(CubeError::NodeOutOfRange(v))
+        }
+    }
+
+    /// Hamming distance between two vertices (= graph distance in `Q_n`).
+    #[inline]
+    pub fn distance(&self, u: Node, v: Node) -> u32 {
+        debug_assert!(self.contains(u) && self.contains(v));
+        (u ^ v).count_ones()
+    }
+
+    /// The neighbour of `v` across dimension `d`.
+    #[inline]
+    pub fn flip(&self, v: Node, d: u32) -> Node {
+        debug_assert!(d < self.n, "dimension {d} out of range");
+        v ^ (1u128 << d)
+    }
+
+    /// Iterator over the `n` neighbours of `v`, in dimension order.
+    pub fn neighbors(&self, v: Node) -> impl Iterator<Item = Node> + '_ {
+        debug_assert!(self.contains(v));
+        (0..self.n).map(move |d| v ^ (1u128 << d))
+    }
+
+    /// The dimensions in which `u` and `v` differ, ascending.
+    pub fn differing_dims(&self, u: Node, v: Node) -> Vec<u32> {
+        let mut x = u ^ v;
+        let mut dims = Vec::with_capacity(x.count_ones() as usize);
+        while x != 0 {
+            let d = x.trailing_zeros();
+            dims.push(d);
+            x &= x - 1;
+        }
+        dims
+    }
+
+    /// Materialises the cube as an explicit [`CsrGraph`]
+    /// (node ids equal labels). Guarded to `n ≤ 24`.
+    pub fn materialize(&self) -> Result<CsrGraph, CubeError> {
+        if self.n > 24 {
+            return Err(CubeError::TooLargeToMaterialize(self.n));
+        }
+        let n_nodes = 1u32 << self.n;
+        Ok(CsrGraph::from_fn(n_nodes, |v| {
+            (0..self.n).map(move |d| v ^ (1u32 << d)).collect::<Vec<_>>()
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::bfs;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Cube::new(0).is_err());
+        assert!(Cube::new(1).is_ok());
+        assert!(Cube::new(127).is_ok());
+        assert!(Cube::new(128).is_err());
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let q = Cube::new(4).unwrap();
+        assert_eq!(q.dim(), 4);
+        assert_eq!(q.num_nodes(), 16);
+        assert!(q.contains(0b1111));
+        assert!(!q.contains(0b10000));
+        assert_eq!(q.distance(0b0000, 0b1011), 3);
+        assert_eq!(q.flip(0b0000, 2), 0b0100);
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_bit() {
+        let q = Cube::new(5).unwrap();
+        let v = 0b10110;
+        let nbrs: Vec<_> = q.neighbors(v).collect();
+        assert_eq!(nbrs.len(), 5);
+        for w in nbrs {
+            assert_eq!(q.distance(v, w), 1);
+        }
+    }
+
+    #[test]
+    fn differing_dims_ascending() {
+        let q = Cube::new(8).unwrap();
+        assert_eq!(q.differing_dims(0b0000_0000, 0b1010_0100), vec![2, 5, 7]);
+        assert_eq!(q.differing_dims(0b11, 0b11), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn big_cube_symbolic_ops() {
+        let q = Cube::new(127).unwrap();
+        let u: Node = 0;
+        let v: Node = (1u128 << 127) - 1; // all 127 bits set
+        assert!(q.contains(v));
+        assert_eq!(q.distance(u, v), 127);
+        assert_eq!(q.differing_dims(u, v).len(), 127);
+    }
+
+    #[test]
+    fn materialized_cube_matches_theory() {
+        for n in 1..=6 {
+            let q = Cube::new(n).unwrap();
+            let g = q.materialize().unwrap();
+            assert_eq!(g.num_nodes() as u128, q.num_nodes());
+            assert_eq!(g.num_edges() as u128, (q.num_nodes() * n as u128) / 2);
+            assert!(graphs::props::is_regular(&g, n));
+            assert!(graphs::props::is_bipartite(&g));
+            assert_eq!(bfs::diameter(&g), Some(n));
+        }
+    }
+
+    #[test]
+    fn materialize_guard() {
+        assert!(matches!(
+            Cube::new(25).unwrap().materialize(),
+            Err(CubeError::TooLargeToMaterialize(25))
+        ));
+    }
+
+    #[test]
+    fn bfs_distance_equals_hamming() {
+        let q = Cube::new(6).unwrap();
+        let g = q.materialize().unwrap();
+        let bfs = graphs::Bfs::run(&g, 0b101010);
+        for v in 0..64u32 {
+            assert_eq!(
+                bfs.dist(v),
+                Some(q.distance(0b101010, v as Node)),
+                "distance mismatch at {v:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Cube::new(0).unwrap_err();
+        assert!(e.to_string().contains("dimension"));
+        let e = Cube::new(4).unwrap().check(0x100).unwrap_err();
+        assert!(e.to_string().contains("outside"));
+    }
+}

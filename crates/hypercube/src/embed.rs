@@ -1,0 +1,255 @@
+//! Classic embeddings into `Q_n` (extension features).
+//!
+//! * [`hamiltonian_ring`] — the Gray sequence as a dilation-1 embedding of
+//!   the `2^n`-node ring (a Hamiltonian cycle of `Q_n`);
+//! * [`binomial_tree_parent`] — the binomial spanning tree `B_n` rooted at
+//!   0 (parent clears the highest set bit), the backbone of one-to-all
+//!   broadcast in `log n` rounds;
+//! * [`broadcast_schedule`] — the `n`-round recursive-doubling broadcast
+//!   derived from `B_n`.
+
+use crate::cube::{Cube, CubeError, Node};
+use crate::gray::gray;
+
+/// A Hamiltonian path of `Q_n` from `u` to `v` (Havel's construction).
+///
+/// Such a path exists iff `H(u, v)` is odd: `Q_n` is bipartite by parity
+/// and a Hamiltonian path uses `2^n − 1` (odd) edges, so the endpoints
+/// must lie in different parity classes; Havel showed this is sufficient.
+/// Errors with [`CubeError::EqualNodes`] when `H(u, v)` is even
+/// (including `u == v`). Guarded to `n ≤ 20` (the output has `2^n`
+/// nodes).
+pub fn hamiltonian_path(cube: &Cube, u: Node, v: Node) -> Result<Vec<Node>, CubeError> {
+    let n = cube.dim();
+    if n > 20 {
+        return Err(CubeError::TooLargeToMaterialize(n));
+    }
+    cube.check(u)?;
+    cube.check(v)?;
+    if cube.distance(u, v).is_multiple_of(2) {
+        // Even distance (or equal): no Hamiltonian path can exist.
+        return Err(CubeError::EqualNodes);
+    }
+    Ok(ham_rec(n, u, v))
+}
+
+/// Recursive core: `H(u, v)` odd within `Q_n` labels.
+fn ham_rec(n: u32, u: Node, v: Node) -> Vec<Node> {
+    if n == 1 {
+        return vec![u, v];
+    }
+    // Split along a dimension where the endpoints differ; recurse in u's
+    // half up to a pivot x adjacent-in-parity, cross, and finish in v's
+    // half. Parity bookkeeping: H_sub(u, x) = 1 (odd) forces
+    // H_sub(x⊕e_d, v) odd because H_sub(u, v) is even.
+    let d = (u ^ v).trailing_zeros();
+    let j = if d == 0 { 1 } else { 0 };
+    let x = u ^ (1u128 << j);
+    let left = ham_rec(n - 1, compress(u, d), compress(x, d));
+    let right = ham_rec(n - 1, compress(x, d), compress(v, d));
+    let u_side = u >> d & 1;
+    let mut path = Vec::with_capacity(1 << n);
+    path.extend(left.into_iter().map(|w| expand(w, d, u_side)));
+    path.extend(right.into_iter().map(|w| expand(w, d, 1 - u_side)));
+    path
+}
+
+/// Removes bit `d` from a label (bits above `d` shift down).
+#[inline]
+fn compress(w: Node, d: u32) -> Node {
+    let low = w & ((1u128 << d) - 1);
+    let high = w >> (d + 1);
+    high << d | low
+}
+
+/// Re-inserts bit `d` with value `bit` into a compressed label.
+#[inline]
+fn expand(w: Node, d: u32, bit: u128) -> Node {
+    let low = w & ((1u128 << d) - 1);
+    let high = w >> d;
+    high << (d + 1) | bit << d | low
+}
+
+/// The vertices of `Q_n` in Hamiltonian-cycle (Gray) order. `n ≤ 20`.
+pub fn hamiltonian_ring(cube: &Cube) -> Result<Vec<Node>, CubeError> {
+    let n = cube.dim();
+    if n > 20 {
+        return Err(CubeError::TooLargeToMaterialize(n));
+    }
+    Ok((0..1u64 << n).map(|i| gray(i) as Node).collect())
+}
+
+/// Parent of `v` in the binomial spanning tree rooted at `root`:
+/// clear the highest bit in which `v` differs from the root.
+/// Returns `None` for the root itself.
+pub fn binomial_tree_parent(cube: &Cube, root: Node, v: Node) -> Option<Node> {
+    debug_assert!(cube.contains(root) && cube.contains(v));
+    let x = v ^ root;
+    if x == 0 {
+        None
+    } else {
+        let h = 127 - x.leading_zeros();
+        Some(v ^ (1u128 << h))
+    }
+}
+
+/// Depth of `v` in the binomial tree rooted at `root`
+/// (= number of bits in which it differs from the root).
+pub fn binomial_tree_depth(cube: &Cube, root: Node, v: Node) -> u32 {
+    cube.distance(root, v)
+}
+
+/// The recursive-doubling broadcast schedule from `root`: in round `r`
+/// (`0 ≤ r < n`), every node that already holds the message sends it
+/// across dimension `n−1−r`. Returns, per round, the list of
+/// `(sender, receiver)` pairs. `n ≤ 16` (the schedule is enumerated).
+pub fn broadcast_schedule(cube: &Cube, root: Node) -> Result<Vec<Vec<(Node, Node)>>, CubeError> {
+    let n = cube.dim();
+    if n > 16 {
+        return Err(CubeError::TooLargeToMaterialize(n));
+    }
+    cube.check(root)?;
+    let mut holders = vec![root];
+    let mut rounds = Vec::with_capacity(n as usize);
+    for r in 0..n {
+        let d = n - 1 - r;
+        let mut round = Vec::with_capacity(holders.len());
+        let mut new_holders = Vec::with_capacity(holders.len());
+        for &h in &holders {
+            let recv = cube.flip(h, d);
+            round.push((h, recv));
+            new_holders.push(recv);
+        }
+        holders.extend(new_holders);
+        rounds.push(round);
+    }
+    Ok(rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_hamiltonian_cycle() {
+        for n in 1..=8u32 {
+            let q = Cube::new(n).unwrap();
+            let ring = hamiltonian_ring(&q).unwrap();
+            assert_eq!(ring.len() as u128, q.num_nodes());
+            let set: std::collections::HashSet<_> = ring.iter().collect();
+            assert_eq!(set.len(), ring.len());
+            for i in 0..ring.len() {
+                let a = ring[i];
+                let b = ring[(i + 1) % ring.len()];
+                assert_eq!(q.distance(a, b), 1, "n={n} break at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_parent_walk_reaches_root() {
+        let q = Cube::new(7).unwrap();
+        let root = 0b1010101u128;
+        for v in 0..128u128 {
+            let mut cur = v;
+            let mut steps = 0;
+            while let Some(p) = binomial_tree_parent(&q, root, cur) {
+                assert_eq!(q.distance(cur, p), 1);
+                assert!(q.distance(p, root) < q.distance(cur, root));
+                cur = p;
+                steps += 1;
+            }
+            assert_eq!(cur, root);
+            assert_eq!(steps, binomial_tree_depth(&q, root, v));
+        }
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        let q = Cube::new(4).unwrap();
+        assert_eq!(binomial_tree_parent(&q, 5, 5), None);
+    }
+
+    #[test]
+    fn broadcast_covers_everyone_in_n_rounds() {
+        for n in 1..=8u32 {
+            let q = Cube::new(n).unwrap();
+            let root = (n as u128 * 3) % q.num_nodes();
+            let rounds = broadcast_schedule(&q, root).unwrap();
+            assert_eq!(rounds.len() as u32, n);
+            let mut holders = std::collections::HashSet::from([root]);
+            for (r, round) in rounds.iter().enumerate() {
+                assert_eq!(round.len(), 1 << r, "round {r} sender count");
+                for &(s, t) in round {
+                    assert!(holders.contains(&s), "sender without message");
+                    assert_eq!(q.distance(s, t), 1);
+                    assert!(holders.insert(t), "duplicate delivery to {t}");
+                }
+            }
+            assert_eq!(holders.len() as u128, q.num_nodes());
+        }
+    }
+
+    #[test]
+    fn guards_on_large_cubes() {
+        assert!(hamiltonian_ring(&Cube::new(21).unwrap()).is_err());
+        assert!(broadcast_schedule(&Cube::new(17).unwrap(), 0).is_err());
+        assert!(hamiltonian_path(&Cube::new(21).unwrap(), 0, 1).is_err());
+    }
+
+    fn check_ham_path(q: &Cube, p: &[Node], u: Node, v: Node) {
+        assert_eq!(p.len() as u128, q.num_nodes(), "must visit every node");
+        assert_eq!(*p.first().unwrap(), u);
+        assert_eq!(*p.last().unwrap(), v);
+        let set: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(set.len(), p.len(), "repeat visit");
+        for w in p.windows(2) {
+            assert_eq!(q.distance(w[0], w[1]), 1, "non-edge step");
+        }
+    }
+
+    #[test]
+    fn hamiltonian_path_exhaustive_small() {
+        for n in 1..=4u32 {
+            let q = Cube::new(n).unwrap();
+            for u in 0..q.num_nodes() {
+                for v in 0..q.num_nodes() {
+                    if q.distance(u, v) % 2 == 1 {
+                        let p = hamiltonian_path(&q, u, v).unwrap();
+                        check_ham_path(&q, &p, u, v);
+                    } else {
+                        assert!(hamiltonian_path(&q, u, v).is_err(), "even pair accepted");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hamiltonian_path_q10_spot() {
+        let q = Cube::new(10).unwrap();
+        for (u, v) in [(0u128, 1u128), (0b1111100000, 0b0000011111), (3, 1020)] {
+            if q.distance(u, v) % 2 == 1 {
+                let p = hamiltonian_path(&q, u, v).unwrap();
+                check_ham_path(&q, &p, u, v);
+            }
+        }
+        // Antipodal pair in odd dimension... Q_10 antipodes have even
+        // distance 10, so use distance 9.
+        let u = 0u128;
+        let v = (1u128 << 9) - 1;
+        let p = hamiltonian_path(&q, u, v).unwrap();
+        check_ham_path(&q, &p, u, v);
+    }
+
+    #[test]
+    fn compress_expand_roundtrip() {
+        for w in 0..64u128 {
+            for d in 0..6u32 {
+                let c = compress(w, d);
+                let bit = w >> d & 1;
+                assert_eq!(expand(c, d, bit), w);
+            }
+        }
+    }
+}

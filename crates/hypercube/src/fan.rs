@@ -1,0 +1,327 @@
+//! Disjoint fans in `Q_n`: paths from one source to many targets,
+//! pairwise vertex-disjoint except at the source.
+//!
+//! Menger's fan lemma guarantees a fan to any `k ≤ n` distinct targets.
+//! The HHC construction needs fans only *inside a son-cube* (`Q_m`, at most
+//! `2^m ≤ 64` nodes for every supported `m`), so an exact max-flow
+//! formulation is both simple and effectively free; it also returns a
+//! *minimum total length* fan, because each augmenting BFS phase of Dinic
+//! saturates shortest augmenting paths first on this unit-capacity network.
+//!
+//! Flow model: vertex split (`x_in → x_out`, capacity 1; source unbounded),
+//! each cube edge in both directions with capacity 1, and one arc
+//! `t_out → sink` per target. Max-flow equals the fan size; extraction
+//! walks positive-flow arcs from the source.
+
+use crate::cube::{Cube, CubeError, Node};
+use graphs::Dinic;
+
+/// Errors from fan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FanError {
+    /// Underlying cube error (bad dimension / label).
+    Cube(CubeError),
+    /// Targets must be distinct and different from the source.
+    BadTargets,
+    /// More targets than the cube's connectivity can support.
+    TooManyTargets { targets: usize, dim: u32 },
+    /// Fans are computed by flow on the materialised cube; `n ≤ 16` only.
+    CubeTooLarge(u32),
+}
+
+impl std::fmt::Display for FanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FanError::Cube(e) => write!(f, "{e}"),
+            FanError::BadTargets => write!(f, "targets must be distinct and ≠ source"),
+            FanError::TooManyTargets { targets, dim } => {
+                write!(f, "{targets} targets exceed connectivity {dim}")
+            }
+            FanError::CubeTooLarge(n) => write!(f, "fan computation limited to n ≤ 16, got {n}"),
+        }
+    }
+}
+
+impl std::error::Error for FanError {}
+
+impl From<CubeError> for FanError {
+    fn from(e: CubeError) -> Self {
+        FanError::Cube(e)
+    }
+}
+
+#[inline]
+fn v_in(v: u32) -> u32 {
+    2 * v
+}
+#[inline]
+fn v_out(v: u32) -> u32 {
+    2 * v + 1
+}
+
+/// Computes a fan: one path from `s` to each target, pairwise
+/// vertex-disjoint except at `s`. Paths are returned in target order
+/// (`paths[i]` ends at `targets[i]`).
+///
+/// Requires `targets.len() ≤ n` (fan lemma bound) and `n ≤ 16`
+/// (the cube is materialised as a flow network of `2^{n+1} + 1` nodes).
+///
+/// # Examples
+/// ```
+/// use hypercube::{Cube, fan};
+/// let q = Cube::new(3).unwrap();
+/// let fan = fan::fan_paths(&q, 0b000, &[0b011, 0b101, 0b110]).unwrap();
+/// assert_eq!(fan.len(), 3);
+/// fan::check_fan(&q, 0b000, &[0b011, 0b101, 0b110], &fan).unwrap();
+/// ```
+pub fn fan_paths(cube: &Cube, s: Node, targets: &[Node]) -> Result<Vec<Vec<Node>>, FanError> {
+    let n = cube.dim();
+    if n > 16 {
+        return Err(FanError::CubeTooLarge(n));
+    }
+    cube.check(s)?;
+    for &t in targets {
+        cube.check(t)?;
+    }
+    {
+        let mut set = std::collections::HashSet::new();
+        for &t in targets {
+            if t == s || !set.insert(t) {
+                return Err(FanError::BadTargets);
+            }
+        }
+    }
+    if targets.len() > n as usize {
+        return Err(FanError::TooManyTargets {
+            targets: targets.len(),
+            dim: n,
+        });
+    }
+    if targets.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let num = 1u32 << n;
+    let sink = 2 * num;
+    let mut d = Dinic::new(sink as usize + 1);
+    let s32 = s as u32;
+    for v in 0..num {
+        let cap = if v == s32 { u32::MAX / 2 } else { 1 };
+        d.add_edge(v_in(v), v_out(v), cap);
+    }
+    for v in 0..num {
+        for dim in 0..n {
+            // Add each undirected edge once, as two directed arcs.
+            let w = v ^ (1u32 << dim);
+            if v < w {
+                d.add_edge(v_out(v), v_in(w), 1);
+                d.add_edge(v_out(w), v_in(v), 1);
+            }
+        }
+    }
+    // Target index by node id, for terminal arcs.
+    let mut terminal_arc = std::collections::HashMap::new();
+    for (i, &t) in targets.iter().enumerate() {
+        let aid = d.add_edge(v_out(t as u32), sink, 1);
+        terminal_arc.insert(t as u32, (i, aid));
+    }
+
+    let flow = d.max_flow(v_in(s32), sink);
+    assert_eq!(
+        flow as usize,
+        targets.len(),
+        "fan lemma violated: flow {flow} < {} targets (bug)",
+        targets.len()
+    );
+
+    // Decompose: record remaining flow per (from, to) node pair, then walk.
+    let mut remaining: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    for v in 0..=sink {
+        for (aid, to) in d.flow_arcs_from(v) {
+            *remaining.entry((v, to)).or_insert(0) += d.flow_on(aid);
+        }
+    }
+    let mut take = |from: u32, to: u32| -> bool {
+        match remaining.get_mut(&(from, to)) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                true
+            }
+            _ => false,
+        }
+    };
+
+    let mut paths: Vec<Option<Vec<Node>>> = vec![None; targets.len()];
+    for _ in 0..flow {
+        let mut path = vec![s];
+        let mut cur = s32;
+        loop {
+            let _ = take(v_in(cur), v_out(cur));
+            // Terminate here if this node's terminal arc still carries flow
+            // (a target is never a through-node: its vertex capacity is 1).
+            if let Some(&(idx, _)) = terminal_arc.get(&cur) {
+                if take(v_out(cur), sink) {
+                    assert!(paths[idx].is_none(), "target reached twice");
+                    paths[idx] = Some(path);
+                    break;
+                }
+            }
+            let next = (0..n)
+                .map(|dim| cur ^ (1u32 << dim))
+                .find(|&w| take(v_out(cur), v_in(w)))
+                .expect("flow decomposition stuck (bug)");
+            path.push(next as Node);
+            cur = next;
+        }
+    }
+    Ok(paths.into_iter().map(|p| p.expect("missing fan path")).collect())
+}
+
+/// Checks fan validity: `paths[i]` runs `s → targets[i]`, each simple,
+/// pairwise sharing only `s`.
+pub fn check_fan(
+    cube: &Cube,
+    s: Node,
+    targets: &[Node],
+    paths: &[Vec<Node>],
+) -> Result<(), String> {
+    if paths.len() != targets.len() {
+        return Err(format!(
+            "expected {} paths, got {}",
+            targets.len(),
+            paths.len()
+        ));
+    }
+    let mut used = std::collections::HashSet::new();
+    for (i, p) in paths.iter().enumerate() {
+        if p.first() != Some(&s) || p.last() != Some(&targets[i]) {
+            return Err(format!("path {i}: wrong endpoints"));
+        }
+        let mut own = std::collections::HashSet::new();
+        for w in p.windows(2) {
+            if cube.distance(w[0], w[1]) != 1 {
+                return Err(format!("path {i}: non-edge"));
+            }
+        }
+        for &x in p {
+            if !own.insert(x) {
+                return Err(format!("path {i}: revisit"));
+            }
+        }
+        for &x in &p[1..] {
+            if !used.insert(x) {
+                return Err(format!("paths share node {x:#x} beyond source"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_to_all_neighbors() {
+        let q = Cube::new(4).unwrap();
+        let s = 0b0101u128;
+        let targets: Vec<Node> = q.neighbors(s).collect();
+        let fan = fan_paths(&q, s, &targets).unwrap();
+        check_fan(&q, s, &targets, &fan).unwrap();
+        // Each neighbour is reachable directly; minimum fan uses the edges.
+        assert!(fan.iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn fan_to_far_targets() {
+        let q = Cube::new(4).unwrap();
+        let s = 0u128;
+        let targets = vec![0b1111u128, 0b1110, 0b0111, 0b1011];
+        let fan = fan_paths(&q, s, &targets).unwrap();
+        check_fan(&q, s, &targets, &fan).unwrap();
+    }
+
+    #[test]
+    fn single_target_is_a_path() {
+        let q = Cube::new(3).unwrap();
+        let fan = fan_paths(&q, 0, &[0b111]).unwrap();
+        check_fan(&q, 0, &[0b111], &fan).unwrap();
+        assert_eq!(fan[0].len(), 4); // shortest: 3 hops
+    }
+
+    #[test]
+    fn empty_targets_empty_fan() {
+        let q = Cube::new(3).unwrap();
+        assert!(fan_paths(&q, 0, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicate_or_source_targets() {
+        let q = Cube::new(3).unwrap();
+        assert_eq!(fan_paths(&q, 0, &[1, 1]), Err(FanError::BadTargets));
+        assert_eq!(fan_paths(&q, 0, &[0]), Err(FanError::BadTargets));
+    }
+
+    #[test]
+    fn rejects_too_many_targets() {
+        let q = Cube::new(2).unwrap();
+        let err = fan_paths(&q, 0, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, FanError::TooManyTargets { .. }));
+    }
+
+    #[test]
+    fn rejects_big_cube() {
+        let q = Cube::new(17).unwrap();
+        assert_eq!(fan_paths(&q, 0, &[1]), Err(FanError::CubeTooLarge(17)));
+    }
+
+    #[test]
+    fn exhaustive_q3_every_target_set() {
+        // All subsets of size ≤ 3 of Q_3 \ {s}, for every s.
+        let q = Cube::new(3).unwrap();
+        let nodes: Vec<Node> = (0..8).collect();
+        for &s in &nodes {
+            let others: Vec<Node> = nodes.iter().copied().filter(|&x| x != s).collect();
+            for mask in 1u32..(1 << others.len()) {
+                if mask.count_ones() > 3 {
+                    continue;
+                }
+                let targets: Vec<Node> = others
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &t)| t)
+                    .collect();
+                let fan = fan_paths(&q, s, &targets).unwrap();
+                check_fan(&q, s, &targets, &fan)
+                    .unwrap_or_else(|e| panic!("s={s} targets={targets:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn random_fans_q6() {
+        // Deterministic pseudo-random target sets in the largest son-cube.
+        let q = Cube::new(6).unwrap();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let s = (next() % 64) as Node;
+            let k = (next() % 6 + 1) as usize;
+            let mut targets = Vec::new();
+            while targets.len() < k {
+                let t = (next() % 64) as Node;
+                if t != s && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            let fan = fan_paths(&q, s, &targets).unwrap();
+            check_fan(&q, s, &targets, &fan).unwrap();
+        }
+    }
+}

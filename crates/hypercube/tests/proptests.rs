@@ -1,0 +1,153 @@
+//! Property-based tests for the hypercube substrate, cross-validated
+//! against the explicit-graph ground truth where cubes are small enough
+//! to materialise.
+
+use hypercube::{embed, fan, gray, paths, routing, Cube};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Constructive disjoint paths achieve the Menger optimum (= n) on
+    /// materialisable cubes.
+    #[test]
+    fn disjoint_paths_match_flow_optimum(n in 2u32..=6, a in any::<u64>(), b in any::<u64>()) {
+        let cube = Cube::new(n).unwrap();
+        let mask = (1u128 << n) - 1;
+        let (u, v) = (a as u128 & mask, b as u128 & mask);
+        prop_assume!(u != v);
+        let ps = paths::disjoint_paths(&cube, u, v).unwrap();
+        let g = cube.materialize().unwrap();
+        let flow = graphs::vertex_connectivity_between(&g, u as u32, v as u32);
+        prop_assert_eq!(ps.len() as u32, flow);
+    }
+
+    /// E-cube routes agree with BFS distance exactly.
+    #[test]
+    fn shortest_path_is_shortest(n in 1u32..=8, a in any::<u64>(), b in any::<u64>()) {
+        let cube = Cube::new(n).unwrap();
+        let mask = (1u128 << n) - 1;
+        let (u, v) = (a as u128 & mask, b as u128 & mask);
+        let p = routing::shortest_path(&cube, u, v);
+        prop_assert_eq!((p.len() - 1) as u32, cube.distance(u, v));
+        let g = cube.materialize().unwrap();
+        let d = graphs::Bfs::run(&g, u as u32).dist(v as u32).unwrap();
+        prop_assert_eq!((p.len() - 1) as u32, d);
+    }
+
+    /// Fan total length is bounded by the node budget (paths are disjoint
+    /// beyond the source, so they occupy ≤ 2^n − 1 distinct nodes).
+    #[test]
+    fn fan_total_length_bounded(
+        n in 2u32..=6,
+        s in any::<u64>(),
+        t in proptest::collection::vec(any::<u64>(), 1..=6),
+    ) {
+        let cube = Cube::new(n).unwrap();
+        let mask = (1u128 << n) - 1;
+        let s = s as u128 & mask;
+        let mut targets: Vec<u128> = t.into_iter().map(|x| x as u128 & mask).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        targets.retain(|&x| x != s);
+        targets.truncate(n as usize);
+        prop_assume!(!targets.is_empty());
+        let f = fan::fan_paths(&cube, s, &targets).unwrap();
+        fan::check_fan(&cube, s, &targets, &f)
+            .map_err(|e| TestCaseError::fail(proptest::test_runner::Reason::from(e)))?;
+        let total: usize = f.iter().map(|p| p.len() - 1).sum();
+        prop_assert!((total as u128) < cube.num_nodes());
+    }
+
+    /// Hamiltonian paths exist exactly for odd-distance pairs and are
+    /// valid when they do.
+    #[test]
+    fn hamiltonian_parity_dichotomy(n in 1u32..=8, a in any::<u64>(), b in any::<u64>()) {
+        let cube = Cube::new(n).unwrap();
+        let mask = (1u128 << n) - 1;
+        let (u, v) = (a as u128 & mask, b as u128 & mask);
+        match embed::hamiltonian_path(&cube, u, v) {
+            Ok(p) => {
+                prop_assert_eq!(cube.distance(u, v) % 2, 1);
+                prop_assert_eq!(p.len() as u128, cube.num_nodes());
+                let set: std::collections::HashSet<_> = p.iter().collect();
+                prop_assert_eq!(set.len(), p.len());
+                for w in p.windows(2) {
+                    prop_assert_eq!(cube.distance(w[0], w[1]), 1);
+                }
+            }
+            Err(_) => prop_assert_eq!(cube.distance(u, v) % 2, 0),
+        }
+    }
+
+    /// Gray sequences restricted to arbitrary subsets keep the one-lap
+    /// walking bound used by the HHC length analysis.
+    #[test]
+    fn gray_cycle_order_one_lap(m in 1u32..=8, subset in any::<u64>(), anchor in any::<u64>()) {
+        let period = 1u64 << m;
+        let positions: Vec<u64> = (0..period).filter(|&p| subset >> (p % 64) & 1 == 1).collect();
+        prop_assume!(!positions.is_empty());
+        let anchor = anchor % period;
+        let order = gray::sort_along_gray_cycle(&positions, m, anchor);
+        prop_assert_eq!(order.len(), positions.len());
+        let total: u32 = (0..order.len())
+            .map(|i| (order[i] ^ order[(i + 1) % order.len()]).count_ones())
+            .sum();
+        prop_assert!(total as u64 <= period, "cyclic walk exceeds one lap");
+    }
+
+    /// Binomial broadcast always reaches everyone exactly once.
+    #[test]
+    fn broadcast_covers_once(n in 1u32..=8, root in any::<u64>()) {
+        let cube = Cube::new(n).unwrap();
+        let root = root as u128 & ((1u128 << n) - 1);
+        let rounds = embed::broadcast_schedule(&cube, root).unwrap();
+        let mut seen = std::collections::HashSet::from([root]);
+        for round in &rounds {
+            for &(s, t) in round {
+                prop_assert!(seen.contains(&s));
+                prop_assert_eq!(cube.distance(s, t), 1);
+                prop_assert!(seen.insert(t), "node reached twice");
+            }
+        }
+        prop_assert_eq!(seen.len() as u128, cube.num_nodes());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Buddy allocator model check: under random allocate/free sequences,
+    /// live blocks never overlap and accounting is exact.
+    #[test]
+    fn buddy_allocator_model(ops in proptest::collection::vec((0u32..3, 0u32..4), 1..60)) {
+        use hypercube::alloc::BuddyAllocator;
+        let n = 5u32;
+        let cube = Cube::new(n).unwrap();
+        let mut a = BuddyAllocator::new(&cube);
+        let mut live: Vec<hypercube::alloc::Subcube> = Vec::new();
+        for (op, k) in ops {
+            if op < 2 {
+                // allocate (twice as likely as free)
+                if let Some(sc) = a.allocate(k) {
+                    // no overlap with any live block
+                    for other in &live {
+                        let hi = sc.dim.max(other.dim);
+                        prop_assert_ne!(sc.base >> hi, other.base >> hi, "overlap");
+                    }
+                    live.push(sc);
+                }
+            } else if !live.is_empty() {
+                let idx = (k as usize) % live.len();
+                a.free(live.swap_remove(idx));
+            }
+            let allocated: u128 = live.iter().map(|b| 1u128 << b.dim).sum();
+            prop_assert_eq!(a.free_nodes() + allocated, 1u128 << n, "accounting");
+        }
+        // Free everything: must coalesce to the full cube.
+        for b in live.drain(..) {
+            a.free(b);
+        }
+        prop_assert_eq!(a.largest_free_dim(), Some(n));
+    }
+}

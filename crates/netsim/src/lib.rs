@@ -1,0 +1,29 @@
+//! Slotted store-and-forward network simulator for HHC experiments.
+//!
+//! A deliberately simple, deterministic discrete-event model — one event
+//! class (link transmission), fixed unit timestep — which is exactly what
+//! the routing experiments need:
+//!
+//! * every **directed link** transmits at most one packet per cycle;
+//! * each link has an unbounded FIFO output queue (open-loop injection,
+//!   saturation shows up as unbounded queue growth / latency);
+//! * packets are **source-routed**: a [`strategy::Strategy`] picks the
+//!   full path at injection (single path, random one of the `m + 1`
+//!   disjoint paths, or fault-adaptive);
+//! * faulty nodes never carry traffic; packets that cannot be routed are
+//!   counted as drops.
+//!
+//! [`fault`] additionally provides the *static* (queue-free) delivery
+//! analysis used by experiment F3, where only connectivity matters.
+
+pub mod fault;
+pub mod net;
+pub mod packet;
+pub mod sim;
+pub mod stats;
+pub mod strategy;
+
+pub use net::{CubeNet, Network};
+pub use sim::{DeliveryRecord, SimConfig, Simulator, Switching};
+pub use stats::SimStats;
+pub use strategy::Strategy;

@@ -1,0 +1,160 @@
+//! The [`Network`] abstraction the simulator runs on.
+//!
+//! The evaluation compares the HHC against the plain hypercube with the
+//! same node count (the paper's motivating trade-off: hypercube-like
+//! behaviour at degree `m + 1` instead of `n`). Both topologies implement
+//! this trait: addressing via [`AddressSpace`], plus the two routing
+//! services the strategies need — a deterministic single route and the
+//! family of internally node-disjoint routes.
+
+use hhc_core::{Hhc, NodeId, Path};
+use hypercube::Cube;
+use workloads::AddressSpace;
+
+/// A simulatable network: an address space with routing services.
+pub trait Network: AddressSpace {
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Node degree (regular topologies only, which covers this suite).
+    fn degree(&self) -> u32;
+
+    /// Whether `{a, b}` is an edge.
+    fn is_edge(&self, a: NodeId, b: NodeId) -> bool;
+
+    /// The deterministic single route from `src` to `dst` (`src ≠ dst`).
+    fn route(&self, src: NodeId, dst: NodeId) -> Path;
+
+    /// A maximal family of internally node-disjoint routes
+    /// (`degree()` many on the maximally connected topologies here).
+    fn disjoint_routes(&self, src: NodeId, dst: NodeId) -> Vec<Path>;
+
+    /// All nodes, for per-cycle injection sweeps.
+    /// Only meaningful for materialisable sizes; guarded by the caller.
+    fn all_nodes(&self) -> Vec<NodeId> {
+        assert!(self.address_bits() <= 16, "all_nodes on a huge network");
+        (0..1u128 << self.address_bits()).map(NodeId::from_raw).collect()
+    }
+}
+
+impl Network for Hhc {
+    fn name(&self) -> String {
+        format!("HHC({})", self.m())
+    }
+
+    fn degree(&self) -> u32 {
+        Hhc::degree(self)
+    }
+
+    fn is_edge(&self, a: NodeId, b: NodeId) -> bool {
+        Hhc::is_edge(self, a, b)
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Path {
+        Hhc::route(self, src, dst).expect("valid pair")
+    }
+
+    fn disjoint_routes(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        Hhc::disjoint_paths(self, src, dst).expect("valid pair")
+    }
+}
+
+/// The plain hypercube `Q_n` as a simulatable network — the comparison
+/// baseline with `n` links per node instead of the HHC's `m + 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct CubeNet(pub Cube);
+
+impl CubeNet {
+    /// `Q_n` with the same node count as `HHC(m)` (i.e. `n = 2^m + m`).
+    pub fn matching_hhc(m: u32) -> Self {
+        CubeNet(Cube::new((1 << m) + m).expect("valid dimension"))
+    }
+}
+
+impl AddressSpace for CubeNet {
+    fn address_bits(&self) -> u32 {
+        self.0.dim()
+    }
+
+    fn neighbors_of(&self, v: NodeId) -> Vec<NodeId> {
+        self.0.neighbors(v.raw()).map(NodeId::from_raw).collect()
+    }
+}
+
+impl Network for CubeNet {
+    fn name(&self) -> String {
+        format!("Q_{}", self.0.dim())
+    }
+
+    fn degree(&self) -> u32 {
+        self.0.dim()
+    }
+
+    fn is_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.0.distance(a.raw(), b.raw()) == 1
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Path {
+        hypercube::routing::shortest_path(&self.0, src.raw(), dst.raw())
+            .into_iter()
+            .map(NodeId::from_raw)
+            .collect()
+    }
+
+    fn disjoint_routes(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        hypercube::paths::disjoint_paths(&self.0, src.raw(), dst.raw())
+            .expect("valid pair")
+            .into_iter()
+            .map(|p| p.into_iter().map(NodeId::from_raw).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hhc_network_services() {
+        let h = Hhc::new(2).unwrap();
+        assert_eq!(Network::name(&h), "HHC(2)");
+        assert_eq!(Network::degree(&h), 3);
+        let u = NodeId::from_raw(0);
+        let v = NodeId::from_raw(45);
+        let r = Network::route(&h, u, v);
+        assert_eq!(r.first(), Some(&u));
+        assert_eq!(r.last(), Some(&v));
+        assert_eq!(Network::disjoint_routes(&h, u, v).len(), 3);
+        assert_eq!(h.all_nodes().len(), 64);
+    }
+
+    #[test]
+    fn cube_network_services() {
+        let q = CubeNet::matching_hhc(2); // Q_6: 64 nodes like HHC(2)
+        assert_eq!(q.name(), "Q_6");
+        assert_eq!(Network::degree(&q), 6);
+        assert_eq!(q.num_addresses(), 64);
+        let u = NodeId::from_raw(0);
+        let v = NodeId::from_raw(63);
+        let r = q.route(u, v);
+        assert_eq!(r.len(), 7); // Hamming distance 6
+        let d = q.disjoint_routes(u, v);
+        assert_eq!(d.len(), 6);
+        for p in &d {
+            for w in p.windows(2) {
+                assert!(q.is_edge(w[0], w[1]));
+            }
+        }
+        assert_eq!(q.neighbors_of(u).len(), 6);
+    }
+
+    #[test]
+    fn matching_sizes() {
+        for m in 1..=3 {
+            let h = Hhc::new(m).unwrap();
+            let q = CubeNet::matching_hhc(m);
+            assert_eq!(h.num_addresses(), q.num_addresses());
+            assert!(Network::degree(&q) > Network::degree(&h) || m == 1);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Simulation statistics.
+
+/// Counters and aggregates collected by a simulation run.
+///
+/// Conservation invariant (checked in tests):
+/// `injected == delivered + in_flight_at_end` and drops are counted
+/// separately (a dropped packet never entered the network).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Packets that entered the network.
+    pub injected: u64,
+    /// Packets that reached their destination.
+    pub delivered: u64,
+    /// Packets rejected at injection (unroutable under the strategy).
+    pub dropped_unroutable: u64,
+    /// Injection attempts whose destination was faulty (no strategy can
+    /// deliver these; counted separately from routing failures).
+    pub dropped_dst_faulty: u64,
+    /// Injection attempts suppressed because the pattern mapped the
+    /// source to itself.
+    pub self_addressed: u64,
+    /// Injections refused because the first queue was full
+    /// (finite-buffer mode only).
+    pub dropped_backpressure: u64,
+    /// Link-cycles during which a head-of-line packet could not advance
+    /// because its next queue was full (finite-buffer mode only).
+    pub backpressure_stalls: u64,
+    /// Packets still queued when the run ended.
+    pub in_flight_at_end: u64,
+    /// Sum of delivered-packet latencies (cycles).
+    pub latency_sum: u64,
+    /// Largest delivered-packet latency.
+    pub latency_max: u64,
+    /// Sum over delivered packets of their route length (hops).
+    pub hops_sum: u64,
+    /// Total link transmissions performed (one per packet per hop).
+    pub link_transmissions: u64,
+    /// Largest queue depth observed on any directed link.
+    pub max_queue_len: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Nodes in the network.
+    pub nodes: u64,
+}
+
+impl SimStats {
+    /// Mean latency of delivered packets, or `None` if nothing delivered.
+    pub fn mean_latency(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.latency_sum as f64 / self.delivered as f64)
+    }
+
+    /// Mean hop count of delivered packets.
+    pub fn mean_hops(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.hops_sum as f64 / self.delivered as f64)
+    }
+
+    /// Mean link utilisation: transmissions per link per cycle
+    /// (an HHC has `2^n · (m+1)` directed links).
+    pub fn link_utilization(&self, directed_links: u64) -> f64 {
+        if self.cycles == 0 || directed_links == 0 {
+            0.0
+        } else {
+            self.link_transmissions as f64 / (self.cycles as f64 * directed_links as f64)
+        }
+    }
+
+    /// Accepted throughput in packets/node/cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 || self.nodes == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / (self.cycles as f64 * self.nodes as f64)
+        }
+    }
+
+    /// Fraction of routable injection attempts that were delivered by the
+    /// end of the run (< 1 under saturation or when the run ends early).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s = SimStats {
+            injected: 10,
+            delivered: 8,
+            latency_sum: 40,
+            latency_max: 9,
+            hops_sum: 24,
+            cycles: 100,
+            nodes: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_latency(), Some(5.0));
+        assert_eq!(s.mean_hops(), Some(3.0));
+        assert!((s.throughput() - 0.02).abs() < 1e-12);
+        assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let s = SimStats::default();
+        assert_eq!(s.mean_latency(), None);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn link_utilization_edges() {
+        let s = SimStats {
+            link_transmissions: 50,
+            cycles: 100,
+            nodes: 4,
+            ..Default::default()
+        };
+        assert!((s.link_utilization(10) - 0.05).abs() < 1e-12);
+        assert_eq!(s.link_utilization(0), 0.0);
+        let z = SimStats::default();
+        assert_eq!(z.link_utilization(10), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Route-selection strategies.
+//!
+//! Strategies are pure: given the network, a pair and the fault set they
+//! return a full route or `None` (unroutable). The simulator charges an
+//! unroutable packet as a drop at injection time.
+
+use crate::net::Network;
+use hhc_core::{NodeId, Path};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// How sources pick routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The deterministic single route of [`hhc_core::routing::route`].
+    /// Fails if any node on that one route is faulty.
+    SinglePath,
+    /// Uniformly random member of the `m + 1` node-disjoint paths —
+    /// oblivious load balancing. Ignores faults (pure performance mode).
+    MultipathRandom,
+    /// Picks uniformly among the *fault-free* members of the `m + 1`
+    /// disjoint paths; fails only if all of them are blocked (impossible
+    /// for `f ≤ m` faults when the endpoints are alive).
+    FaultAdaptive,
+    /// Valiant's two-phase randomised routing: route deterministically to
+    /// a uniformly random intermediate node, then on to the destination.
+    /// The classic fix for adversarial permutation traffic — it converts
+    /// any pattern into two uniform-random phases at the cost of ~2×
+    /// path length. The walk may revisit nodes (that is fine in a
+    /// store-and-forward network). Fails only if faults block the chosen
+    /// walk after a bounded number of redraws.
+    Valiant,
+}
+
+impl Strategy {
+    /// Selects a route from `src` to `dst` (`src ≠ dst`), or `None` if the
+    /// strategy cannot route around the faults.
+    pub fn select<N: Network + ?Sized, R: Rng>(
+        &self,
+        net: &N,
+        src: NodeId,
+        dst: NodeId,
+        faults: &HashSet<NodeId>,
+        rng: &mut R,
+    ) -> Option<Path> {
+        debug_assert_ne!(src, dst);
+        debug_assert!(!faults.contains(&src) && !faults.contains(&dst));
+        match self {
+            Strategy::SinglePath => {
+                let p = net.route(src, dst);
+                if path_blocked(&p, faults) {
+                    None
+                } else {
+                    Some(p)
+                }
+            }
+            Strategy::MultipathRandom => {
+                let paths = net.disjoint_routes(src, dst);
+                let i = rng.gen_range(0..paths.len());
+                Some(paths.into_iter().nth(i).expect("index in range"))
+            }
+            Strategy::FaultAdaptive => {
+                let paths = net.disjoint_routes(src, dst);
+                let alive: Vec<Path> = paths
+                    .into_iter()
+                    .filter(|p| !path_blocked(p, faults))
+                    .collect();
+                if alive.is_empty() {
+                    None
+                } else {
+                    let i = rng.gen_range(0..alive.len());
+                    alive.into_iter().nth(i)
+                }
+            }
+            Strategy::Valiant => {
+                let mask = net.address_mask();
+                for _ in 0..8 {
+                    let w = NodeId::from_raw(
+                        ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask,
+                    );
+                    if w == src || w == dst || faults.contains(&w) {
+                        continue;
+                    }
+                    let mut walk = net.route(src, w);
+                    walk.extend(net.route(w, dst).into_iter().skip(1));
+                    if !path_blocked(&walk, faults) {
+                        return Some(walk);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Whether any node of `path` (endpoints included) is faulty.
+pub fn path_blocked(path: &[NodeId], faults: &HashSet<NodeId>) -> bool {
+    path.iter().any(|v| faults.contains(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhc_core::Hhc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Hhc, NodeId, NodeId, StdRng) {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0b0000, 0b00).unwrap();
+        let v = h.node(0b1010, 0b11).unwrap();
+        (h, u, v, StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn single_path_is_the_router_route() {
+        let (h, u, v, mut rng) = setup();
+        let p = Strategy::SinglePath
+            .select(&h, u, v, &HashSet::new(), &mut rng)
+            .unwrap();
+        assert_eq!(p, h.route(u, v).unwrap());
+    }
+
+    #[test]
+    fn single_path_fails_when_blocked() {
+        let (h, u, v, mut rng) = setup();
+        let p = h.route(u, v).unwrap();
+        let faults: HashSet<_> = [p[1]].into_iter().collect();
+        assert!(Strategy::SinglePath
+            .select(&h, u, v, &faults, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn multipath_random_spreads_over_disjoint_paths() {
+        let (h, u, v, mut rng) = setup();
+        let all = h.disjoint_paths(u, v).unwrap();
+        let mut chosen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let p = Strategy::MultipathRandom
+                .select(&h, u, v, &HashSet::new(), &mut rng)
+                .unwrap();
+            assert!(all.contains(&p));
+            chosen.insert(p);
+        }
+        assert_eq!(chosen.len(), all.len(), "should eventually use every path");
+    }
+
+    #[test]
+    fn fault_adaptive_survives_m_faults() {
+        let (h, u, v, mut rng) = setup();
+        // Block interior nodes of m of the m+1 paths: still routable.
+        let paths = h.disjoint_paths(u, v).unwrap();
+        let faults: HashSet<_> = paths[..h.m() as usize]
+            .iter()
+            .map(|p| p[1])
+            .collect();
+        let p = Strategy::FaultAdaptive
+            .select(&h, u, v, &faults, &mut rng)
+            .unwrap();
+        assert!(!path_blocked(&p, &faults));
+    }
+
+    #[test]
+    fn valiant_walks_are_valid_and_varied() {
+        let (h, u, v, mut rng) = setup();
+        let mut lengths = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let w = Strategy::Valiant
+                .select(&h, u, v, &HashSet::new(), &mut rng)
+                .unwrap();
+            assert_eq!(*w.first().unwrap(), u);
+            assert_eq!(*w.last().unwrap(), v);
+            for pair in w.windows(2) {
+                assert!(
+                    crate::net::Network::is_edge(&h, pair[0], pair[1]),
+                    "valiant walk uses a non-edge"
+                );
+            }
+            lengths.insert(w.len());
+        }
+        assert!(lengths.len() > 1, "random intermediates should vary lengths");
+    }
+
+    #[test]
+    fn valiant_avoids_faults() {
+        let (h, u, v, mut rng) = setup();
+        let direct = h.route(u, v).unwrap();
+        let faults: HashSet<_> = [direct[1]].into_iter().collect();
+        for _ in 0..20 {
+            if let Some(w) = Strategy::Valiant.select(&h, u, v, &faults, &mut rng) {
+                assert!(!path_blocked(&w, &faults));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_adaptive_fails_only_when_all_blocked() {
+        let (h, u, v, mut rng) = setup();
+        let paths = h.disjoint_paths(u, v).unwrap();
+        let faults: HashSet<_> = paths.iter().map(|p| p[1]).collect();
+        assert!(Strategy::FaultAdaptive
+            .select(&h, u, v, &faults, &mut rng)
+            .is_none());
+    }
+}

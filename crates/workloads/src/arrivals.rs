@@ -1,0 +1,86 @@
+//! Packet arrival processes.
+//!
+//! The simulator is slotted (one cycle = one link traversal), so the
+//! natural open-loop arrival model is a per-node Bernoulli process: in
+//! each cycle each node independently injects a packet with probability
+//! `rate` (packets/node/cycle). Offered-load sweeps in experiment F4 vary
+//! `rate` from well below to beyond saturation.
+
+use rand::Rng;
+
+/// A per-node, per-cycle Bernoulli injection process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    rate: f64,
+}
+
+impl Bernoulli {
+    /// Creates a process with injection probability `rate ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1]` or not finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "injection rate {rate} outside [0, 1]"
+        );
+        Bernoulli { rate }
+    }
+
+    /// The configured injection probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Whether a packet arrives at this node in this cycle.
+    #[inline]
+    pub fn fires<R: Rng>(&self, rng: &mut R) -> bool {
+        self.rate > 0.0 && rng.gen::<f64>() < self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Bernoulli::new(0.0);
+        assert!((0..1000).all(|_| !p.fires(&mut rng)));
+    }
+
+    #[test]
+    fn unit_rate_always_fires() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Bernoulli::new(1.0);
+        assert!((0..1000).all(|_| p.fires(&mut rng)));
+    }
+
+    #[test]
+    fn empirical_rate_close_to_nominal() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let p = Bernoulli::new(0.3);
+        let hits = (0..20_000).filter(|_| p.fires(&mut rng)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.3).abs() < 0.02, "empirical rate {freq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_rate() {
+        Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = Bernoulli::new(0.5);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let sa: Vec<bool> = (0..100).map(|_| p.fires(&mut a)).collect();
+        let sb: Vec<bool> = (0..100).map(|_| p.fires(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+}

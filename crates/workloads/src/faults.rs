@@ -1,0 +1,190 @@
+//! Random fault-set generation.
+//!
+//! Experiment F3 measures delivery success under `f` random node faults.
+//! Fault sets never include *protected* nodes (the communicating pair),
+//! matching the fault-tolerance model of the paper: the claim `f ≤ m`
+//! faults can never disconnect a pair follows from the m+1 disjoint paths
+//! only if the endpoints themselves are alive.
+
+use crate::space::AddressSpace;
+use hhc_core::NodeId;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples `count` distinct faulty nodes, none of which is in `protected`.
+///
+/// # Panics
+/// Panics if `count` exceeds the number of unprotected nodes, or if the
+/// network is too large for rejection sampling to make sense
+/// (`count` must be ≤ 2^20).
+pub fn random_fault_set<A: AddressSpace + ?Sized, R: Rng>(
+    space: &A,
+    count: usize,
+    protected: &[NodeId],
+    rng: &mut R,
+) -> HashSet<NodeId> {
+    assert!(count <= 1 << 20, "fault set too large");
+    let total = space.num_addresses();
+    assert!(
+        (count + protected.len()) as u128 <= total,
+        "more faults than nodes"
+    );
+    let mask: u128 = space.address_mask();
+    let protected: HashSet<NodeId> = protected.iter().copied().collect();
+    let mut faults = HashSet::with_capacity(count);
+    while faults.len() < count {
+        let raw = ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask;
+        let v = NodeId::from_raw(raw);
+        if !protected.contains(&v) {
+            faults.insert(v);
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhc_core::Hhc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_requested_count() {
+        let h = Hhc::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = random_fault_set(&h, 10, &[], &mut rng);
+        assert_eq!(f.len(), 10);
+        for v in &f {
+            assert!(h.check(*v).is_ok());
+        }
+    }
+
+    #[test]
+    fn respects_protection() {
+        let h = Hhc::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = NodeId::from_raw(0);
+        let v = NodeId::from_raw(63);
+        for _ in 0..50 {
+            let f = random_fault_set(&h, 20, &[u, v], &mut rng);
+            assert!(!f.contains(&u) && !f.contains(&v));
+            assert_eq!(f.len(), 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let h = Hhc::new(3).unwrap();
+        let a = random_fault_set(&h, 15, &[], &mut StdRng::seed_from_u64(11));
+        let b = random_fault_set(&h, 15, &[], &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "more faults than nodes")]
+    fn rejects_oversized_request() {
+        let h = Hhc::new(1).unwrap(); // 8 nodes
+        random_fault_set(&h, 9, &[], &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn can_fault_everything_unprotected() {
+        let h = Hhc::new(1).unwrap(); // 8 nodes
+        let prot = [NodeId::from_raw(0)];
+        let f = random_fault_set(&h, 7, &prot, &mut StdRng::seed_from_u64(2));
+        assert_eq!(f.len(), 7);
+        assert!(!f.contains(&prot[0]));
+    }
+}
+
+/// Builds an *adversarial* fault set against a specific disjoint-path
+/// family: faults one interior node of each path in turn (round-robin)
+/// until `count` faults are placed. With `count ≥` the family size every
+/// path is blocked; with `count <` the family size, exactly `count`
+/// paths are blocked — the worst placement any `count`-node adversary
+/// can achieve against internally disjoint paths.
+///
+/// Paths of length 1 (direct edges) have no interior and are skipped —
+/// an adversary cannot block them without killing an endpoint.
+pub fn adversarial_fault_set<R: Rng>(
+    paths: &[Vec<NodeId>],
+    count: usize,
+    rng: &mut R,
+) -> HashSet<NodeId> {
+    let mut faults = HashSet::with_capacity(count);
+    let blockable: Vec<&Vec<NodeId>> = paths.iter().filter(|p| p.len() > 2).collect();
+    if blockable.is_empty() {
+        return faults;
+    }
+    let mut round = 0usize;
+    while faults.len() < count {
+        let p = blockable[round % blockable.len()];
+        round += 1;
+        // After every path has one fault, extra budget lands on random
+        // additional interiors (may repeat a path).
+        let interior = &p[1..p.len() - 1];
+        let pick = interior[rng.gen_range(0..interior.len())];
+        faults.insert(pick);
+        if round > 64 * count.max(1) {
+            break; // interiors exhausted; cannot place more faults
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod adversarial_tests {
+    use super::*;
+    use hhc_core::Hhc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blocks_exactly_count_paths_when_budget_small() {
+        let h = Hhc::new(3).unwrap();
+        let u = h.node(0x21, 0b001).unwrap();
+        let v = h.node(0x84, 0b110).unwrap();
+        let paths = h.disjoint_paths(u, v).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for count in 1..=h.m() as usize {
+            let faults = adversarial_fault_set(&paths, count, &mut rng);
+            assert_eq!(faults.len(), count);
+            let blocked = paths
+                .iter()
+                .filter(|p| p.iter().any(|x| faults.contains(x)))
+                .count();
+            assert_eq!(blocked, count, "round-robin must block one path per fault");
+        }
+    }
+
+    #[test]
+    fn full_budget_blocks_all_blockable_paths() {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0b0000, 0b00).unwrap();
+        let v = h.node(0b1001, 0b10).unwrap();
+        let paths = h.disjoint_paths(u, v).unwrap();
+        let blockable = paths.iter().filter(|p| p.len() > 2).count();
+        let faults =
+            adversarial_fault_set(&paths, blockable, &mut StdRng::seed_from_u64(1));
+        let blocked = paths
+            .iter()
+            .filter(|p| p.iter().any(|x| faults.contains(x)))
+            .count();
+        assert_eq!(blocked, blockable);
+    }
+
+    #[test]
+    fn direct_edges_cannot_be_blocked() {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0, 0b00).unwrap();
+        let v = h.internal_neighbor(u, 0);
+        let paths = h.disjoint_paths(u, v).unwrap();
+        let faults = adversarial_fault_set(&paths, 10, &mut StdRng::seed_from_u64(2));
+        // The direct edge path survives any interior-only fault set.
+        let direct = paths.iter().find(|p| p.len() == 2).expect("direct edge");
+        assert!(!direct.iter().any(|x| faults.contains(x)));
+        // And faults never include the endpoints.
+        assert!(!faults.contains(&u) && !faults.contains(&v));
+    }
+}

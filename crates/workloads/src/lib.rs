@@ -1,0 +1,21 @@
+//! Workload generation for network experiments.
+//!
+//! Provides the three inputs every evaluation needs, all deterministic
+//! under a seed:
+//!
+//! * [`patterns`] — destination selection per source (uniform random,
+//!   bit-complement, bit-reversal, transpose, hotspot) over the HHC
+//!   address space;
+//! * [`arrivals`] — per-node Bernoulli injection processes parameterised
+//!   by offered load;
+//! * [`faults`] — random distinct fault sets avoiding protected nodes.
+
+pub mod arrivals;
+pub mod faults;
+pub mod patterns;
+pub mod space;
+
+pub use arrivals::Bernoulli;
+pub use faults::{adversarial_fault_set, random_fault_set};
+pub use patterns::Pattern;
+pub use space::AddressSpace;

@@ -1,0 +1,80 @@
+//! Address-space abstraction.
+//!
+//! Workload generators only need two facts about a network: how many
+//! address bits a node label has (to draw uniform nodes) and who a
+//! node's neighbours are (for local traffic). Abstracting this lets the
+//! same traffic patterns and fault models drive both the HHC and the
+//! plain hypercube baseline in the comparison experiments (T5/F6).
+
+use hhc_core::{Hhc, NodeId};
+
+/// A network address space: dense `raw ∈ [0, 2^address_bits)` labels
+/// plus an adjacency oracle.
+pub trait AddressSpace {
+    /// Number of address bits; node labels are exactly the values in
+    /// `[0, 2^address_bits)`.
+    fn address_bits(&self) -> u32;
+
+    /// The neighbours of a node.
+    fn neighbors_of(&self, v: NodeId) -> Vec<NodeId>;
+
+    /// Bitmask selecting valid raw addresses.
+    fn address_mask(&self) -> u128 {
+        let n = self.address_bits();
+        if n >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << n) - 1
+        }
+    }
+
+    /// Total number of nodes, `2^address_bits`.
+    fn num_addresses(&self) -> u128 {
+        1u128 << self.address_bits()
+    }
+}
+
+impl AddressSpace for Hhc {
+    fn address_bits(&self) -> u32 {
+        self.n()
+    }
+
+    fn neighbors_of(&self, v: NodeId) -> Vec<NodeId> {
+        self.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hhc_address_space() {
+        let h = Hhc::new(3).unwrap();
+        assert_eq!(h.address_bits(), 11);
+        assert_eq!(h.num_addresses(), 2048);
+        assert_eq!(h.address_mask(), 0x7FF);
+        let v = NodeId::from_raw(5);
+        assert_eq!(h.neighbors_of(v).len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod address_space_laws {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every neighbour returned by the oracle is a valid address and
+        /// the relation is symmetric on the HHC.
+        #[test]
+        fn neighbor_oracle_is_symmetric(m in 1u32..=4, raw in any::<u64>()) {
+            let h = Hhc::new(m).unwrap();
+            let v = NodeId::from_raw(raw as u128 & h.address_mask());
+            for w in h.neighbors_of(v) {
+                prop_assert_eq!(w.raw() & h.address_mask(), w.raw());
+                prop_assert!(h.neighbors_of(w).contains(&v));
+            }
+        }
+    }
+}

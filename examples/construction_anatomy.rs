@@ -1,0 +1,77 @@
+//! Construction anatomy: dissect how the m+1 disjoint paths are built —
+//! crossing plans (rotations vs detours), intermediate son-cube
+//! sequences, and the terminal fans.
+//!
+//! ```text
+//! cargo run --example construction_anatomy
+//! ```
+
+use hhc_suite::hhc::disjoint::{disjoint_paths_traced, ConstructionCase};
+use hhc_suite::hhc::{verify, CrossingOrder, Hhc};
+
+fn main() {
+    let net = Hhc::new(3).unwrap();
+
+    // A cross-cube pair with k = 3 differing positions, chosen so that
+    // int(Yu) lies inside D (forcing a required rotation) and int(Yv)
+    // outside it (forcing a required detour).
+    let u = net.node(0b0000_0000, 0b001).unwrap(); // Yu = 1
+    let v = net.node(0b0010_0011, 0b100).unwrap(); // D = {0, 1, 5}, Yv = 4
+    println!(
+        "pair: u = {}   v = {}",
+        net.format_node(u),
+        net.format_node(v)
+    );
+    println!("differing cube-field positions D = {{0, 1, 5}} (k = 3), m + 1 = 4 paths\n");
+
+    let (paths, trace) = disjoint_paths_traced(&net, u, v, CrossingOrder::Gray).unwrap();
+    verify::verify_disjoint_paths(&net, u, v, &paths).unwrap();
+
+    assert_eq!(trace.case, ConstructionCase::CrossCube);
+    println!(
+        "case: {:?} — {} rotation plan(s) + {} detour plan(s)",
+        trace.case, trace.rotations, trace.detours
+    );
+    println!(
+        "source fan connects Yu={:#05b} to coordinates {:?}",
+        net.node_field(u),
+        trace.source_fan_targets
+    );
+    println!(
+        "target fan connects Yv={:#05b} to coordinates {:?}\n",
+        net.node_field(v),
+        trace.target_fan_targets
+    );
+
+    for (i, (path, plan)) in paths.iter().zip(&trace.plans).enumerate() {
+        let plan = plan.as_ref().expect("cross-cube paths all have plans");
+        let kind = if i < trace.rotations { "rotation" } else { "detour" };
+        println!(
+            "P{i} ({kind}): crossings at positions {:?}, length {}",
+            plan.positions,
+            path.len() - 1
+        );
+        let cubes = plan.intermediate_cubes(net.cube_field(u));
+        println!(
+            "    intermediate son-cubes: {}",
+            cubes
+                .iter()
+                .map(|c| format!("{c:#010b}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    // The same pair inside one son-cube takes the other branch.
+    let w = net.node(0b0000_0000, 0b111).unwrap();
+    let (paths_a, trace_a) = disjoint_paths_traced(&net, u, w, CrossingOrder::Gray).unwrap();
+    verify::verify_disjoint_paths(&net, u, w, &paths_a).unwrap();
+    assert_eq!(trace_a.case, ConstructionCase::SameCube);
+    println!(
+        "\nsame-cube pair u → {}: {:?}, {} in-cube paths + 1 external loop (plan {:?})",
+        net.format_node(w),
+        trace_a.case,
+        net.m(),
+        trace_a.plans.last().unwrap().as_ref().unwrap().positions
+    );
+}

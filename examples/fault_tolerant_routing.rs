@@ -1,0 +1,78 @@
+//! Fault-tolerant routing: demonstrate the paper's headline guarantee —
+//! with at most `m` node faults (and alive endpoints), communication can
+//! never be cut off, because each fault blocks at most one of the `m + 1`
+//! internally disjoint paths.
+//!
+//! ```text
+//! cargo run --example fault_tolerant_routing
+//! ```
+
+use hhc_suite::hhc::Hhc;
+use hhc_suite::netsim::fault::analyze;
+use hhc_suite::netsim::strategy::path_blocked;
+use hhc_suite::workloads::random_fault_set;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn main() {
+    let net = Hhc::new(3).unwrap(); // 2048 nodes, 4 disjoint paths per pair
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    let u = net.node(0x2B, 0b010).unwrap();
+    let v = net.node(0xD4, 0b101).unwrap();
+    println!(
+        "pair: {} → {}   (m = {}, so {} disjoint paths)",
+        net.format_node(u),
+        net.format_node(v),
+        net.m(),
+        net.degree()
+    );
+
+    // Adversarial demonstration: fault exactly one interior node of each
+    // of the first m paths — the (m+1)-th still delivers.
+    let paths = net.disjoint_paths(u, v).unwrap();
+    let adversarial: HashSet<_> = paths[..net.m() as usize]
+        .iter()
+        .map(|p| p[p.len() / 2])
+        .collect();
+    println!(
+        "\nadversarially faulting one interior node of {} of the {} paths:",
+        net.m(),
+        net.degree()
+    );
+    for (i, p) in paths.iter().enumerate() {
+        let blocked = path_blocked(p, &adversarial);
+        println!(
+            "  P{i}: len {:2}  {}",
+            p.len() - 1,
+            if blocked { "BLOCKED" } else { "alive ✓" }
+        );
+    }
+    let out = analyze(&net, u, v, &adversarial);
+    assert!(out.multipath_ok);
+    println!("multipath delivery survives: {}", out.multipath_ok);
+
+    // Statistical demonstration: random fault sets of growing size.
+    println!("\nrandom faults (1000 trials each):");
+    println!("{:>4}  {:>12}  {:>12}", "f", "single-path", "multipath");
+    for f in [1usize, 3, 9, 32, 128] {
+        let mut single = 0u32;
+        let mut multi = 0u32;
+        for _ in 0..1000 {
+            let faults = random_fault_set(&net, f, &[u, v], &mut rng);
+            let out = analyze(&net, u, v, &faults);
+            single += out.single_path_ok as u32;
+            multi += out.multipath_ok as u32;
+        }
+        println!(
+            "{f:>4}  {:>11.1}%  {:>11.1}%",
+            single as f64 / 10.0,
+            multi as f64 / 10.0
+        );
+        if f <= net.m() as usize {
+            assert_eq!(multi, 1000, "guarantee: f ≤ m can never disconnect");
+        }
+    }
+    println!("\nf ≤ m rows are provably 100% — that is the theorem in action.");
+}

@@ -1,0 +1,86 @@
+//! Network simulation: quantify what disjoint-path multipath routing
+//! costs and buys on a live (slotted, store-and-forward) network.
+//!
+//! Sweeps offered load under uniform traffic on HHC(2), comparing the
+//! deterministic single Gray route against random selection among the
+//! m+1 disjoint paths, then repeats one load point with node faults to
+//! show the fault-adaptive strategy delivering everything while the
+//! single path drops.
+//!
+//! ```text
+//! cargo run --release --example multipath_simulation
+//! ```
+
+use hhc_suite::hhc::Hhc;
+use hhc_suite::netsim::{SimConfig, Simulator, Strategy};
+use hhc_suite::workloads::{random_fault_set, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let net = Hhc::new(2).unwrap(); // 64 nodes, degree 3
+    println!(
+        "HHC(2): {} nodes; single Gray route vs random-of-{} disjoint paths\n",
+        net.num_nodes(),
+        net.degree()
+    );
+
+    println!(
+        "{:>6}  {:>12} {:>12}  {:>12} {:>12}",
+        "load", "single lat", "multi lat", "single thr", "multi thr"
+    );
+    for rate in [0.02, 0.05, 0.10, 0.20, 0.30] {
+        let cfg = SimConfig {
+            cycles: 500,
+            drain_cycles: 10_000,
+            inject_rate: rate,
+            seed: 99,
+            ..SimConfig::default()
+        };
+        let s = Simulator::new(&net, Pattern::UniformRandom, Strategy::SinglePath).run(cfg);
+        let m = Simulator::new(&net, Pattern::UniformRandom, Strategy::MultipathRandom).run(cfg);
+        println!(
+            "{rate:>6.2}  {:>12.2} {:>12.2}  {:>12.4} {:>12.4}",
+            s.mean_latency().unwrap(),
+            m.mean_latency().unwrap(),
+            s.throughput(),
+            m.throughput()
+        );
+    }
+    println!("\nmultipath pays a small latency premium (families include detours).");
+
+    // Now inject faults: the premium buys guaranteed delivery. With
+    // f = m = 2 faults, the theorem says fault-adaptive routing can never
+    // fail (packets to a faulty destination are excluded — no strategy
+    // can save those, and they are counted separately).
+    let mut rng = StdRng::seed_from_u64(7);
+    let faults = random_fault_set(&net, net.m() as usize, &[], &mut rng);
+    println!("\nwith f = m = {} random faulty nodes at load 0.05:", faults.len());
+    let cfg = SimConfig {
+        cycles: 500,
+        drain_cycles: 10_000,
+        inject_rate: 0.05,
+        seed: 99,
+        ..SimConfig::default()
+    };
+    let s = Simulator::new(&net, Pattern::UniformRandom, Strategy::SinglePath)
+        .with_faults(faults.clone())
+        .run(cfg);
+    let a = Simulator::new(&net, Pattern::UniformRandom, Strategy::FaultAdaptive)
+        .with_faults(faults)
+        .run(cfg);
+    println!(
+        "  single-path:    {} injected, {} routing drops",
+        s.injected, s.dropped_unroutable
+    );
+    println!(
+        "  fault-adaptive: {} injected, {} routing drops",
+        a.injected, a.dropped_unroutable
+    );
+    assert_eq!(
+        a.dropped_unroutable, 0,
+        "theorem: f ≤ m faults can never make a live pair unroutable"
+    );
+    assert_eq!(a.delivered, a.injected, "network must drain");
+    println!("  fault-adaptive had zero routing drops, as the theorem guarantees.");
+}

@@ -1,0 +1,123 @@
+//! End-to-end scenarios across hhc-core + workloads + netsim.
+
+use hhc_suite::hhc::{Hhc, NodeId};
+use hhc_suite::netsim::{fault, SimConfig, Simulator, Strategy};
+use hhc_suite::workloads::{random_fault_set, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Full pipeline at moderate load: inject, route, drain — conservation
+/// holds and every delivered packet's latency ≥ its hop count.
+#[test]
+fn pipeline_conservation_and_latency_sanity() {
+    let h = Hhc::new(2).unwrap();
+    for strategy in [Strategy::SinglePath, Strategy::MultipathRandom] {
+        let stats = Simulator::new(&h, Pattern::UniformRandom, strategy).run(SimConfig {
+            cycles: 400,
+            drain_cycles: 10_000,
+            inject_rate: 0.1,
+            seed: 123,
+            ..SimConfig::default()
+        });
+        assert_eq!(stats.delivered, stats.injected, "{strategy:?} must drain");
+        assert!(stats.latency_sum >= stats.hops_sum, "{strategy:?} latency floor");
+        assert!(stats.delivered > 500, "{strategy:?} too little traffic to be meaningful");
+    }
+}
+
+/// Every traffic pattern runs end-to-end without loss.
+#[test]
+fn all_patterns_run_clean() {
+    let h = Hhc::new(2).unwrap();
+    for pattern in [
+        Pattern::UniformRandom,
+        Pattern::BitComplement,
+        Pattern::BitReversal,
+        Pattern::Transpose,
+        Pattern::Hotspot { hot_fraction: 0.4 },
+    ] {
+        let stats = Simulator::new(&h, pattern, Strategy::SinglePath).run(SimConfig {
+            cycles: 200,
+            drain_cycles: 8_000,
+            inject_rate: 0.05,
+            seed: 5,
+            ..SimConfig::default()
+        });
+        assert_eq!(stats.delivered, stats.injected, "{pattern:?}");
+        assert_eq!(stats.dropped_unroutable, 0, "{pattern:?}: no faults, no drops");
+    }
+}
+
+/// Fault-adaptive routing under exactly m faults: zero routing drops,
+/// across many random fault sets (the theorem, exercised through the
+/// whole simulator stack).
+#[test]
+fn theorem_holds_through_the_simulator() {
+    let h = Hhc::new(2).unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+    for trial in 0..10 {
+        let faults = random_fault_set(&h, h.m() as usize, &[], &mut rng);
+        let stats = Simulator::new(&h, Pattern::UniformRandom, Strategy::FaultAdaptive)
+            .with_faults(faults)
+            .run(SimConfig {
+                cycles: 150,
+                drain_cycles: 6_000,
+                inject_rate: 0.08,
+                seed: 1000 + trial,
+                ..SimConfig::default()
+            });
+        assert_eq!(stats.dropped_unroutable, 0, "trial {trial}");
+        assert_eq!(stats.delivered, stats.injected, "trial {trial}");
+    }
+}
+
+/// Static fault analysis agrees with BFS ground truth: whenever the
+/// multipath analysis says "deliverable", the pair is in fact connected
+/// in the faulty residual graph (soundness; completeness can fail — BFS
+/// may find a path when all m+1 fixed paths are blocked).
+#[test]
+fn static_analysis_sound_against_bfs() {
+    let h = Hhc::new(2).unwrap();
+    let g = h.materialize().unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+    for f in [1usize, 3, 6, 12, 24] {
+        for _ in 0..30 {
+            let u = NodeId::from_raw(17);
+            let v = NodeId::from_raw(42);
+            let faults = random_fault_set(&h, f, &[u, v], &mut rng);
+            let out = fault::analyze(&h, u, v, &faults);
+            let fault_ids: HashSet<u32> = faults.iter().map(|x| x.raw() as u32).collect();
+            let bfs = hhc_suite::graphs::bfs::Bfs::run_avoiding(&g, u.raw() as u32, |x| {
+                fault_ids.contains(&x)
+            });
+            let reachable = bfs.dist(v.raw() as u32).is_some();
+            if out.multipath_ok {
+                assert!(reachable, "analysis claimed deliverable but BFS disagrees");
+            }
+            if out.single_path_ok {
+                assert!(reachable, "single path alive implies reachable");
+            }
+        }
+    }
+}
+
+/// Deterministic replay: identical configs give identical stats across
+/// the full stack (patterns, strategies, faults).
+#[test]
+fn full_stack_determinism() {
+    let h = Hhc::new(2).unwrap();
+    let faults = random_fault_set(&h, 3, &[], &mut StdRng::seed_from_u64(8));
+    let mk = || {
+        Simulator::new(&h, Pattern::Hotspot { hot_fraction: 0.3 }, Strategy::FaultAdaptive)
+            .with_faults(faults.clone())
+            .run(SimConfig {
+                cycles: 250,
+                drain_cycles: 5_000,
+                inject_rate: 0.07,
+                seed: 4242,
+                ..SimConfig::default()
+            })
+    };
+    assert_eq!(mk(), mk());
+}

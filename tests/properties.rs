@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) over the whole stack.
+
+use hhc_suite::hhc::{bounds, disjoint, routing, verify, CrossingOrder, Hhc, NodeId};
+use hhc_suite::hypercube::{fan, gray, paths as qpaths, Cube};
+use proptest::prelude::*;
+
+/// Strategy: a network size and a pair of distinct nodes in it.
+fn hhc_pair() -> impl Strategy<Value = (u32, u128, u128)> {
+    (1u32..=6).prop_flat_map(|m| {
+        let n = (1u32 << m) + m;
+        let mask = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+        (Just(m), any::<u128>(), any::<u128>())
+            .prop_map(move |(m, a, b)| (m, a & mask, b & mask))
+            .prop_filter("distinct", |(_, a, b)| a != b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The central theorem: for any m and any distinct pair, the
+    /// construction yields m+1 paths that verify and respect the bound.
+    #[test]
+    fn disjoint_paths_always_verify((m, a, b) in hhc_pair()) {
+        let h = Hhc::new(m).unwrap();
+        let (u, v) = (NodeId::from_raw(a), NodeId::from_raw(b));
+        let paths = h.disjoint_paths(u, v).unwrap();
+        prop_assert_eq!(paths.len() as u32, h.degree());
+        verify::verify_disjoint_paths(&h, u, v, &paths)
+            .map_err(TestCaseError::fail)?;
+        let bound = bounds::length_bound(&h, u, v);
+        for p in &paths {
+            prop_assert!((p.len() - 1) as u32 <= bound);
+        }
+    }
+
+    /// Sorted crossing order is also always correct (ablation safety).
+    #[test]
+    fn sorted_order_always_verifies((m, a, b) in hhc_pair()) {
+        let h = Hhc::new(m).unwrap();
+        let (u, v) = (NodeId::from_raw(a), NodeId::from_raw(b));
+        let paths = disjoint::disjoint_paths(&h, u, v, CrossingOrder::Sorted).unwrap();
+        verify::verify_disjoint_paths(&h, u, v, &paths)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// Routing always produces a valid simple path within its bound.
+    #[test]
+    fn route_always_valid((m, a, b) in hhc_pair()) {
+        let h = Hhc::new(m).unwrap();
+        let (u, v) = (NodeId::from_raw(a), NodeId::from_raw(b));
+        let p = h.route(u, v).unwrap();
+        verify::verify_path(&h, u, v, &p).map_err(TestCaseError::fail)?;
+        prop_assert!((p.len() - 1) as u32 <= routing::route_length_bound(&h, u, v));
+        prop_assert!((p.len() - 1) as u32 >= h.distance_lower_bound(u, v));
+    }
+
+    /// Q_n one-to-one disjoint paths: always n of them, always disjoint,
+    /// lengths exactly {k × H, (n−k) × (H+2)}.
+    #[test]
+    fn qn_disjoint_paths_structure(n in 1u32..=24, a in any::<u128>(), b in any::<u128>()) {
+        let cube = Cube::new(n).unwrap();
+        let mask = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+        let (u, v) = (a & mask, b & mask);
+        prop_assume!(u != v);
+        let ps = qpaths::disjoint_paths(&cube, u, v).unwrap();
+        prop_assert_eq!(ps.len() as u32, n);
+        qpaths::check_disjoint(&cube, u, v, &ps).map_err(|e| TestCaseError::fail(proptest::test_runner::Reason::from(e)))?;
+        let k = cube.distance(u, v) as usize;
+        let mut lens: Vec<usize> = ps.iter().map(|p| p.len() - 1).collect();
+        lens.sort_unstable();
+        let mut expected = vec![k; k];
+        expected.extend(std::iter::repeat_n(k + 2, n as usize - k));
+        expected.sort_unstable();
+        prop_assert_eq!(lens, expected);
+    }
+
+    /// Gray rank is a bijection inverse on every m-bit word.
+    #[test]
+    fn gray_roundtrip(i in any::<u64>()) {
+        prop_assert_eq!(gray::gray_rank(gray::gray(i)), i);
+    }
+
+    /// Fans in the largest son-cube always exist and verify for any ≤ m
+    /// distinct targets.
+    #[test]
+    fn fans_always_verify(
+        s in 0u128..64,
+        raw_targets in proptest::collection::vec(0u128..64, 1..=6),
+    ) {
+        let cube = Cube::new(6).unwrap();
+        let mut targets = raw_targets;
+        targets.sort_unstable();
+        targets.dedup();
+        targets.retain(|&t| t != s);
+        prop_assume!(!targets.is_empty());
+        let f = fan::fan_paths(&cube, s, &targets).unwrap();
+        fan::check_fan(&cube, s, &targets, &f).map_err(|e| TestCaseError::fail(proptest::test_runner::Reason::from(e)))?;
+    }
+
+    /// Length bound is monotone in k (more crossings can't lower it) and
+    /// always at least the diameter's same-cube floor.
+    #[test]
+    fn bound_is_sane((m, a, b) in hhc_pair()) {
+        let h = Hhc::new(m).unwrap();
+        let (u, v) = (NodeId::from_raw(a), NodeId::from_raw(b));
+        let bound = bounds::length_bound(&h, u, v);
+        prop_assert!(bound >= 1);
+        prop_assert!(bound <= bounds::wide_diameter_upper_bound(&h));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// End-to-end: the disjoint paths survive any fault set of size ≤ m
+    /// that avoids the endpoints (the fault-tolerance theorem, fuzzed).
+    #[test]
+    fn fault_tolerance_theorem_fuzzed(
+        (m, a, b) in hhc_pair(),
+        fault_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let h = Hhc::new(m).unwrap();
+        let (u, v) = (NodeId::from_raw(a), NodeId::from_raw(b));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(fault_seed);
+        let n = h.n();
+        let mask = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+        let mut faults = std::collections::HashSet::new();
+        while faults.len() < m as usize {
+            let x = ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask;
+            let f = NodeId::from_raw(x);
+            if f != u && f != v {
+                faults.insert(f);
+            }
+        }
+        let paths = h.disjoint_paths(u, v).unwrap();
+        let alive = paths
+            .iter()
+            .filter(|p| !p.iter().any(|x| faults.contains(x)))
+            .count();
+        prop_assert!(alive >= 1, "m faults cannot block all m+1 disjoint paths");
+    }
+}
