@@ -1,0 +1,249 @@
+//! Offline subset of the `criterion` API (see `compat/README.md`).
+//!
+//! Provides `Criterion`, benchmark groups, `BenchmarkId`,
+//! `Throughput::Elements`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple wall-clock mean:
+//! a warm-up, then timed batches until a target measurement time is
+//! reached. Results print as `ns/iter` (plus an elements/sec rate when
+//! a throughput is set); there is no statistical analysis, HTML report,
+//! or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation: lets a benchmark report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for a short fixed window to reach steady state.
+        let warmup = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warmup.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Measurement: batches sized from the estimate, totalling ~1s.
+        let target = Duration::from_millis(1000);
+        let batch = ((target.as_nanos() as f64 / 10.0 / est_ns) as u64).clamp(1, 1 << 24);
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        while total_ns < target.as_nanos() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += t0.elapsed().as_nanos();
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns as f64 / total_iters as f64;
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let human = if mean_ns >= 1e9 {
+        format!("{:.3} s", mean_ns / 1e9)
+    } else if mean_ns >= 1e6 {
+        format!("{:.3} ms", mean_ns / 1e6)
+    } else if mean_ns >= 1e3 {
+        format!("{:.3} µs", mean_ns / 1e3)
+    } else {
+        format!("{:.1} ns", mean_ns)
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9);
+            println!("bench: {name:<48} {human}/iter  ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9);
+            println!("bench: {name:<48} {human}/iter  ({rate:.0} B/s)");
+        }
+        None => {
+            println!("bench: {name:<48} {human}/iter");
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into_benchmark_id().id),
+            b.mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Conversions accepted where criterion takes a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(&name.into_benchmark_id().id, b.mean_ns, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_ns: 0.0 };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("gray", 3).id, "gray/3");
+        assert_eq!(BenchmarkId::from_parameter(5).id, "5");
+    }
+}

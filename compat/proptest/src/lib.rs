@@ -1,0 +1,624 @@
+//! Offline subset of the `proptest` API (see `compat/README.md`).
+//!
+//! Implements the `proptest!` macro, the [`Strategy`] trait with the
+//! combinators this workspace uses (`prop_map`, `prop_flat_map`,
+//! `prop_filter`), primitive/`any`/`Just`/tuple/range/`collection::vec`
+//! strategies, and a deterministic runner. No shrinking and no failure
+//! persistence: a failing case panics with the test name, case index,
+//! and reason, and the fixed per-test seed makes the failure
+//! reproducible by re-running the test.
+
+pub mod test_runner {
+    /// Why a test case failed or was rejected.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Reason(String);
+
+    impl Reason {
+        pub fn message(&self) -> &str {
+            &self.0
+        }
+    }
+
+    impl From<String> for Reason {
+        fn from(s: String) -> Self {
+            Reason(s)
+        }
+    }
+
+    impl From<&str> for Reason {
+        fn from(s: &str) -> Self {
+            Reason(s.to_owned())
+        }
+    }
+
+    impl std::fmt::Display for Reason {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Errors a test case body can produce.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case is invalid input (`prop_assume!` failed); retried
+        /// without counting against the case budget.
+        Reject(Reason),
+        /// The property is false for this input.
+        Fail(Reason),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<Reason>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<Reason>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honoured by this subset.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator driving value sampling (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+
+        /// Uniform draw in `[0, span)`; `span > 0`.
+        pub fn below(&mut self, span: u128) -> u128 {
+            if span.is_power_of_two() {
+                return self.next_u128() & (span - 1);
+            }
+            let zone = u128::MAX - (u128::MAX - span + 1) % span;
+            loop {
+                let draw = self.next_u128();
+                if draw <= zone {
+                    return draw % span;
+                }
+            }
+        }
+    }
+
+    const MAX_REJECTS: u32 = 65_536;
+
+    /// Execute `cases` sampled test cases. Called by the `proptest!`
+    /// macro expansion; panics on the first failing case.
+    pub fn run<S, F>(config: ProptestConfig, name: &str, strategy: &S, test: F)
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        // Fixed seed per test (FNV-1a of the name): deterministic runs.
+        let mut seed = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = TestRng::new(seed);
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < config.cases {
+            let value = match strategy.sample(&mut rng) {
+                Some(v) => v,
+                None => {
+                    rejects += 1;
+                    assert!(
+                        rejects < MAX_REJECTS,
+                        "proptest '{name}': too many strategy rejections ({rejects})"
+                    );
+                    continue;
+                }
+            };
+            match test(value) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < MAX_REJECTS,
+                        "proptest '{name}': too many assumption rejections ({rejects})"
+                    );
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!("proptest '{name}' failed at case {case}: {reason}");
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`. `sample` returns `None`
+    /// when a filter rejects the draw; the runner retries the case.
+    pub trait Strategy: Sized {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<R, F>(self, _reason: R, f: F) -> Filter<Self, F>
+        where
+            R: Into<crate::test_runner::Reason>,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+    }
+
+    /// Strategy producing a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+            let outer = self.inner.sample(rng)?;
+            (self.f)(outer).sample(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            let v = self.inner.sample(rng)?;
+            if (self.f)(&v) {
+                Some(v)
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Integer types range strategies can produce.
+    pub trait RangeValue: Copy {
+        fn widen(self) -> u128;
+        fn narrow(v: u128) -> Self;
+    }
+
+    macro_rules! impl_range_value {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn widen(self) -> u128 {
+                    self as u128
+                }
+                fn narrow(v: u128) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_value!(u8, u16, u32, u64, u128, usize);
+
+    impl<T: RangeValue> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            let lo = self.start.widen();
+            let hi = self.end.widen();
+            assert!(lo < hi, "empty range strategy");
+            Some(T::narrow(lo + rng.below(hi - lo)))
+        }
+    }
+
+    impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            let lo = self.start().widen();
+            let hi = self.end().widen();
+            assert!(lo <= hi, "empty range strategy");
+            Some(T::narrow(lo + rng.below(hi - lo + 1)))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.sample(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u128() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64);
+
+    /// Strategy over the whole domain of `T`.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::arbitrary_value(rng))
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Ranges accepted as element-count specifications for [`vec`].
+    pub trait SizeRange {
+        /// `(min, max)` inclusive bounds.
+        fn size_bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn size_bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn size_bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn size_bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let (lo, hi) = self.size.size_bounds();
+            let len = lo + rng.below((hi - lo + 1) as u128) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.sample(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector whose length lies in
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} ({:?} vs {:?})",
+                format!($($fmt)+),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} (both {:?})",
+                format!($($fmt)+),
+                a
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __strategy = ($($strat,)+);
+                $crate::test_runner::run(
+                    __config,
+                    stringify!($name),
+                    &__strategy,
+                    |__values| {
+                        let ($($pat,)+) = __values;
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in 5u64..=9) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((5..=9).contains(&y));
+        }
+
+        /// Tuple + map + filter composition works, and filters hold.
+        #[test]
+        fn composed_strategies(
+            (a, b) in (0u32..100, 0u32..100).prop_filter("distinct", |(a, b)| a != b)
+        ) {
+            prop_assert_ne!(a, b);
+        }
+
+        /// flat_map dependency: second component below the first.
+        #[test]
+        fn flat_map_dependent(
+            (n, k) in (1usize..20).prop_flat_map(|n| (Just(n), 0usize..n))
+        ) {
+            prop_assert!(k < n, "k={} n={}", k, n);
+        }
+
+        /// collection::vec respects its size range.
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..5, 2..=4)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            for x in v {
+                prop_assert!(x < 5);
+            }
+        }
+
+        /// prop_assume rejects without failing.
+        #[test]
+        fn assume_reroll(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::test_runner::run(
+            ProptestConfig::with_cases(16),
+            "always_fails",
+            &(0u32..10,),
+            |_| Err(TestCaseError::fail("nope")),
+        );
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        use crate::strategy::Strategy;
+        let strat = (0u32..1000, 0u64..1000);
+        let mut r1 = crate::test_runner::TestRng::new(99);
+        let mut r2 = crate::test_runner::TestRng::new(99);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut r1), strat.sample(&mut r2));
+        }
+    }
+}

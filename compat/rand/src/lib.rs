@@ -1,0 +1,236 @@
+//! Offline subset of the `rand` 0.8 API (see `compat/README.md`).
+//!
+//! Provides the surface this workspace uses: the [`Rng`] and
+//! [`SeedableRng`] traits and [`rngs::StdRng`]. The generator is a
+//! deterministic SplitMix64 — same seed, same stream, everywhere — but
+//! is *not* bit-compatible with upstream rand's ChaCha-based `StdRng`.
+
+/// Types that can produce a uniformly distributed sample from a raw
+/// 64-bit draw (the subset of `rand`'s `Standard` distribution we need).
+pub trait Standard: Sized {
+    fn from_u64(raw: u64, next: impl FnMut() -> u64) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_u64(raw: u64, _next: impl FnMut() -> u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_u64(raw: u64, _next: impl FnMut() -> u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for u128 {
+    #[inline]
+    fn from_u64(raw: u64, mut next: impl FnMut() -> u64) -> Self {
+        ((raw as u128) << 64) | next() as u128
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_u64(raw: u64, _next: impl FnMut() -> u64) -> Self {
+        raw >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_u64(raw: u64, _next: impl FnMut() -> u64) -> Self {
+        // 53 high bits into [0, 1), matching rand's open-low convention.
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn to_u128(self) -> u128;
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            #[inline]
+            fn from_u128(v: u128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, u128, usize);
+
+/// Half-open or inclusive ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Bounds as `(low, span)` where the sample is `low + x` for
+    /// `x` uniform in `[0, span)`. Panics if the range is empty.
+    fn bounds(self) -> (u128, u128);
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn bounds(self) -> (u128, u128) {
+        let lo = self.start.to_u128();
+        let hi = self.end.to_u128();
+        assert!(lo < hi, "cannot sample empty range");
+        (lo, hi - lo)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn bounds(self) -> (u128, u128) {
+        let lo = self.start().to_u128();
+        let hi = self.end().to_u128();
+        assert!(lo <= hi, "cannot sample empty range");
+        (lo, hi - lo + 1)
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The raw 64-bit generator step.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` from the standard distribution.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        let raw = self.next_u64();
+        T::from_u64(raw, || self.next_u64())
+    }
+
+    /// Uniform sample from an integer range (Lemire-style rejection is
+    /// overkill here; widening multiply over u128 spans is unbiased
+    /// enough for the span sizes the workspace draws from, but we use
+    /// simple rejection sampling to stay exactly uniform).
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let (lo, span) = range.bounds();
+        // Rejection-sample the top multiple of `span` to stay unbiased.
+        if span.is_power_of_two() {
+            let draw = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            return T::from_u128(lo + (draw & (span - 1)));
+        }
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let draw = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            if draw <= zone {
+                return T::from_u128(lo + draw % span);
+            }
+        }
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for rand's
+    /// `StdRng`. Not bit-compatible with upstream; identical streams
+    /// for identical seeds is the property the repo relies on.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(0..17);
+            assert!(x < 17);
+            let y: usize = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn u128_uses_two_draws() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hi_lo: u128 = rng.gen();
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let a = rng2.gen::<u64>() as u128;
+        let b = rng2.gen::<u64>() as u128;
+        assert_eq!(hi_lo, (a << 64) | b);
+    }
+}

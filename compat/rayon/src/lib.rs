@@ -1,0 +1,269 @@
+//! Offline subset of the `rayon` API (see `compat/README.md`).
+//!
+//! Supports `par_iter()` over slices and `Vec`s with the adapters the
+//! workspace uses (`map`, `map_init`, `for_each`) and eager terminals
+//! (`collect`, `max`). Execution chunks the input across OS threads via
+//! `std::thread::scope`; output order matches input order. The thread
+//! count is `RAYON_NUM_THREADS` if set, else available parallelism.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for parallel execution.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `len` items into per-thread subranges of near-equal size.
+fn chunk_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.clamp(1, len.max(1));
+    let base = len / threads;
+    let extra = len % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let size = base + usize::from(t < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Run `work` over each chunk of `0..len`, returning per-chunk results
+/// in input order.
+fn run_chunked<R, F>(len: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(len, current_num_threads());
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(work).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            handles.push(scope.spawn(move || work(range)));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("rayon-compat worker panicked"));
+        }
+    });
+    results.into_iter().map(Option::unwrap).collect()
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct Iter<'a, T> {
+    items: &'a [T],
+}
+
+/// `par_iter` entry point, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> Iter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { items: self }
+    }
+}
+
+impl<'a, T: Sync> Iter<'a, T> {
+    pub fn map<U, F>(self, f: F) -> Map<'a, T, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> MapInit<'a, T, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> U + Sync,
+        U: Send,
+    {
+        MapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_chunked(self.items.len(), |range| {
+            for item in &self.items[range] {
+                f(item);
+            }
+        });
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Result of [`Iter::map`].
+pub struct Map<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> Map<'a, T, F> {
+    fn run(self) -> impl Iterator<Item = U> {
+        run_chunked(self.items.len(), |range| {
+            self.items[range].iter().map(&self.f).collect::<Vec<U>>()
+        })
+        .into_iter()
+        .flatten()
+    }
+
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        self.run().collect()
+    }
+
+    pub fn max(self) -> Option<U>
+    where
+        U: Ord,
+    {
+        self.run().max()
+    }
+
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        self.run().sum()
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        run_chunked(self.items.len(), |range| {
+            for item in &self.items[range] {
+                g((self.f)(item));
+            }
+        });
+    }
+}
+
+/// Result of [`Iter::map_init`].
+pub struct MapInit<'a, T, INIT, F> {
+    items: &'a [T],
+    init: INIT,
+    f: F,
+}
+
+impl<'a, T, S, U, INIT, F> MapInit<'a, T, INIT, F>
+where
+    T: Sync,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> U + Sync,
+{
+    fn run(self) -> impl Iterator<Item = U> {
+        run_chunked(self.items.len(), |range| {
+            let mut state = (self.init)();
+            self.items[range]
+                .iter()
+                .map(|item| (self.f)(&mut state, item))
+                .collect::<Vec<U>>()
+        })
+        .into_iter()
+        .flatten()
+    }
+
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        self.run().collect()
+    }
+}
+
+pub mod prelude {
+    pub use super::IntoParallelRefIterator;
+}
+
+pub mod iter {
+    pub use super::{IntoParallelRefIterator, Iter, Map, MapInit};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u32> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn map_max() {
+        let xs = vec![3u32, 9, 1, 7];
+        assert_eq!(xs.par_iter().map(|&x| x).max(), Some(9));
+        let empty: Vec<u32> = vec![];
+        assert_eq!(empty.par_iter().map(|&x| x).max(), None);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let xs: Vec<u64> = (1..=100).collect();
+        let total = AtomicU64::new(0);
+        xs.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn map_init_runs_init_per_chunk() {
+        let xs: Vec<u32> = (0..64).collect();
+        let out: Vec<u32> = xs
+            .par_iter()
+            .map_init(|| 1u32, |one, &x| x + *one)
+            .collect();
+        assert_eq!(out, (1..=64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        for len in [0usize, 1, 5, 17, 100] {
+            for threads in [1usize, 2, 3, 8] {
+                let ranges = super::chunk_ranges(len, threads);
+                let mut covered = 0;
+                let mut expect = 0;
+                for r in ranges {
+                    assert_eq!(r.start, expect);
+                    covered += r.len();
+                    expect = r.end;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

@@ -58,9 +58,7 @@ fn bench_dinic_scaling(c: &mut Criterion) {
         let cube = hypercube::Cube::new(n).unwrap();
         let g = cube.materialize().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                graphs::vertex_connectivity_between(&g, 0, (1u32 << n) - 1)
-            });
+            b.iter(|| graphs::vertex_connectivity_between(&g, 0, (1u32 << n) - 1));
         });
     }
     group.finish();

@@ -1,0 +1,70 @@
+//! Benchmark: many-pair disjoint-path construction — per-pair allocating
+//! API vs the batch engine.
+//!
+//! Three contenders on the same random pair list:
+//!
+//! * `per_pair`  — a loop over `disjoint::disjoint_paths` (allocates its
+//!   scratch and both fan networks on every call);
+//! * `batched_serial` — `batch::construct_many_serial` (one reused
+//!   `PathBuilder`, current thread; isolates the allocation-reuse win);
+//! * `batched_rayon` — `batch::construct_many` (`map_init` fan-out; adds
+//!   the parallelism win on multi-core hosts).
+//!
+//! Throughput is reported in pairs/second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhc_core::{batch, disjoint, CrossingOrder, Hhc};
+use workloads::sampling::random_pairs;
+
+fn bench_batch_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput");
+    for m in 3..=6u32 {
+        let h = Hhc::new(m).unwrap();
+        let pairs = random_pairs(&h, 512, 0xBA7C + m as u64);
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("per_pair", m), &m, |b, _| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(pairs.len());
+                for &(u, v) in &pairs {
+                    out.push(disjoint::disjoint_paths(&h, u, v, CrossingOrder::Gray).unwrap());
+                }
+                out
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched_serial", m), &m, |b, _| {
+            b.iter(|| batch::construct_many_serial(&h, &pairs, CrossingOrder::Gray).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("batched_rayon", m), &m, |b, _| {
+            b.iter(|| batch::construct_many(&h, &pairs, CrossingOrder::Gray).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_acceptance_workload(c: &mut Criterion) {
+    // The acceptance workload: 10k random HHC(5) pairs in one batch.
+    let mut group = c.benchmark_group("batch_10k_hhc5");
+    group.sample_size(10);
+    let h = Hhc::new(5).unwrap();
+    let pairs = random_pairs(&h, 10_000, 0x10_000);
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("per_pair", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(pairs.len());
+            for &(u, v) in &pairs {
+                out.push(disjoint::disjoint_paths(&h, u, v, CrossingOrder::Gray).unwrap());
+            }
+            out
+        });
+    });
+    group.bench_function("batched_serial", |b| {
+        b.iter(|| batch::construct_many_serial(&h, &pairs, CrossingOrder::Gray).unwrap());
+    });
+    group.bench_function("batched_rayon", |b| {
+        b.iter(|| batch::construct_many(&h, &pairs, CrossingOrder::Gray).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_engines, bench_acceptance_workload);
+criterion_main!(benches);

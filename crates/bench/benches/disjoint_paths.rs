@@ -2,27 +2,8 @@
 //! constructive column and F5's order ablation at the microbench level).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hhc_core::{disjoint, CrossingOrder, Hhc, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn random_pairs(h: &Hhc, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mask = if h.n() >= 128 {
-        u128::MAX
-    } else {
-        (1u128 << h.n()) - 1
-    };
-    let mut out = Vec::with_capacity(count);
-    while out.len() < count {
-        let a = ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask;
-        let b = ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask;
-        if a != b {
-            out.push((NodeId::from_raw(a), NodeId::from_raw(b)));
-        }
-    }
-    out
-}
+use hhc_core::{disjoint, CrossingOrder, Hhc};
+use workloads::sampling::random_pairs;
 
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("disjoint_paths");

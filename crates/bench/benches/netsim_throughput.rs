@@ -35,12 +35,8 @@ fn bench_fault_analysis(c: &mut Criterion) {
     let h = Hhc::new(3).unwrap();
     let u = h.node(0x2B, 0b010).unwrap();
     let v = h.node(0xD4, 0b101).unwrap();
-    let faults = workloads::random_fault_set(
-        &h,
-        16,
-        &[u, v],
-        &mut rand::rngs::StdRng::seed_from_u64(3),
-    );
+    let faults =
+        workloads::random_fault_set(&h, 16, &[u, v], &mut rand::rngs::StdRng::seed_from_u64(3));
     c.bench_function("fault_analyze_m3", |b| {
         b.iter(|| netsim::fault::analyze(&h, u, v, &faults))
     });

@@ -19,8 +19,12 @@ fn bench_hhc_route(c: &mut Criterion) {
         let pairs: Vec<(NodeId, NodeId)> = (0..64)
             .map(|_| {
                 (
-                    NodeId::from_raw(((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask),
-                    NodeId::from_raw(((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask),
+                    NodeId::from_raw(
+                        ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask,
+                    ),
+                    NodeId::from_raw(
+                        ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask,
+                    ),
                 )
             })
             .filter(|(a, b)| a != b)
@@ -41,7 +45,11 @@ fn bench_qn_shortest_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("qn_shortest_path");
     for n in [8u32, 32, 100] {
         let cube = Cube::new(n).unwrap();
-        let mask = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+        let mask = if n >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << n) - 1
+        };
         let u = 0x5555_5555_5555_5555_5555_5555_5555_5555u128 & mask;
         let v = 0x3333_3333_3333_3333_3333_3333_3333_3333u128 & mask;
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -58,5 +66,10 @@ fn bench_gray_ordering(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hhc_route, bench_qn_shortest_path, bench_gray_ordering);
+criterion_group!(
+    benches,
+    bench_hhc_route,
+    bench_qn_shortest_path,
+    bench_gray_ordering
+);
 criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Quick throughput profiler for the batch engine: measures the per-pair
+//! loop, the scratch-reusing core, and both batch entry points on the
+//! acceptance workload (random HHC(5) pairs), plus a replay of the exact
+//! fan queries the construction issues. Uses a min-over-repeats protocol
+//! so a noisy host does not swamp the numbers; `cargo bench -p bench
+//! --bench batch_throughput` is the canonical measurement.
+
+use hhc_core::{batch, disjoint, CrossingOrder, Hhc, PathBuilder, PathSet};
+use std::time::Instant;
+
+const REPEATS: usize = 5;
+
+fn min_time<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let h = Hhc::new(5).unwrap();
+    let pairs = workloads::sampling::random_pairs(&h, 4000, 0x10_000);
+    let n = pairs.len() as f64;
+
+    // Warm-up both code paths once.
+    let mut sc = PathBuilder::new();
+    let mut set = PathSet::new();
+    for &(u, v) in &pairs {
+        disjoint::disjoint_paths_into(&h, u, v, CrossingOrder::Gray, &mut set, &mut sc).unwrap();
+    }
+
+    let per_pair = min_time(|| {
+        let mut out = Vec::with_capacity(pairs.len());
+        for &(u, v) in &pairs {
+            out.push(disjoint::disjoint_paths(&h, u, v, CrossingOrder::Gray).unwrap());
+        }
+        std::hint::black_box(&out);
+    });
+    let core = min_time(|| {
+        for &(u, v) in &pairs {
+            disjoint::disjoint_paths_into(&h, u, v, CrossingOrder::Gray, &mut set, &mut sc)
+                .unwrap();
+            std::hint::black_box(&set);
+        }
+    });
+    let serial = min_time(|| {
+        let out = batch::construct_many_serial(&h, &pairs, CrossingOrder::Gray).unwrap();
+        std::hint::black_box(&out);
+    });
+    let rayon = min_time(|| {
+        let out = batch::construct_many(&h, &pairs, CrossingOrder::Gray).unwrap();
+        std::hint::black_box(&out);
+    });
+
+    // Fan share: replay the real (source, targets) fan queries this
+    // workload issues, via the construction trace.
+    let cube = hypercube::Cube::new(5).unwrap();
+    let mut queries: Vec<(u128, Vec<u128>)> = Vec::new();
+    for &(u, v) in &pairs {
+        if let Ok((_, tr)) = disjoint::disjoint_paths_traced(&h, u, v, CrossingOrder::Gray) {
+            queries.push((
+                h.node_field(u) as u128,
+                tr.source_fan_targets.iter().map(|&t| t as u128).collect(),
+            ));
+            queries.push((
+                h.node_field(v) as u128,
+                tr.target_fan_targets.iter().map(|&t| t as u128).collect(),
+            ));
+        }
+    }
+    queries.retain(|(_, t)| !t.is_empty());
+    let mut fs = hypercube::FanScratch::new();
+    for (s, tg) in &queries {
+        let _ = hypercube::fan_paths_into(&cube, *s, tg, &mut fs);
+    }
+    let fan = min_time(|| {
+        for (s, tg) in &queries {
+            let _ = hypercube::fan_paths_into(&cube, *s, tg, &mut fs);
+            std::hint::black_box(&fs);
+        }
+    });
+
+    println!("per_pair        {:8.1} us/pair", per_pair * 1e6 / n);
+    println!("core (no alloc) {:8.1} us/pair", core * 1e6 / n);
+    println!(
+        "batched_serial  {:8.1} us/pair  ({:.2}x)",
+        serial * 1e6 / n,
+        per_pair / serial
+    );
+    println!(
+        "batched_rayon   {:8.1} us/pair  ({:.2}x)",
+        rayon * 1e6 / n,
+        per_pair / rayon
+    );
+    println!(
+        "fan replay      {:8.1} us/pair ({} queries, {:.1} us/call)",
+        fan * 1e6 / n,
+        queries.len(),
+        fan * 1e6 / queries.len() as f64
+    );
+}

@@ -7,8 +7,7 @@
 
 use crate::table::Table;
 use crate::util;
-use hhc_core::verify::construct_and_verify;
-use hhc_core::{bounds, Hhc};
+use hhc_core::{bounds, CrossingOrder, Hhc, Workspace};
 use rayon::prelude::*;
 
 pub fn run() {
@@ -27,7 +26,10 @@ pub fn run() {
             };
             let maxima: Vec<u32> = pairs
                 .par_iter()
-                .map(|&(u, v)| construct_and_verify(&h, u, v).expect("verified"))
+                .map_init(Workspace::new, |ws, &(u, v)| {
+                    ws.construct_and_verify(&h, u, v, CrossingOrder::Gray)
+                        .expect("verified")
+                })
                 .collect();
             let max = *maxima.iter().max().unwrap();
             let avg = maxima.iter().map(|&x| x as f64).sum::<f64>() / maxima.len() as f64;

@@ -11,7 +11,14 @@ use hhc_core::{bounds, wide, Hhc};
 pub fn run() {
     let mut t = Table::new(
         "F2: max disjoint-path length vs m (observed / bound / diameter)",
-        &["m", "pairs", "observed max", "bound", "diameter", "obs/diam"],
+        &[
+            "m",
+            "pairs",
+            "observed max",
+            "bound",
+            "diameter",
+            "obs/diam",
+        ],
     );
     for m in 1..=6u32 {
         let h = Hhc::new(m).unwrap();

@@ -10,7 +10,8 @@
 use crate::table::Table;
 use crate::util;
 use hhc_core::Hhc;
-use netsim::fault::analyze;
+use netsim::fault::analyze_with;
+use netsim::RouteScratch;
 use workloads::random_fault_set;
 
 pub fn run() {
@@ -28,6 +29,7 @@ pub fn run() {
         ],
     );
     let mut rng = util::rng(0xF3F3);
+    let mut scratch = RouteScratch::new();
     // Small f shows the guarantee region; the tail shows where random
     // faults finally start hitting all m+1 paths at once.
     let sweep: &[usize] = &[0, 1, 2, 3, 4, 6, 9, 16, 32, 64, 128, 256, 512];
@@ -38,7 +40,7 @@ pub fn run() {
         for _ in 0..trials {
             let (u, v) = util::random_pair(&h, &mut rng);
             let faults = random_fault_set(&h, f, &[u, v], &mut rng);
-            let out = analyze(&h, u, v, &faults);
+            let out = analyze_with(&h, u, v, &faults, &mut scratch);
             single_ok += out.single_path_ok as u32;
             multi_ok += out.multipath_ok as u32;
             surviving_sum += out.surviving_paths as u64;
@@ -73,6 +75,7 @@ pub fn run_adversarial() {
         &["f", "multipath ok", "avg surviving paths", "note"],
     );
     let mut rng = util::rng(0xF3B0);
+    let mut scratch = RouteScratch::new();
     for f in 0..=(m as usize + 2) {
         let mut multi_ok = 0u32;
         let mut surviving_sum = 0u64;
@@ -80,7 +83,7 @@ pub fn run_adversarial() {
             let (u, v) = util::random_pair(&h, &mut rng);
             let paths = h.disjoint_paths(u, v).unwrap();
             let faults = adversarial_fault_set(&paths, f, &mut rng);
-            let out = analyze(&h, u, v, &faults);
+            let out = analyze_with(&h, u, v, &faults, &mut scratch);
             multi_ok += out.multipath_ok as u32;
             surviving_sum += out.surviving_paths as u64;
         }

@@ -8,7 +8,7 @@
 
 use crate::table::Table;
 use crate::util;
-use hhc_core::{disjoint, verify, CrossingOrder, Hhc};
+use hhc_core::{verify, CrossingOrder, Hhc, Workspace};
 use rayon::prelude::*;
 
 pub fn run() {
@@ -33,10 +33,14 @@ pub fn run() {
         let run_order = |order: CrossingOrder| -> (f64, u32) {
             let maxima: Vec<u32> = pairs
                 .par_iter()
-                .map(|&(u, v)| {
-                    let paths = disjoint::disjoint_paths(&h, u, v, order).expect("construct");
-                    verify::verify_disjoint_paths(&h, u, v, &paths).expect("verify");
-                    paths.iter().map(|p| (p.len() - 1) as u32).max().unwrap()
+                .map_init(Workspace::new, |ws, &(u, v)| {
+                    // Not construct_and_verify: the sorted ablation may
+                    // exceed the Gray-order length bound it checks.
+                    hhc_core::disjoint_paths_into(&h, u, v, order, &mut ws.set, &mut ws.builder)
+                        .expect("construct");
+                    verify::verify_disjoint_paths_into(&h, u, v, &ws.set, &mut ws.verify)
+                        .expect("verify");
+                    ws.set.max_len() as u32
                 })
                 .collect();
             let avg = maxima.iter().map(|&x| x as f64).sum::<f64>() / maxima.len() as f64;

@@ -17,7 +17,13 @@ pub fn run() {
     let mut t = Table::new(
         "F6: simulated latency at equal node count (uniform traffic, single-path)",
         &[
-            "topology", "nodes", "degree", "rate", "mean lat", "mean hops", "link util",
+            "topology",
+            "nodes",
+            "degree",
+            "rate",
+            "mean lat",
+            "mean hops",
+            "link util",
         ],
     );
     for m in [2u32, 3] {
@@ -41,7 +47,12 @@ pub fn run() {
 
 fn row<N: Network>(t: &mut Table, net: &N, rate: f64, cfg: SimConfig) {
     let stats = Simulator::new(net, Pattern::UniformRandom, Strategy::SinglePath).run(cfg);
-    assert_eq!(stats.delivered, stats.injected, "{} did not drain", net.name());
+    assert_eq!(
+        stats.delivered,
+        stats.injected,
+        "{} did not drain",
+        net.name()
+    );
     let links = stats.nodes * net.degree() as u64;
     t.row(vec![
         net.name(),

@@ -15,7 +15,15 @@ use workloads::Pattern;
 pub fn run() {
     let mut t = Table::new(
         "F8: store-and-forward vs cut-through latency (uniform, low load)",
-        &["m", "packet len", "SAF lat", "VCT lat", "hops", "VCT floor (hops+len-1)", "speedup"],
+        &[
+            "m",
+            "packet len",
+            "SAF lat",
+            "VCT lat",
+            "hops",
+            "VCT floor (hops+len-1)",
+            "speedup",
+        ],
     );
     for m in [2u32, 3] {
         let h = Hhc::new(m).unwrap();

@@ -14,7 +14,14 @@ pub fn run() {
     let mut t = Table::new(
         "T1: HHC(m) topology properties (measured vs formula)",
         &[
-            "m", "n", "|V|", "|E|", "degree", "regular", "bipartite", "diam(BFS)",
+            "m",
+            "n",
+            "|V|",
+            "|E|",
+            "degree",
+            "regular",
+            "bipartite",
+            "diam(BFS)",
             "diam(formula)",
         ],
     );

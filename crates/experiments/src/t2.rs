@@ -8,15 +8,20 @@
 
 use crate::table::Table;
 use crate::util;
-use hhc_core::verify::construct_and_verify;
-use hhc_core::{bounds, Hhc};
+use hhc_core::{bounds, CrossingOrder, Hhc, Workspace};
 use rayon::prelude::*;
 
 pub fn run() {
     let mut t = Table::new(
         "T2: m+1 node-disjoint paths — verification and length statistics",
         &[
-            "m", "pairs", "mode", "verified", "max len", "avg max len", "bound(max)",
+            "m",
+            "pairs",
+            "mode",
+            "verified",
+            "max len",
+            "avg max len",
+            "bound(max)",
             "diameter",
         ],
     );
@@ -28,13 +33,18 @@ pub fn run() {
             let count = if m <= 4 { 20_000 } else { 4_000 };
             let mut rng = util::rng(0xBEEF + m as u64);
             (
-                (0..count).map(|_| util::random_pair(&h, &mut rng)).collect(),
+                (0..count)
+                    .map(|_| util::random_pair(&h, &mut rng))
+                    .collect(),
                 "sampled",
             )
         };
         let maxima: Vec<u32> = pairs
             .par_iter()
-            .map(|&(u, v)| construct_and_verify(&h, u, v).expect("verification failed"))
+            .map_init(Workspace::new, |ws, &(u, v)| {
+                ws.construct_and_verify(&h, u, v, CrossingOrder::Gray)
+                    .expect("verification failed")
+            })
             .collect();
         let max = *maxima.iter().max().unwrap();
         let avg = maxima.iter().map(|&x| x as f64).sum::<f64>() / maxima.len() as f64;

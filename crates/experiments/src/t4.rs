@@ -11,7 +11,14 @@ use hhc_core::{wide, Hhc};
 pub fn run() {
     let mut t = Table::new(
         "T4: wide-diameter estimates (construction max length)",
-        &["m", "mode", "pairs", "observed max", "upper bound", "diameter"],
+        &[
+            "m",
+            "mode",
+            "pairs",
+            "observed max",
+            "upper bound",
+            "diameter",
+        ],
     );
     for m in 1..=6u32 {
         let h = Hhc::new(m).unwrap();

@@ -36,7 +36,11 @@ pub fn run() {
             Network::name(&h),
             format!("2^{n}"),
             Network::degree(&h).to_string(),
-            format!("2^{n}·{}/2 = {}", Network::degree(&h), ratio_str(hhc_links, n)),
+            format!(
+                "2^{n}·{}/2 = {}",
+                Network::degree(&h),
+                ratio_str(hhc_links, n)
+            ),
             h.diameter().to_string(),
             Network::degree(&h).to_string(),
             (Network::degree(&h) * h.diameter()).to_string(),

@@ -15,7 +15,7 @@
 use crate::table::Table;
 use crate::util;
 use graphs::Bfs;
-use hhc_core::{bounds, Hhc};
+use hhc_core::{bounds, CrossingOrder, Hhc, Workspace};
 use netsim::strategy::path_blocked;
 use std::collections::HashSet;
 use workloads::random_fault_set;
@@ -37,6 +37,7 @@ pub fn run() {
         let h = Hhc::new(m).unwrap();
         let g = h.materialize().unwrap();
         let mut rng = util::rng(0x76 + m as u64);
+        let mut ws = Workspace::new();
         let trials = 800;
         let mut max_surv = 0u32;
         let mut max_bfs = 0u32;
@@ -44,7 +45,7 @@ pub fn run() {
         for _ in 0..trials {
             let (u, v) = util::random_pair(&h, &mut rng);
             let faults = random_fault_set(&h, m as usize, &[u, v], &mut rng);
-            let paths = h.disjoint_paths(u, v).unwrap();
+            let paths = ws.construct(&h, u, v, CrossingOrder::Gray).unwrap();
             let best_surviving = paths
                 .iter()
                 .filter(|p| !path_blocked(p, &faults))

@@ -18,7 +18,14 @@ use hhc_core::{collectives, Hhc, NodeId};
 pub fn run() {
     let mut t = Table::new(
         "T7: one-port broadcast rounds (greedy schedule vs ⌈log₂N⌉ bound)",
-        &["m", "nodes", "rounds", "lower bound", "overhead", "total sends"],
+        &[
+            "m",
+            "nodes",
+            "rounds",
+            "lower bound",
+            "overhead",
+            "total sends",
+        ],
     );
     for m in 1..=3u32 {
         let h = Hhc::new(m).unwrap();

@@ -1,78 +1,15 @@
-//! Shared sampling helpers for the experiments.
+//! Shared helpers for the experiments. The sampling logic itself lives
+//! in [`workloads::sampling`] (one copy for experiments, benches and
+//! stress tests); this module re-exports it and adds formatting.
 
-use hhc_core::{Hhc, NodeId};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+
+pub use workloads::sampling::{all_pairs, random_pair, random_pair_with_k};
 
 /// Deterministic RNG for an experiment section.
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
-}
-
-/// A uniformly random node of `hhc`.
-pub fn random_node(hhc: &Hhc, rng: &mut StdRng) -> NodeId {
-    let n = hhc.n();
-    let mask: u128 = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
-    let raw = ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask;
-    NodeId::from_raw(raw)
-}
-
-/// A random ordered pair of distinct nodes.
-pub fn random_pair(hhc: &Hhc, rng: &mut StdRng) -> (NodeId, NodeId) {
-    loop {
-        let u = random_node(hhc, rng);
-        let v = random_node(hhc, rng);
-        if u != v {
-            return (u, v);
-        }
-    }
-}
-
-/// A random pair whose cube fields differ in exactly `k` positions
-/// (`0 ≤ k ≤ 2^m`); node fields are uniform.
-pub fn random_pair_with_k(hhc: &Hhc, k: u32, rng: &mut StdRng) -> (NodeId, NodeId) {
-    let positions = hhc.positions();
-    assert!(k <= positions);
-    loop {
-        // Choose k distinct positions to flip.
-        let mut mask = 0u128;
-        let mut chosen = 0;
-        while chosen < k {
-            let p = rng.gen_range(0..positions);
-            if mask >> p & 1 == 0 {
-                mask |= 1u128 << p;
-                chosen += 1;
-            }
-        }
-        let xu_mask: u128 = if positions >= 128 {
-            u128::MAX
-        } else {
-            (1u128 << positions) - 1
-        };
-        let xu = ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & xu_mask;
-        let yu = rng.gen_range(0..hhc.positions());
-        let yv = rng.gen_range(0..hhc.positions());
-        let u = hhc.node(xu, yu).expect("in range");
-        let v = hhc.node(xu ^ mask, yv).expect("in range");
-        if u != v {
-            return (u, v);
-        }
-    }
-}
-
-/// All ordered pairs of a small network (`m ≤ 2`).
-pub fn all_pairs(hhc: &Hhc) -> Vec<(NodeId, NodeId)> {
-    assert!(hhc.m() <= 2);
-    let nodes: Vec<NodeId> = hhc.iter_nodes().collect();
-    let mut out = Vec::with_capacity(nodes.len() * (nodes.len() - 1));
-    for &u in &nodes {
-        for &v in &nodes {
-            if u != v {
-                out.push((u, v));
-            }
-        }
-    }
-    out
 }
 
 /// Formats a float with 2 decimals.
@@ -88,39 +25,16 @@ pub fn f4(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hhc_core::Hhc;
 
     #[test]
-    fn random_pair_distinct_and_in_range() {
+    fn reexported_sampling_works_with_experiment_rngs() {
         let h = Hhc::new(3).unwrap();
         let mut r = rng(1);
-        for _ in 0..200 {
-            let (u, v) = random_pair(&h, &mut r);
-            assert_ne!(u, v);
-            h.check(u).unwrap();
-            h.check(v).unwrap();
-        }
-    }
-
-    #[test]
-    fn random_pair_with_k_has_exact_crossing_count() {
-        let h = Hhc::new(3).unwrap();
-        let mut r = rng(2);
-        for k in 0..=8 {
-            for _ in 0..50 {
-                let (u, v) = random_pair_with_k(&h, k, &mut r);
-                assert_eq!(
-                    (h.cube_field(u) ^ h.cube_field(v)).count_ones(),
-                    k,
-                    "wrong k"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn all_pairs_counts() {
-        let h = Hhc::new(1).unwrap();
-        assert_eq!(all_pairs(&h).len(), 8 * 7);
+        let (u, v) = random_pair(&h, &mut r);
+        assert_ne!(u, v);
+        let (u, v) = random_pair_with_k(&h, 2, &mut r);
+        assert_eq!((h.cube_field(u) ^ h.cube_field(v)).count_ones(), 2);
     }
 
     #[test]

@@ -110,10 +110,7 @@ mod tests {
     #[test]
     fn bridge_graph_cuts() {
         // Triangle 0-1-2, bridge 2-3, triangle 3-4-5.
-        let g = CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         assert_eq!(articulation_points(&g), vec![2, 3]);
     }
 

@@ -107,12 +107,7 @@ fn simplify(walk: Vec<u32>) -> Vec<u32> {
 }
 
 /// Checks that `paths` are valid `s–t` paths sharing no (undirected) edge.
-pub fn check_edge_disjoint(
-    g: &CsrGraph,
-    s: u32,
-    t: u32,
-    paths: &[Vec<u32>],
-) -> Result<(), String> {
+pub fn check_edge_disjoint(g: &CsrGraph, s: u32, t: u32, paths: &[Vec<u32>]) -> Result<(), String> {
     let mut used = std::collections::HashSet::new();
     for (i, p) in paths.iter().enumerate() {
         if p.first() != Some(&s) || p.last() != Some(&t) {
@@ -151,10 +146,7 @@ mod tests {
     #[test]
     fn theta_graph_counts_three() {
         // Two endpoints joined by three internally disjoint paths.
-        let g = CsrGraph::from_edges(
-            5,
-            &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)],
-        );
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)]);
         assert_eq!(edge_connectivity_between(&g, 0, 4), 3);
         let ps = edge_disjoint_paths(&g, 0, 4);
         assert_eq!(ps.len(), 3);
@@ -174,10 +166,7 @@ mod tests {
     #[test]
     fn bridge_limits_to_one() {
         // Two triangles joined by a bridge edge.
-        let g = CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         assert_eq!(edge_connectivity_between(&g, 0, 5), 1);
         let ps = edge_disjoint_paths(&g, 0, 5);
         check_edge_disjoint(&g, 0, 5, &ps).unwrap();

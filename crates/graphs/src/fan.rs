@@ -100,7 +100,12 @@ pub fn fan_paths(g: &CsrGraph, s: u32, targets: &[u32]) -> Option<Vec<Vec<u32>>>
             cur = next;
         }
     }
-    Some(paths.into_iter().map(|p| p.expect("missing fan path")).collect())
+    Some(
+        paths
+            .into_iter()
+            .map(|p| p.expect("missing fan path"))
+            .collect(),
+    )
 }
 
 /// Checks fan validity: `paths[i]` runs `s → targets[i]`, each simple,

@@ -32,18 +32,17 @@ fn v_out(v: u32) -> u32 {
 /// sets of equal size. Each returned path runs from a source to a target;
 /// every source and target appears in exactly one path; no two paths
 /// share any vertex.
-pub fn many_to_many_paths(
-    g: &CsrGraph,
-    sources: &[u32],
-    targets: &[u32],
-) -> Option<Vec<Vec<u32>>> {
+pub fn many_to_many_paths(g: &CsrGraph, sources: &[u32], targets: &[u32]) -> Option<Vec<Vec<u32>>> {
     let n = g.num_nodes();
     assert_eq!(sources.len(), targets.len(), "|S| must equal |T|");
     {
         let mut seen = std::collections::HashSet::new();
         for &x in sources.iter().chain(targets) {
             assert!(x < n, "endpoint out of range");
-            assert!(seen.insert(x), "S and T must be disjoint and duplicate-free");
+            assert!(
+                seen.insert(x),
+                "S and T must be disjoint and duplicate-free"
+            );
         }
     }
     let k = sources.len();

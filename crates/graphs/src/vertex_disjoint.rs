@@ -71,7 +71,8 @@ pub fn vertex_disjoint_paths(g: &CsrGraph, s: u32, t: u32) -> Vec<Vec<u32>> {
     // capacities guarantee interior nodes appear in exactly one path.
     let mut used_arc = vec![false; 0];
     let _ = &mut used_arc; // arcs tracked via remaining budget below
-    let mut remaining: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    let mut remaining: std::collections::HashMap<(u32, u32), u32> =
+        std::collections::HashMap::new();
     for v in 0..2 * g.num_nodes() {
         for (aid, to) in d.flow_arcs_from(v) {
             *remaining.entry((v, to)).or_insert(0) += d.flow_on(aid);

@@ -7,8 +7,15 @@ use proptest::prelude::*;
 /// Strategy: a random simple graph with n in [2, 24] nodes given by an
 /// edge-presence bitmask over the upper-triangular pairs.
 fn random_graph() -> impl Strategy<Value = CsrGraph> {
-    (2u32..=24, any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-        |(n, a, b, c, d, e)| {
+    (
+        2u32..=24,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(n, a, b, c, d, e)| {
             let words = [a, b, c, d, e];
             let mut edges = Vec::new();
             let mut idx = 0usize;
@@ -23,8 +30,7 @@ fn random_graph() -> impl Strategy<Value = CsrGraph> {
                 }
             }
             CsrGraph::from_edges(n, &edges)
-        },
-    )
+        })
 }
 
 proptest! {

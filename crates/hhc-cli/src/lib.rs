@@ -22,12 +22,33 @@ use std::fmt::Write as _;
 /// A parsed command, ready to execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    Info { m: u32 },
-    Route { m: u32, u: (u128, u32), v: (u128, u32) },
-    Disjoint { m: u32, u: (u128, u32), v: (u128, u32), sorted: bool },
-    Wide { m: u32, samples: u64 },
-    Broadcast { m: u32, root: (u128, u32) },
-    Trace { m: u32, u: (u128, u32), v: (u128, u32) },
+    Info {
+        m: u32,
+    },
+    Route {
+        m: u32,
+        u: (u128, u32),
+        v: (u128, u32),
+    },
+    Disjoint {
+        m: u32,
+        u: (u128, u32),
+        v: (u128, u32),
+        sorted: bool,
+    },
+    Wide {
+        m: u32,
+        samples: u64,
+    },
+    Broadcast {
+        m: u32,
+        root: (u128, u32),
+    },
+    Trace {
+        m: u32,
+        u: (u128, u32),
+        v: (u128, u32),
+    },
 }
 
 /// A CLI error with a user-facing message.
@@ -56,7 +77,12 @@ pub fn parse_node(s: &str) -> Result<(u128, u32), CliError> {
     let (x, y) = s
         .split_once(':')
         .ok_or_else(|| CliError(format!("node {s:?} is not of the form X:Y")))?;
-    let strip = |t: &str| t.trim().trim_start_matches("0x").trim_start_matches("0X").to_string();
+    let strip = |t: &str| {
+        t.trim()
+            .trim_start_matches("0x")
+            .trim_start_matches("0X")
+            .to_string()
+    };
     let xv = u128::from_str_radix(&strip(x), 16)
         .map_err(|e| CliError(format!("cube field {x:?}: {e}")))?;
     let yv = u32::from_str_radix(&strip(y), 16)
@@ -78,7 +104,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     };
     match cmd.as_str() {
         "info" => Ok(Command::Info { m: m(1)? }),
-        "route" => Ok(Command::Route { m: m(1)?, u: node(2)?, v: node(3)? }),
+        "route" => Ok(Command::Route {
+            m: m(1)?,
+            u: node(2)?,
+            v: node(3)?,
+        }),
         "disjoint" => Ok(Command::Disjoint {
             m: m(1)?,
             u: node(2)?,
@@ -95,8 +125,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             };
             Ok(Command::Wide { m: m(1)?, samples })
         }
-        "broadcast" => Ok(Command::Broadcast { m: m(1)?, root: node(2)? }),
-        "trace" => Ok(Command::Trace { m: m(1)?, u: node(2)?, v: node(3)? }),
+        "broadcast" => Ok(Command::Broadcast {
+            m: m(1)?,
+            root: node(2)?,
+        }),
+        "trace" => Ok(Command::Trace {
+            m: m(1)?,
+            u: node(2)?,
+            v: node(3)?,
+        }),
         other => Err(CliError(format!("unknown command {other:?}\n{USAGE}"))),
     }
 }
@@ -139,8 +176,8 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             } else {
                 CrossingOrder::Gray
             };
-            let paths = disjoint::disjoint_paths(&h, u, v, order)
-                .map_err(|e| CliError(e.to_string()))?;
+            let paths =
+                disjoint::disjoint_paths(&h, u, v, order).map_err(|e| CliError(e.to_string()))?;
             verify::verify_disjoint_paths(&h, u, v, &paths).map_err(CliError)?;
             let bound = bounds::length_bound(&h, u, v);
             let _ = writeln!(
@@ -188,9 +225,8 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::Trace { m, u, v } => {
             let h = net(m)?;
             let (u, v) = (mk(&h, u)?, mk(&h, v)?);
-            let (paths, trace) =
-                disjoint::disjoint_paths_traced(&h, u, v, CrossingOrder::Gray)
-                    .map_err(|e| CliError(e.to_string()))?;
+            let (paths, trace) = disjoint::disjoint_paths_traced(&h, u, v, CrossingOrder::Gray)
+                .map_err(|e| CliError(e.to_string()))?;
             verify::verify_disjoint_paths(&h, u, v, &paths).map_err(CliError)?;
             let _ = writeln!(
                 out,
@@ -242,17 +278,39 @@ mod tests {
         assert_eq!(parse(&argv("info 3")), Ok(Command::Info { m: 3 }));
         assert_eq!(
             parse(&argv("route 2 0:1 f:2")),
-            Ok(Command::Route { m: 2, u: (0, 1), v: (0xF, 2) })
+            Ok(Command::Route {
+                m: 2,
+                u: (0, 1),
+                v: (0xF, 2)
+            })
         );
         assert_eq!(
             parse(&argv("disjoint 2 0:1 f:2 --sorted")),
-            Ok(Command::Disjoint { m: 2, u: (0, 1), v: (0xF, 2), sorted: true })
+            Ok(Command::Disjoint {
+                m: 2,
+                u: (0, 1),
+                v: (0xF, 2),
+                sorted: true
+            })
         );
-        assert_eq!(parse(&argv("wide 4 --samples 50")), Ok(Command::Wide { m: 4, samples: 50 }));
-        assert_eq!(parse(&argv("wide 4")), Ok(Command::Wide { m: 4, samples: 1000 }));
+        assert_eq!(
+            parse(&argv("wide 4 --samples 50")),
+            Ok(Command::Wide { m: 4, samples: 50 })
+        );
+        assert_eq!(
+            parse(&argv("wide 4")),
+            Ok(Command::Wide {
+                m: 4,
+                samples: 1000
+            })
+        );
         assert_eq!(
             parse(&argv("trace 3 0:1 2b:4")),
-            Ok(Command::Trace { m: 3, u: (0, 1), v: (0x2B, 4) })
+            Ok(Command::Trace {
+                m: 3,
+                u: (0, 1),
+                v: (0x2B, 4)
+            })
         );
         assert!(parse(&argv("bogus")).is_err());
         assert!(parse(&argv("")).is_err());
@@ -267,7 +325,12 @@ mod tests {
 
     #[test]
     fn execute_route_and_disjoint() {
-        let out = execute(&Command::Route { m: 2, u: (0, 0), v: (0xA, 3) }).unwrap();
+        let out = execute(&Command::Route {
+            m: 2,
+            u: (0, 0),
+            v: (0xA, 3),
+        })
+        .unwrap();
         assert!(out.contains("route length"));
         let out = execute(&Command::Disjoint {
             m: 2,
@@ -289,10 +352,20 @@ mod tests {
 
     #[test]
     fn execute_trace() {
-        let out = execute(&Command::Trace { m: 3, u: (0, 1), v: (0x2B, 4) }).unwrap();
+        let out = execute(&Command::Trace {
+            m: 3,
+            u: (0, 1),
+            v: (0x2B, 4),
+        })
+        .unwrap();
         assert!(out.contains("rotations"));
         assert!(out.contains("P3"));
-        let same = execute(&Command::Trace { m: 3, u: (5, 0), v: (5, 7) }).unwrap();
+        let same = execute(&Command::Trace {
+            m: 3,
+            u: (5, 0),
+            v: (5, 7),
+        })
+        .unwrap();
         assert!(same.contains("SameCube"));
         assert!(same.contains("in-cube"));
     }
@@ -300,9 +373,20 @@ mod tests {
     #[test]
     fn errors_are_user_facing() {
         assert!(execute(&Command::Info { m: 9 }).is_err());
-        let err = execute(&Command::Route { m: 2, u: (0, 0), v: (0x1F, 0) }).unwrap_err();
+        let err = execute(&Command::Route {
+            m: 2,
+            u: (0, 0),
+            v: (0x1F, 0),
+        })
+        .unwrap_err();
         assert!(err.0.contains("out of range"));
         // Equal nodes for disjoint is an error.
-        assert!(execute(&Command::Disjoint { m: 2, u: (0, 0), v: (0, 0), sorted: false }).is_err());
+        assert!(execute(&Command::Disjoint {
+            m: 2,
+            u: (0, 0),
+            v: (0, 0),
+            sorted: false
+        })
+        .is_err());
     }
 }

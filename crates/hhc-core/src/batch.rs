@@ -1,0 +1,206 @@
+//! Batch construction engine: many-pair disjoint-path construction with
+//! reused scratch.
+//!
+//! A single `disjoint_paths` query allocates its working buffers and two
+//! max-flow fan networks from scratch. Batch workloads — experiments,
+//! the simulator, wide-diameter sweeps, benchmarks — issue thousands to
+//! millions of queries against one network, where that per-query setup
+//! dominates. This module amortises it:
+//!
+//! * [`construct_many_serial`] runs a pair list through one
+//!   [`PathBuilder`] on the current thread;
+//! * [`construct_many`] fans the list out over rayon with one
+//!   `PathBuilder` per worker (`map_init`), preserving input order;
+//! * [`Workspace`] bundles a [`PathSet`], a [`PathBuilder`] and a
+//!   [`VerifyScratch`] for callers with their own loop structure.
+//!
+//! All entry points are thin wrappers over the same construction core as
+//! `disjoint::disjoint_paths`, so batched results are node-for-node
+//! identical to per-pair results (property-tested in
+//! `tests/batch_equivalence.rs`).
+
+use crate::disjoint::{disjoint_paths_into, CrossingOrder, PathBuilder};
+use crate::error::HhcError;
+use crate::node::NodeId;
+use crate::pathset::PathSet;
+use crate::topology::Hhc;
+use crate::verify::{verify_disjoint_paths_into, VerifyScratch};
+use rayon::prelude::*;
+
+/// Everything one querying thread needs: output arena, construction
+/// scratch, verification scratch. Reusing a `Workspace` across queries
+/// makes construct-and-verify loops allocation-free after warm-up.
+#[derive(Default)]
+pub struct Workspace {
+    pub set: PathSet,
+    pub builder: PathBuilder,
+    pub verify: VerifyScratch,
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Constructs the `m + 1` disjoint paths for one pair into the owned
+    /// [`PathSet`] and returns a view of it.
+    pub fn construct(
+        &mut self,
+        hhc: &Hhc,
+        u: NodeId,
+        v: NodeId,
+        order: CrossingOrder,
+    ) -> Result<&PathSet, HhcError> {
+        disjoint_paths_into(hhc, u, v, order, &mut self.set, &mut self.builder)?;
+        Ok(&self.set)
+    }
+
+    /// Constructs, verifies (count, disjointness, length bound) and
+    /// returns the maximum path length. Scratch-reusing equivalent of
+    /// [`crate::verify::construct_and_verify`].
+    pub fn construct_and_verify(
+        &mut self,
+        hhc: &Hhc,
+        u: NodeId,
+        v: NodeId,
+        order: CrossingOrder,
+    ) -> Result<u32, String> {
+        disjoint_paths_into(hhc, u, v, order, &mut self.set, &mut self.builder)
+            .map_err(|e| e.to_string())?;
+        if self.set.len() as u32 != hhc.degree() {
+            return Err(format!(
+                "expected {} paths, got {}",
+                hhc.degree(),
+                self.set.len()
+            ));
+        }
+        verify_disjoint_paths_into(hhc, u, v, &self.set, &mut self.verify)?;
+        let bound = crate::bounds::length_bound(hhc, u, v);
+        let max = self.set.max_len() as u32;
+        if max > bound {
+            return Err(format!("max length {max} exceeds bound {bound}"));
+        }
+        Ok(max)
+    }
+}
+
+/// Constructs the disjoint-path family for every pair, in input order,
+/// fanning out over rayon with one [`PathBuilder`] per worker thread.
+///
+/// Node-for-node identical to calling
+/// [`disjoint_paths`](crate::disjoint::disjoint_paths) per pair; the
+/// first error (e.g. an equal-nodes pair) aborts the batch.
+pub fn construct_many(
+    hhc: &Hhc,
+    pairs: &[(NodeId, NodeId)],
+    order: CrossingOrder,
+) -> Result<Vec<PathSet>, HhcError> {
+    pairs
+        .par_iter()
+        .map_init(
+            || (PathBuilder::new(), PathSet::new()),
+            |(scratch, tmp), &(u, v)| {
+                disjoint_paths_into(hhc, u, v, order, tmp, scratch)?;
+                // Cloning the warm arena sizes the output exactly; building
+                // into a cold PathSet would pay growth reallocations per pair.
+                Ok(tmp.clone())
+            },
+        )
+        .collect()
+}
+
+/// [`construct_many`] on the current thread only: one scratch, no
+/// thread fan-out. This isolates the allocation-reuse win from the
+/// parallelism win (and is what single-threaded callers should use).
+pub fn construct_many_serial(
+    hhc: &Hhc,
+    pairs: &[(NodeId, NodeId)],
+    order: CrossingOrder,
+) -> Result<Vec<PathSet>, HhcError> {
+    let mut scratch = PathBuilder::new();
+    let mut tmp = PathSet::new();
+    pairs
+        .iter()
+        .map(|&(u, v)| {
+            disjoint_paths_into(hhc, u, v, order, &mut tmp, &mut scratch)?;
+            Ok(tmp.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjoint::disjoint_paths;
+
+    fn pairs_m3() -> (Hhc, Vec<(NodeId, NodeId)>) {
+        let h = Hhc::new(3).unwrap();
+        let mut pairs = Vec::new();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        while pairs.len() < 50 {
+            let x1 = (next() % 256) as u128;
+            let x2 = (next() % 256) as u128;
+            let u = h.node(x1, (next() % 8) as u32).unwrap();
+            let v = h.node(x2, (next() % 8) as u32).unwrap();
+            if u != v {
+                pairs.push((u, v));
+            }
+        }
+        (h, pairs)
+    }
+
+    #[test]
+    fn batch_matches_per_pair() {
+        let (h, pairs) = pairs_m3();
+        for order in [CrossingOrder::Gray, CrossingOrder::Sorted] {
+            let batched = construct_many(&h, &pairs, order).unwrap();
+            let serial = construct_many_serial(&h, &pairs, order).unwrap();
+            assert_eq!(batched.len(), pairs.len());
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                let single = disjoint_paths(&h, u, v, order).unwrap();
+                assert_eq!(batched[i].to_paths(), single, "pair {i} ({order:?})");
+                assert_eq!(serial[i], batched[i], "pair {i} ({order:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_propagates_errors() {
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(1, 1).unwrap();
+        let v = h.node(2, 0).unwrap();
+        let err = construct_many(&h, &[(u, v), (v, v)], CrossingOrder::Gray);
+        assert_eq!(err, Err(HhcError::EqualNodes));
+    }
+
+    #[test]
+    fn workspace_construct_and_verify() {
+        let (h, pairs) = pairs_m3();
+        let mut ws = Workspace::new();
+        for &(u, v) in &pairs {
+            let max = ws
+                .construct_and_verify(&h, u, v, CrossingOrder::Gray)
+                .unwrap();
+            let legacy = crate::verify::construct_and_verify(&h, u, v).unwrap();
+            assert_eq!(max, legacy);
+        }
+        // Workspaces survive a change of network size.
+        let h6 = Hhc::new(6).unwrap();
+        let u = h6.node(5, 0).unwrap();
+        let v = h6.node(0xABCDEF, 63).unwrap();
+        ws.construct_and_verify(&h6, u, v, CrossingOrder::Gray)
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let h = Hhc::new(2).unwrap();
+        assert_eq!(construct_many(&h, &[], CrossingOrder::Gray), Ok(Vec::new()));
+    }
+}

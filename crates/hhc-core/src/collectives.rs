@@ -78,11 +78,18 @@ mod tests {
             for &(s, t) in round {
                 assert!(informed.contains(&s), "round {r}: uninformed sender");
                 assert!(hhc.is_edge(s, t), "round {r}: non-edge send");
-                assert!(senders_this_round.insert(s), "round {r}: two sends by one node");
+                assert!(
+                    senders_this_round.insert(s),
+                    "round {r}: two sends by one node"
+                );
                 assert!(informed.insert(t), "round {r}: duplicate delivery");
             }
         }
-        assert_eq!(informed.len() as u128, hhc.num_nodes(), "incomplete broadcast");
+        assert_eq!(
+            informed.len() as u128,
+            hhc.num_nodes(),
+            "incomplete broadcast"
+        );
     }
 
     #[test]
@@ -92,7 +99,11 @@ mod tests {
         let s = one_port_broadcast(&h, root).unwrap();
         check_schedule(&h, root, &s);
         // A cycle informs at most 2 new nodes per round after the first.
-        assert!(s.len() >= 4, "8-cycle broadcast needs ≥ 4 rounds, got {}", s.len());
+        assert!(
+            s.len() >= 4,
+            "8-cycle broadcast needs ≥ 4 rounds, got {}",
+            s.len()
+        );
     }
 
     #[test]
@@ -127,7 +138,11 @@ mod tests {
             .iter_nodes()
             .map(|root| one_port_broadcast(&h, root).unwrap().len())
             .collect();
-        assert_eq!(counts.len(), 1, "round counts differ across roots: {counts:?}");
+        assert_eq!(
+            counts.len(),
+            1,
+            "round counts differ across roots: {counts:?}"
+        );
     }
 
     #[test]

@@ -26,9 +26,11 @@ pub mod plan;
 
 use crate::error::HhcError;
 use crate::node::NodeId;
+use crate::pathset::PathSet;
 use crate::topology::Hhc;
 use crate::Path;
-use plan::{assemble, CrossingPlan};
+use hypercube::FanScratch;
+use plan::{assemble_into, CrossingPlan};
 
 /// The order in which a path crosses the differing cube-field positions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,11 +75,56 @@ pub struct ConstructionTrace {
     pub target_fan_targets: Vec<u32>,
 }
 
+/// Reusable scratch for the construction engine: every intermediate
+/// buffer a single `disjoint_paths` query needs, including the two
+/// max-flow fan networks inside the terminal son-cubes. Constructing a
+/// `PathBuilder` is cheap; feeding the same one to many queries (see
+/// [`crate::batch`]) makes each query allocation-free after warm-up,
+/// which is where the batch engine's throughput comes from.
+///
+/// A `PathBuilder` carries no query state between calls — results are
+/// only ever written to the caller's [`PathSet`] — so one scratch may
+/// serve pairs of different `m` interleaved (the fan networks rebuild
+/// lazily when `m` changes).
+#[derive(Default)]
+pub struct PathBuilder {
+    // Case A: son-cube family in CSR form, pre-lift.
+    qdims: Vec<u32>,
+    qnodes: Vec<u128>,
+    qoffsets: Vec<u32>,
+    // Case B: selection and plan arena.
+    d_positions: Vec<u32>,
+    gd: Vec<u32>,
+    keyed: Vec<(u64, u32)>,
+    rot_sel: Vec<usize>,
+    det_sel: Vec<u32>,
+    plan_pos: Vec<u32>,
+    plan_off: Vec<u32>,
+    // Case B: fan bookkeeping (targets, per-plan segment indices, flow
+    // networks).
+    src_targets: Vec<u128>,
+    tgt_targets: Vec<u128>,
+    seg_src: Vec<u32>,
+    seg_tgt: Vec<u32>,
+    src_fan: FanScratch,
+    tgt_fan: FanScratch,
+}
+
+impl PathBuilder {
+    pub fn new() -> Self {
+        PathBuilder::default()
+    }
+}
+
 /// Constructs `m + 1` internally vertex-disjoint paths from `u` to `v`.
 ///
 /// Every returned path starts at `u`, ends at `v` and is simple; any two
 /// share only the endpoints. Lengths respect
 /// [`crate::bounds::length_bound`] when `order` is [`CrossingOrder::Gray`].
+///
+/// Allocates fresh scratch and output per call; batch workloads should
+/// hold a [`PathBuilder`] and a [`PathSet`] and call
+/// [`disjoint_paths_into`] (or use [`crate::batch`]) instead.
 ///
 /// # Errors
 /// [`HhcError::EqualNodes`] if `u == v`; address validation errors if a
@@ -88,7 +135,10 @@ pub fn disjoint_paths(
     v: NodeId,
     order: CrossingOrder,
 ) -> Result<Vec<Path>, HhcError> {
-    disjoint_paths_traced(hhc, u, v, order).map(|(paths, _)| paths)
+    let mut out = PathSet::new();
+    let mut scratch = PathBuilder::new();
+    construct_into(hhc, u, v, order, &mut out, &mut scratch, false)?;
+    Ok(out.to_paths())
 }
 
 /// Like [`disjoint_paths`], additionally returning the
@@ -99,50 +149,119 @@ pub fn disjoint_paths_traced(
     v: NodeId,
     order: CrossingOrder,
 ) -> Result<(Vec<Path>, ConstructionTrace), HhcError> {
+    let mut out = PathSet::new();
+    let mut scratch = PathBuilder::new();
+    let trace =
+        construct_into(hhc, u, v, order, &mut out, &mut scratch, true)?.expect("trace requested");
+    Ok((out.to_paths(), trace))
+}
+
+/// [`disjoint_paths`] writing into caller-owned buffers: `out` is cleared
+/// and receives the `m + 1` paths; `scratch` holds every intermediate
+/// buffer and is reusable across queries (and across networks). After a
+/// warm-up query at a given `m`, a call performs no allocation beyond
+/// what `out` needs to grow.
+///
+/// Produces node-for-node the same paths as [`disjoint_paths`] — both are
+/// thin wrappers over one construction core.
+pub fn disjoint_paths_into(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    order: CrossingOrder,
+    out: &mut PathSet,
+    scratch: &mut PathBuilder,
+) -> Result<(), HhcError> {
+    construct_into(hhc, u, v, order, out, scratch, false).map(|_| ())
+}
+
+/// The single construction core behind every public entry point.
+fn construct_into(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    order: CrossingOrder,
+    out: &mut PathSet,
+    scratch: &mut PathBuilder,
+    want_trace: bool,
+) -> Result<Option<ConstructionTrace>, HhcError> {
     hhc.check(u)?;
     hhc.check(v)?;
     if u == v {
         return Err(HhcError::EqualNodes);
     }
+    out.clear();
     if hhc.cube_field(u) == hhc.cube_field(v) {
-        same_cube(hhc, u, v)
+        same_cube_into(hhc, u, v, out, scratch, want_trace)
     } else {
-        case_b::disjoint_paths_cross_cube(hhc, u, v, order)
+        case_b::cross_cube_into(hhc, u, v, order, out, scratch, want_trace)
     }
 }
 
 /// Case A: both nodes in the same son-cube.
-fn same_cube(hhc: &Hhc, u: NodeId, v: NodeId) -> Result<(Vec<Path>, ConstructionTrace), HhcError> {
+fn same_cube_into(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    out: &mut PathSet,
+    sc: &mut PathBuilder,
+    want_trace: bool,
+) -> Result<Option<ConstructionTrace>, HhcError> {
     let cube = hhc.son_cube();
     let x = hhc.cube_field(u);
     let (yu, yv) = (hhc.node_field(u), hhc.node_field(v));
 
-    // m disjoint paths inside the shared son-cube (Saad–Schultz).
-    let inner = hypercube::paths::disjoint_paths(&cube, yu as u128, yv as u128)
-        .expect("distinct coordinates in a valid cube");
-    let mut paths: Vec<Path> = Vec::with_capacity(hhc.degree() as usize);
-    for p in inner {
-        let lifted: Result<Path, HhcError> =
-            p.into_iter().map(|y| hhc.node(x, y as u32)).collect();
-        paths.push(lifted?);
+    // m disjoint paths inside the shared son-cube (Saad–Schultz), built
+    // into the CSR scratch and lifted into the network.
+    sc.qnodes.clear();
+    sc.qoffsets.clear();
+    sc.qoffsets.push(0);
+    hypercube::paths::disjoint_paths_buf(
+        &cube,
+        yu as u128,
+        yv as u128,
+        hhc.m() as usize,
+        &mut sc.qdims,
+        &mut sc.qnodes,
+        &mut sc.qoffsets,
+    )
+    .expect("distinct coordinates in a valid cube");
+    for i in 0..sc.qoffsets.len() - 1 {
+        let (a, b) = (sc.qoffsets[i] as usize, sc.qoffsets[i + 1] as usize);
+        for &y in &sc.qnodes[a..b] {
+            out.push_node(hhc.node(x, y as u32)?);
+        }
+        out.finish_path();
     }
 
     // The (m+1)-th path: out at u, around three neighbouring cubes, in at
     // v. Crossing plan [Yu, Yv, Yu, Yv]: the prefix cubes are
     // X⊕e_Yu, X⊕e_Yu⊕e_Yv, X⊕e_Yv — all distinct from X since Yu ≠ Yv.
-    let plan = CrossingPlan {
-        positions: vec![yu, yv, yu, yv],
-    };
-    paths.push(assemble(hhc, u, &[yu], &plan, &[yv])?);
-    let trace = ConstructionTrace {
+    let loop_plan = [yu, yv, yu, yv];
+    assemble_into(
+        hhc,
+        u,
+        std::iter::empty(),
+        &loop_plan,
+        std::iter::empty(),
+        out,
+    )?;
+    if !want_trace {
+        return Ok(None);
+    }
+    Ok(Some(ConstructionTrace {
         case: ConstructionCase::SameCube,
         rotations: 0,
         detours: 1,
-        plans: (0..hhc.m()).map(|_| None).chain([Some(plan)]).collect(),
+        plans: (0..hhc.m())
+            .map(|_| None)
+            .chain([Some(CrossingPlan {
+                positions: loop_plan.to_vec(),
+            })])
+            .collect(),
         source_fan_targets: Vec::new(),
         target_fan_targets: Vec::new(),
-    };
-    Ok((paths, trace))
+    }))
 }
 
 #[cfg(test)]
@@ -287,8 +406,12 @@ mod tests {
             for _ in 0..40 {
                 let xu = (next() as u128) << 64 | next() as u128;
                 let xv = (next() as u128) << 64 | next() as u128;
-                let u = h.node(xu & xmask, (next() % (1 << m) as u64) as u32).unwrap();
-                let v = h.node(xv & xmask, (next() % (1 << m) as u64) as u32).unwrap();
+                let u = h
+                    .node(xu & xmask, (next() % (1 << m) as u64) as u32)
+                    .unwrap();
+                let v = h
+                    .node(xv & xmask, (next() % (1 << m) as u64) as u32)
+                    .unwrap();
                 if u == v {
                     continue;
                 }

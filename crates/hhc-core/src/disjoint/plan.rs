@@ -16,9 +16,9 @@
 
 use crate::error::HhcError;
 use crate::node::NodeId;
+use crate::pathset::PathSet;
 use crate::topology::Hhc;
 use crate::Path;
-use hypercube::routing::shortest_path;
 
 /// A crossing plan: the exact sequence of cube-field positions crossed,
 /// in order. XOR of `e_p` over the plan must equal `Xu ⊕ Xv`.
@@ -56,7 +56,9 @@ impl CrossingPlan {
 
     /// XOR of all crossed positions as a cube-field mask.
     pub fn total_mask(&self) -> u128 {
-        self.positions.iter().fold(0u128, |acc, &p| acc ^ (1u128 << p))
+        self.positions
+            .iter()
+            .fold(0u128, |acc, &p| acc ^ (1u128 << p))
     }
 }
 
@@ -81,37 +83,70 @@ pub fn assemble(
     debug_assert_eq!(src_seg.first(), Some(&hhc.node_field(u)));
     debug_assert_eq!(src_seg.last(), Some(&plan.first()));
     debug_assert_eq!(tgt_seg.first(), Some(&plan.last()));
-    let cube = hhc.son_cube();
-    let mut path = vec![u];
+    let mut out = PathSet::new();
+    assemble_into(
+        hhc,
+        u,
+        src_seg[1..].iter().copied(),
+        &plan.positions,
+        tgt_seg[1..].iter().copied(),
+        &mut out,
+    )?;
+    Ok(out.path(0).to_vec())
+}
+
+/// [`assemble`] writing into a caller-owned [`PathSet`]: appends the
+/// assembled path as one new sealed path and allocates nothing.
+///
+/// The segments are passed without their redundant first coordinate:
+/// `src_tail` is the source walk *after* `Yu` (ending at `positions[0]`,
+/// empty when the path leaves `u` directly), `tgt_tail` the target walk
+/// *after* the entry coordinate (ending at `Yv`). The middle e-cube walks
+/// resolve dimensions in ascending order, matching
+/// `hypercube::routing::shortest_path`.
+pub(super) fn assemble_into(
+    hhc: &Hhc,
+    u: NodeId,
+    src_tail: impl IntoIterator<Item = u32>,
+    positions: &[u32],
+    tgt_tail: impl IntoIterator<Item = u32>,
+    out: &mut PathSet,
+) -> Result<(), HhcError> {
     let mut cur = u;
+    out.push_node(cur);
 
     // Source segment inside the source cube (fan-provided, may be any
     // simple coordinate walk).
-    for &y in &src_seg[1..] {
+    for y in src_tail {
         cur = hhc.node(hhc.cube_field(cur), y)?;
-        path.push(cur);
+        out.push_node(cur);
     }
     // First crossing.
     cur = hhc.external_neighbor(cur);
-    path.push(cur);
+    out.push_node(cur);
 
     // Middle: e-cube walk to each next position, then cross.
-    for &p in &plan.positions[1..] {
-        let seg = shortest_path(&cube, hhc.node_field(cur) as u128, p as u128);
-        for &y in &seg[1..] {
-            cur = hhc.node(hhc.cube_field(cur), y as u32)?;
-            path.push(cur);
+    for &p in &positions[1..] {
+        loop {
+            let y = hhc.node_field(cur);
+            if y == p {
+                break;
+            }
+            let d = (y ^ p).trailing_zeros();
+            cur = hhc.node(hhc.cube_field(cur), y ^ (1 << d))?;
+            out.push_node(cur);
         }
         cur = hhc.external_neighbor(cur);
-        path.push(cur);
+        out.push_node(cur);
     }
 
     // Target segment inside the target cube (reversed fan path).
-    for &y in &tgt_seg[1..] {
+    for y in tgt_tail {
         cur = hhc.node(hhc.cube_field(cur), y)?;
-        path.push(cur);
+        out.push_node(cur);
     }
-    Ok(path)
+    out.finish_path();
+    Ok(())
 }
 
 #[cfg(test)]

@@ -50,19 +50,23 @@
 //! # let _ = CrossingOrder::Gray;
 //! ```
 
+pub mod batch;
 pub mod bounds;
 pub mod collectives;
 pub mod disjoint;
 pub mod error;
 pub mod node;
+pub mod pathset;
 pub mod routing;
 pub mod topology;
 pub mod verify;
 pub mod wide;
 
-pub use disjoint::CrossingOrder;
+pub use batch::{construct_many, construct_many_serial, Workspace};
+pub use disjoint::{disjoint_paths_into, CrossingOrder, PathBuilder};
 pub use error::HhcError;
 pub use node::NodeId;
+pub use pathset::PathSet;
 pub use topology::Hhc;
 
 /// A path through the network as the sequence of visited nodes,

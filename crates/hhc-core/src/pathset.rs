@@ -1,0 +1,191 @@
+//! Flat, arena-backed path families.
+//!
+//! A [`PathSet`] stores a family of paths CSR-style: one contiguous
+//! node buffer plus an offsets table. This is the primary output type
+//! of the construction engine — a full HHC(m) family is `m + 1` paths
+//! of bounded length, so the per-`Vec` allocation overhead of the
+//! legacy `Vec<Path>` shape dominated construction cost in batch
+//! workloads. A `PathSet` is reused across queries ([`PathSet::clear`]
+//! keeps capacity), and converts cheaply to the legacy shape via
+//! [`PathSet::to_paths`] where callers still want owned `Vec`s.
+
+use crate::node::NodeId;
+
+/// The legacy owned-path shape: one `Vec` of nodes per path.
+pub type Path = Vec<NodeId>;
+
+/// A family of node-disjoint paths in flat CSR form: path `i` occupies
+/// `nodes[offsets[i] .. offsets[i + 1]]`. `offsets` always starts with
+/// `0` and has `len() + 1` entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PathSet {
+    nodes: Vec<NodeId>,
+    offsets: Vec<u32>,
+}
+
+impl PathSet {
+    /// An empty family.
+    pub fn new() -> Self {
+        PathSet {
+            nodes: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// An empty family with room for `paths` paths of `nodes` total nodes.
+    pub fn with_capacity(paths: usize, nodes: usize) -> Self {
+        let mut offsets = Vec::with_capacity(paths + 1);
+        offsets.push(0);
+        PathSet {
+            nodes: Vec::with_capacity(nodes),
+            offsets,
+        }
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total node count across all paths (shared endpoints counted once
+    /// per path).
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Path `i` as a node slice, endpoints inclusive.
+    pub fn path(&self, i: usize) -> &[NodeId] {
+        let (a, b) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        &self.nodes[a..b]
+    }
+
+    /// Iterates over the paths as slices.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[NodeId]> + '_ {
+        (0..self.len()).map(move |i| self.path(i))
+    }
+
+    /// Longest path, in edges. Zero for an empty family.
+    pub fn max_len(&self) -> usize {
+        self.iter()
+            .map(|p| p.len().saturating_sub(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Removes all paths, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
+    /// Appends one node to the path currently under construction.
+    pub fn push_node(&mut self, v: NodeId) {
+        self.nodes.push(v);
+    }
+
+    /// Seals the path under construction: everything pushed since the
+    /// previous `finish_path` (or construction/`clear`) becomes path
+    /// `len() - 1`.
+    pub fn finish_path(&mut self) {
+        self.offsets.push(self.nodes.len() as u32);
+    }
+
+    /// Last node pushed so far, if any (endpoint of the open path, or of
+    /// the last sealed path when nothing is pending).
+    pub fn last_node(&self) -> Option<NodeId> {
+        self.nodes.last().copied()
+    }
+
+    /// Appends a whole path from a slice.
+    pub fn push_path(&mut self, path: &[NodeId]) {
+        self.nodes.extend_from_slice(path);
+        self.finish_path();
+    }
+
+    /// Converts to the legacy `Vec<Path>` shape (allocates per path).
+    pub fn to_paths(&self) -> Vec<Path> {
+        self.iter().map(|p| p.to_vec()).collect()
+    }
+
+    /// Builds a `PathSet` from legacy owned paths.
+    pub fn from_paths<P: AsRef<[NodeId]>>(paths: &[P]) -> Self {
+        let total = paths.iter().map(|p| p.as_ref().len()).sum();
+        let mut set = PathSet::with_capacity(paths.len(), total);
+        for p in paths {
+            set.push_path(p.as_ref());
+        }
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a PathSet {
+    type Item = &'a [NodeId];
+    type IntoIter = Box<dyn ExactSizeIterator<Item = &'a [NodeId]> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u128) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let mut set = PathSet::new();
+        assert!(set.is_empty());
+        set.push_node(id(1));
+        set.push_node(id(2));
+        set.finish_path();
+        set.push_path(&[id(3), id(4), id(5)]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_nodes(), 5);
+        assert_eq!(set.path(0), &[id(1), id(2)]);
+        assert_eq!(set.path(1), &[id(3), id(4), id(5)]);
+        assert_eq!(set.max_len(), 2);
+
+        let legacy = set.to_paths();
+        assert_eq!(legacy, vec![vec![id(1), id(2)], vec![id(3), id(4), id(5)]]);
+        assert_eq!(PathSet::from_paths(&legacy), set);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut set = PathSet::new();
+        set.push_path(&[id(1), id(2), id(3)]);
+        let cap = set.nodes.capacity();
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.total_nodes(), 0);
+        assert_eq!(set.nodes.capacity(), cap);
+    }
+
+    #[test]
+    fn empty_paths_are_representable() {
+        let mut set = PathSet::new();
+        set.finish_path();
+        set.push_path(&[id(9)]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.path(0), &[] as &[NodeId]);
+        assert_eq!(set.path(1), &[id(9)]);
+        assert_eq!(set.max_len(), 0);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let set = PathSet::from_paths(&[vec![id(7)], vec![id(8), id(9)]]);
+        let got: Vec<_> = set.iter().map(|p| p.len()).collect();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!((&set).into_iter().len(), 2);
+    }
+}

@@ -195,10 +195,7 @@ mod tests {
         let v = h.node(0b1001_0010, 0b010).unwrap(); // k = 3
         let p = route(&h, u, v).unwrap();
         check_route(&h, &p, u, v);
-        let crossings = p
-            .windows(2)
-            .filter(|w| hhc_cross(&h, w[0], w[1]))
-            .count();
+        let crossings = p.windows(2).filter(|w| hhc_cross(&h, w[0], w[1])).count();
         assert_eq!(crossings, 3);
     }
 

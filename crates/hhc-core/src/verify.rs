@@ -5,12 +5,44 @@
 //! adjacency predicate — not how the paths were built.
 
 use crate::node::NodeId;
+use crate::pathset::PathSet;
 use crate::topology::Hhc;
 use crate::Path;
-use std::collections::HashSet;
+
+/// Reusable buffers for [`verify_disjoint_paths_into`]: one scratch per
+/// verifying thread makes batched verification allocation-free. Interior
+/// collision detection is sort-based (collect, sort, scan for adjacent
+/// duplicates) rather than hash-based — the families here are tiny
+/// (`(m + 1)` paths of bounded length), where sorting a flat `Vec` beats
+/// `HashSet` on both time and allocation.
+#[derive(Default)]
+pub struct VerifyScratch {
+    /// Per-path node buffer for the simplicity check.
+    seen: Vec<NodeId>,
+    /// `(interior node, path index)` across the whole family.
+    interiors: Vec<(NodeId, u32)>,
+}
+
+impl VerifyScratch {
+    pub fn new() -> Self {
+        VerifyScratch::default()
+    }
+}
 
 /// Checks that `path` is a simple `u → v` walk along edges of `hhc`.
-pub fn verify_path(hhc: &Hhc, u: NodeId, v: NodeId, path: &Path) -> Result<(), String> {
+pub fn verify_path(hhc: &Hhc, u: NodeId, v: NodeId, path: &[NodeId]) -> Result<(), String> {
+    verify_path_with(hhc, u, v, path, &mut Vec::new())
+}
+
+/// [`verify_path`] with a caller-owned sort buffer (allocation-free once
+/// warm).
+fn verify_path_with(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    path: &[NodeId],
+    seen: &mut Vec<NodeId>,
+) -> Result<(), String> {
     if path.first() != Some(&u) {
         return Err(format!("path does not start at {}", hhc.format_node(u)));
     }
@@ -26,8 +58,10 @@ pub fn verify_path(hhc: &Hhc, u: NodeId, v: NodeId, path: &Path) -> Result<(), S
             ));
         }
     }
-    let distinct: HashSet<_> = path.iter().collect();
-    if distinct.len() != path.len() {
+    seen.clear();
+    seen.extend_from_slice(path);
+    seen.sort_unstable();
+    if seen.windows(2).any(|w| w[0] == w[1]) {
         return Err("path revisits a node".into());
     }
     Ok(())
@@ -44,17 +78,45 @@ pub fn verify_disjoint_paths(
     v: NodeId,
     paths: &[Path],
 ) -> Result<(), String> {
-    let mut interiors: HashSet<NodeId> = HashSet::new();
-    for (i, p) in paths.iter().enumerate() {
-        verify_path(hhc, u, v, p).map_err(|e| format!("path {i}: {e}"))?;
-        for &x in &p[1..p.len() - 1] {
-            if !interiors.insert(x) {
-                return Err(format!(
-                    "path {i} shares interior node {} with an earlier path",
-                    hhc.format_node(x)
-                ));
-            }
-        }
+    let mut scratch = VerifyScratch::new();
+    verify_family(hhc, u, v, paths.iter().map(|p| p.as_slice()), &mut scratch)
+}
+
+/// [`verify_disjoint_paths`] over a [`PathSet`], with caller-owned
+/// scratch. This is the batch engine's verification entry point.
+pub fn verify_disjoint_paths_into(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    set: &PathSet,
+    scratch: &mut VerifyScratch,
+) -> Result<(), String> {
+    verify_family(hhc, u, v, set.iter(), scratch)
+}
+
+/// Shared core: per-path simplicity plus cross-path interior disjointness
+/// via a sorted `(node, path)` sweep.
+fn verify_family<'a>(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    paths: impl Iterator<Item = &'a [NodeId]>,
+    scratch: &mut VerifyScratch,
+) -> Result<(), String> {
+    scratch.interiors.clear();
+    for (i, p) in paths.enumerate() {
+        verify_path_with(hhc, u, v, p, &mut scratch.seen).map_err(|e| format!("path {i}: {e}"))?;
+        scratch
+            .interiors
+            .extend(p[1..p.len() - 1].iter().map(|&x| (x, i as u32)));
+    }
+    scratch.interiors.sort_unstable();
+    if let Some(w) = scratch.interiors.windows(2).find(|w| w[0].0 == w[1].0) {
+        return Err(format!(
+            "path {} shares interior node {} with an earlier path",
+            w[1].1,
+            hhc.format_node(w[1].0)
+        ));
     }
     Ok(())
 }
@@ -108,7 +170,7 @@ mod tests {
         let h = Hhc::new(2).unwrap();
         let u = h.node(0, 0).unwrap();
         let v = h.node(0b1111, 0b11).unwrap();
-        assert!(verify_path(&h, u, v, &vec![u, v]).is_err());
+        assert!(verify_path(&h, u, v, &[u, v]).is_err());
     }
 
     #[test]

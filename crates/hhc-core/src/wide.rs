@@ -7,8 +7,9 @@
 //! largest maximum-path-length the construction actually produces —
 //! exhaustively for tiny networks, over samples otherwise (experiment T4).
 
+use crate::batch::Workspace;
+use crate::disjoint::CrossingOrder;
 use crate::topology::Hhc;
-use crate::verify::construct_and_verify;
 
 /// Result of a wide-diameter sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +26,7 @@ pub struct WideDiameterEstimate {
 /// (HHC(2) has 64 nodes ⇒ 4032 ordered pairs); panics above.
 pub fn exhaustive(hhc: &Hhc) -> WideDiameterEstimate {
     assert!(hhc.m() <= 2, "exhaustive wide-diameter sweep needs m ≤ 2");
+    let mut ws = Workspace::new();
     let mut observed = 0;
     let mut pairs = 0;
     for u in hhc.iter_nodes() {
@@ -32,7 +34,9 @@ pub fn exhaustive(hhc: &Hhc) -> WideDiameterEstimate {
             if u == v {
                 continue;
             }
-            let max = construct_and_verify(hhc, u, v).expect("construction must verify");
+            let max = ws
+                .construct_and_verify(hhc, u, v, CrossingOrder::Gray)
+                .expect("construction must verify");
             observed = observed.max(max);
             pairs += 1;
         }
@@ -54,6 +58,7 @@ pub fn sampled(hhc: &Hhc, count: u64, seed: u64) -> WideDiameterEstimate {
         (1u128 << hhc.positions()) - 1
     };
     let ymod = 1u64 << hhc.m();
+    let mut ws = Workspace::new();
     let mut observed = 0;
     let mut pairs = 0;
     while pairs < count {
@@ -66,7 +71,9 @@ pub fn sampled(hhc: &Hhc, count: u64, seed: u64) -> WideDiameterEstimate {
         if u == v {
             continue;
         }
-        let max = construct_and_verify(hhc, u, v).expect("construction must verify");
+        let max = ws
+            .construct_and_verify(hhc, u, v, CrossingOrder::Gray)
+            .expect("construction must verify");
         observed = observed.max(max);
         pairs += 1;
     }
@@ -86,13 +93,16 @@ pub fn adversarial(hhc: &Hhc) -> WideDiameterEstimate {
     } else {
         (1u128 << hhc.positions()) - 1
     };
+    let mut ws = Workspace::new();
     let mut observed = 0;
     let mut pairs = 0;
     for yu in 0..hhc.positions() {
         for yv in 0..hhc.positions() {
             let u = hhc.node(0, yu).expect("in range");
             let v = hhc.node(all_x, yv).expect("in range");
-            let max = construct_and_verify(hhc, u, v).expect("construction must verify");
+            let max = ws
+                .construct_and_verify(hhc, u, v, CrossingOrder::Gray)
+                .expect("construction must verify");
             observed = observed.max(max);
             pairs += 1;
         }

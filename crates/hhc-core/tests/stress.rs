@@ -15,9 +15,9 @@ fn dense_structured_sweep_m3() {
     let pairs: Vec<(NodeId, NodeId)> = sources
         .iter()
         .flat_map(|&u| {
-            cube_fields.iter().flat_map(move |&x| {
-                (0..8u32).map(move |y| (u, x, y))
-            })
+            cube_fields
+                .iter()
+                .flat_map(move |&x| (0..8u32).map(move |y| (u, x, y)))
         })
         .filter_map(|(u, x, y)| {
             let v = h.node(x, y).unwrap();
@@ -42,9 +42,7 @@ fn all_single_crossing_families() {
         let h = Hhc::new(m).unwrap();
         let cases: Vec<(NodeId, NodeId)> = (0..h.positions())
             .flat_map(|p| {
-                (0..h.positions()).flat_map(move |yu| {
-                    (0..h.positions()).map(move |yv| (p, yu, yv))
-                })
+                (0..h.positions()).flat_map(move |yu| (0..h.positions()).map(move |yv| (p, yu, yv)))
             })
             .map(|(p, yu, yv)| {
                 let u = h.node(0, yu).unwrap();
@@ -53,8 +51,7 @@ fn all_single_crossing_families() {
             })
             .collect();
         cases.par_iter().for_each(|&(u, v)| {
-            construct_and_verify(&h, u, v)
-                .unwrap_or_else(|e| panic!("m={m} {u:?}→{v:?}: {e}"));
+            construct_and_verify(&h, u, v).unwrap_or_else(|e| panic!("m={m} {u:?}→{v:?}: {e}"));
         });
     }
 }
@@ -92,13 +89,10 @@ fn all_antipodal_cube_field_families() {
         let all_x = (1u128 << h.positions()) - 1;
         let pairs: Vec<(NodeId, NodeId)> = (0..h.positions())
             .flat_map(|yu| (0..h.positions()).map(move |yv| (yu, yv)))
-            .map(|(yu, yv)| {
-                (h.node(0, yu).unwrap(), h.node(all_x, yv).unwrap())
-            })
+            .map(|(yu, yv)| (h.node(0, yu).unwrap(), h.node(all_x, yv).unwrap()))
             .collect();
         pairs.par_iter().for_each(|&(u, v)| {
-            construct_and_verify(&h, u, v)
-                .unwrap_or_else(|e| panic!("m={m} {u:?}→{v:?}: {e}"));
+            construct_and_verify(&h, u, v).unwrap_or_else(|e| panic!("m={m} {u:?}→{v:?}: {e}"));
         });
     }
 }
@@ -108,27 +102,9 @@ fn all_antipodal_cube_field_families() {
 /// on the per-pair *bound*, and both must verify.
 #[test]
 fn orders_verify_on_large_networks() {
-    let mut state = 0xD00D_F00Du64;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
     for m in 4..=6u32 {
         let h = Hhc::new(m).unwrap();
-        let mask = if h.n() >= 128 {
-            u128::MAX
-        } else {
-            (1u128 << h.n()) - 1
-        };
-        let pairs: Vec<(NodeId, NodeId)> = (0..60)
-            .filter_map(|_| {
-                let a = ((next() as u128) << 64 | next() as u128) & mask;
-                let b = ((next() as u128) << 64 | next() as u128) & mask;
-                (a != b).then(|| (NodeId::from_raw(a), NodeId::from_raw(b)))
-            })
-            .collect();
+        let pairs = workloads::sampling::random_pairs(&h, 60, 0xD00D_F00D + m as u64);
         pairs.par_iter().for_each(|&(u, v)| {
             for order in [CrossingOrder::Gray, CrossingOrder::Sorted] {
                 let paths = hhc_core::disjoint::disjoint_paths(&h, u, v, order).unwrap();

@@ -118,7 +118,9 @@ impl BuddyAllocator {
 
     /// Largest free subcube dimension, or `None` if fully allocated.
     pub fn largest_free_dim(&self) -> Option<u32> {
-        (0..=self.n).rev().find(|&d| !self.free[d as usize].is_empty())
+        (0..=self.n)
+            .rev()
+            .find(|&d| !self.free[d as usize].is_empty())
     }
 }
 
@@ -215,7 +217,10 @@ mod tests {
 
     #[test]
     fn subcube_membership() {
-        let sc = Subcube { base: 0b1100, dim: 2 };
+        let sc = Subcube {
+            base: 0b1100,
+            dim: 2,
+        };
         assert!(sc.contains(0b1101));
         assert!(sc.contains(0b1111));
         assert!(!sc.contains(0b1000));

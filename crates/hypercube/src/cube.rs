@@ -129,7 +129,9 @@ impl Cube {
         }
         let n_nodes = 1u32 << self.n;
         Ok(CsrGraph::from_fn(n_nodes, |v| {
-            (0..self.n).map(move |d| v ^ (1u32 << d)).collect::<Vec<_>>()
+            (0..self.n)
+                .map(move |d| v ^ (1u32 << d))
+                .collect::<Vec<_>>()
         }))
     }
 }

@@ -14,7 +14,7 @@
 //! walks positive-flow arcs from the source.
 
 use crate::cube::{Cube, CubeError, Node};
-use graphs::Dinic;
+use graphs::{ArcId, Dinic};
 
 /// Errors from fan construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,12 +59,126 @@ fn v_out(v: u32) -> u32 {
     2 * v + 1
 }
 
+const UNSET: u32 = u32::MAX;
+
+/// Reusable state for [`fan_paths_into`]: the vertex-split flow network
+/// for one cube dimension, capacity/flow rewind tables, and the output
+/// arena. Building the network is the dominant cost of a fan query;
+/// keeping it across queries (the batch engine's per-thread scratch
+/// pattern) turns each query into a capacity reset plus one small
+/// max-flow, with zero steady-state allocation.
+pub struct FanScratch {
+    /// Cube dimension the network was built for (`UNSET` = not built).
+    dim: u32,
+    dinic: Option<Dinic>,
+    /// Default capacity per forward arc, in `add_edge` order.
+    default_caps: Vec<u32>,
+    /// Arc `v_in(v) → v_out(v)` per node.
+    vertex_arc: Vec<ArcId>,
+    /// Arc `v_out(v) → v_in(v ⊕ 2^dim)` at index `v·n + dim`.
+    edge_arc: Vec<ArcId>,
+    /// Arc `v_out(v) → sink` per node (default capacity 0).
+    terminal_arc: Vec<ArcId>,
+    /// Per-call: index of each node in `targets`, or `UNSET`.
+    target_idx: Vec<u32>,
+    /// Per-call: remaining decomposable flow per forward arc.
+    rem: Vec<u32>,
+    /// Decomposition output in discovery order (flat CSR).
+    tmp_nodes: Vec<Node>,
+    tmp_offsets: Vec<u32>,
+    /// `path_of_target[i]` = index into `tmp_offsets` of target `i`'s path.
+    path_of_target: Vec<u32>,
+}
+
+impl FanScratch {
+    pub fn new() -> Self {
+        FanScratch {
+            dim: UNSET,
+            dinic: None,
+            default_caps: Vec::new(),
+            vertex_arc: Vec::new(),
+            edge_arc: Vec::new(),
+            terminal_arc: Vec::new(),
+            target_idx: Vec::new(),
+            rem: Vec::new(),
+            tmp_nodes: Vec::new(),
+            tmp_offsets: Vec::new(),
+            path_of_target: Vec::new(),
+        }
+    }
+
+    /// Number of fan paths produced by the last [`fan_paths_into`] call.
+    pub fn num_paths(&self) -> usize {
+        self.path_of_target.len()
+    }
+
+    /// The fan path to `targets[i]` from the last call (`s → targets[i]`).
+    pub fn path(&self, i: usize) -> &[Node] {
+        let p = self.path_of_target[i] as usize;
+        let (a, b) = (
+            self.tmp_offsets[p] as usize,
+            self.tmp_offsets[p + 1] as usize,
+        );
+        &self.tmp_nodes[a..b]
+    }
+
+    /// Builds (or rebuilds) the flow network for dimension `n`.
+    fn ensure_network(&mut self, n: u32) {
+        if self.dim == n {
+            return;
+        }
+        let num = 1u32 << n;
+        let sink = 2 * num;
+        let mut d = Dinic::new(sink as usize + 1);
+        self.default_caps.clear();
+        self.vertex_arc.clear();
+        self.edge_arc.clear();
+        self.edge_arc.resize((num * n.max(1)) as usize, UNSET);
+        self.terminal_arc.clear();
+        for v in 0..num {
+            self.vertex_arc.push(d.add_edge(v_in(v), v_out(v), 1));
+            self.default_caps.push(1);
+        }
+        for v in 0..num {
+            for dim in 0..n {
+                // Add each undirected edge once, as two directed arcs.
+                let w = v ^ (1u32 << dim);
+                if v < w {
+                    self.edge_arc[(v * n + dim) as usize] = d.add_edge(v_out(v), v_in(w), 1);
+                    self.default_caps.push(1);
+                    self.edge_arc[(w * n + dim) as usize] = d.add_edge(v_out(w), v_in(v), 1);
+                    self.default_caps.push(1);
+                }
+            }
+        }
+        // A terminal arc per node, default capacity 0: per-call target
+        // sets just raise their own arcs to 1.
+        for v in 0..num {
+            self.terminal_arc.push(d.add_edge(v_out(v), sink, 0));
+            self.default_caps.push(0);
+        }
+        self.target_idx.clear();
+        self.target_idx.resize(num as usize, UNSET);
+        self.dinic = Some(d);
+        self.dim = n;
+    }
+}
+
+impl Default for FanScratch {
+    fn default() -> Self {
+        FanScratch::new()
+    }
+}
+
 /// Computes a fan: one path from `s` to each target, pairwise
 /// vertex-disjoint except at `s`. Paths are returned in target order
 /// (`paths[i]` ends at `targets[i]`).
 ///
 /// Requires `targets.len() ≤ n` (fan lemma bound) and `n ≤ 16`
 /// (the cube is materialised as a flow network of `2^{n+1} + 1` nodes).
+///
+/// Allocates the flow network per call; hot paths should hold a
+/// [`FanScratch`] and call [`fan_paths_into`] instead.
 ///
 /// # Examples
 /// ```
@@ -75,6 +189,22 @@ fn v_out(v: u32) -> u32 {
 /// fan::check_fan(&q, 0b000, &[0b011, 0b101, 0b110], &fan).unwrap();
 /// ```
 pub fn fan_paths(cube: &Cube, s: Node, targets: &[Node]) -> Result<Vec<Vec<Node>>, FanError> {
+    let mut scratch = FanScratch::new();
+    fan_paths_into(cube, s, targets, &mut scratch)?;
+    Ok((0..scratch.num_paths())
+        .map(|i| scratch.path(i).to_vec())
+        .collect())
+}
+
+/// [`fan_paths`] writing into caller-owned buffers: the fan is computed
+/// inside `scratch` and read back through [`FanScratch::path`]. After the
+/// first call at a given dimension, subsequent calls allocate nothing.
+pub fn fan_paths_into(
+    cube: &Cube,
+    s: Node,
+    targets: &[Node],
+    scratch: &mut FanScratch,
+) -> Result<(), FanError> {
     let n = cube.dim();
     if n > 16 {
         return Err(FanError::CubeTooLarge(n));
@@ -83,50 +213,68 @@ pub fn fan_paths(cube: &Cube, s: Node, targets: &[Node]) -> Result<Vec<Vec<Node>
     for &t in targets {
         cube.check(t)?;
     }
-    {
-        let mut set = std::collections::HashSet::new();
-        for &t in targets {
-            if t == s || !set.insert(t) {
-                return Err(FanError::BadTargets);
-            }
-        }
-    }
     if targets.len() > n as usize {
         return Err(FanError::TooManyTargets {
             targets: targets.len(),
             dim: n,
         });
     }
+    scratch.ensure_network(n);
+    scratch.tmp_nodes.clear();
+    scratch.tmp_offsets.clear();
+    scratch.tmp_offsets.push(0);
+    scratch.path_of_target.clear();
+
+    // Duplicate/source detection doubles as the target index used by the
+    // decomposition below.
+    scratch.target_idx.fill(UNSET);
+    for (i, &t) in targets.iter().enumerate() {
+        if t == s || scratch.target_idx[t as usize] != UNSET {
+            return Err(FanError::BadTargets);
+        }
+        scratch.target_idx[t as usize] = i as u32;
+    }
     if targets.is_empty() {
-        return Ok(Vec::new());
+        return Ok(());
     }
 
     let num = 1u32 << n;
     let sink = 2 * num;
-    let mut d = Dinic::new(sink as usize + 1);
     let s32 = s as u32;
-    for v in 0..num {
-        let cap = if v == s32 { u32::MAX / 2 } else { 1 };
-        d.add_edge(v_in(v), v_out(v), cap);
-    }
-    for v in 0..num {
-        for dim in 0..n {
-            // Add each undirected edge once, as two directed arcs.
-            let w = v ^ (1u32 << dim);
-            if v < w {
-                d.add_edge(v_out(v), v_in(w), 1);
-                d.add_edge(v_out(w), v_in(v), 1);
-            }
-        }
-    }
-    // Target index by node id, for terminal arcs.
-    let mut terminal_arc = std::collections::HashMap::new();
-    for (i, &t) in targets.iter().enumerate() {
-        let aid = d.add_edge(v_out(t as u32), sink, 1);
-        terminal_arc.insert(t as u32, (i, aid));
+    let d = scratch.dinic.as_mut().expect("network built");
+    // Undo only what the previous query moved (O(arcs on its augmenting
+    // paths)) rather than rewriting every capacity in the network.
+    d.rewind(&scratch.default_caps);
+    d.set_cap(scratch.vertex_arc[s as usize], u32::MAX / 2);
+    for &t in targets {
+        d.set_cap(scratch.terminal_arc[t as usize], 1);
     }
 
-    let flow = d.max_flow(v_in(s32), sink);
+    // Seed every target adjacent to `s` with its direct edge. A target is
+    // never an interior node of any fan path (its vertex capacity is
+    // consumed by its own terminal unit), so the direct edge is
+    // compatible with — and no longer than — some maximum fan; the
+    // solver only has to route the remaining targets.
+    let mut seeded = 0u32;
+    for &t in targets {
+        let t32 = t as u32;
+        let diff = t32 ^ s32;
+        if diff.count_ones() == 1 {
+            let dim = diff.trailing_zeros();
+            d.force_unit(scratch.vertex_arc[s as usize]);
+            d.force_unit(scratch.edge_arc[(s32 * n + dim) as usize]);
+            d.force_unit(scratch.vertex_arc[t as usize]);
+            d.force_unit(scratch.terminal_arc[t as usize]);
+            seeded += 1;
+        }
+    }
+
+    // The terminal arcs cap the flow at exactly `targets.len()`, and the
+    // fan lemma guarantees that value is reached — so the solver can stop
+    // there instead of running a final no-progress phase to prove it.
+    // Every augmenting path here has bottleneck 1 (the terminal arcs),
+    // which is exactly the regime the unit solver is built for.
+    let flow = seeded + d.max_flow_unit(v_in(s32), sink, targets.len() as u32 - seeded);
     assert_eq!(
         flow as usize,
         targets.len(),
@@ -134,47 +282,52 @@ pub fn fan_paths(cube: &Cube, s: Node, targets: &[Node]) -> Result<Vec<Vec<Node>
         targets.len()
     );
 
-    // Decompose: record remaining flow per (from, to) node pair, then walk.
-    let mut remaining: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
-    for v in 0..=sink {
-        for (aid, to) in d.flow_arcs_from(v) {
-            *remaining.entry((v, to)).or_insert(0) += d.flow_on(aid);
-        }
+    // Decompose: remaining flow per forward arc (the network is simple,
+    // so an arc is uniquely determined by its endpoints), then walk.
+    // Every arc with nonzero flow is in the solver's touched set, so
+    // only those slots need reading.
+    scratch.rem.clear();
+    scratch.rem.resize(scratch.default_caps.len(), 0);
+    for &slot in d.touched_slots() {
+        scratch.rem[slot as usize] = d.flow_on(2 * slot);
     }
-    let mut take = |from: u32, to: u32| -> bool {
-        match remaining.get_mut(&(from, to)) {
-            Some(c) if *c > 0 => {
-                *c -= 1;
-                true
-            }
-            _ => false,
+    scratch.path_of_target.resize(targets.len(), UNSET);
+    let take = |rem: &mut Vec<u32>, aid: ArcId| -> bool {
+        let slot = &mut rem[(aid / 2) as usize];
+        if *slot > 0 {
+            *slot -= 1;
+            true
+        } else {
+            false
         }
     };
-
-    let mut paths: Vec<Option<Vec<Node>>> = vec![None; targets.len()];
-    for _ in 0..flow {
-        let mut path = vec![s];
+    for p in 0..flow {
+        scratch.tmp_nodes.push(s);
         let mut cur = s32;
         loop {
-            let _ = take(v_in(cur), v_out(cur));
+            let _ = take(&mut scratch.rem, scratch.vertex_arc[cur as usize]);
             // Terminate here if this node's terminal arc still carries flow
             // (a target is never a through-node: its vertex capacity is 1).
-            if let Some(&(idx, _)) = terminal_arc.get(&cur) {
-                if take(v_out(cur), sink) {
-                    assert!(paths[idx].is_none(), "target reached twice");
-                    paths[idx] = Some(path);
-                    break;
-                }
+            let t_idx = scratch.target_idx[cur as usize];
+            if t_idx != UNSET && take(&mut scratch.rem, scratch.terminal_arc[cur as usize]) {
+                assert_eq!(
+                    scratch.path_of_target[t_idx as usize], UNSET,
+                    "target reached twice"
+                );
+                scratch.path_of_target[t_idx as usize] = p;
+                scratch.tmp_offsets.push(scratch.tmp_nodes.len() as u32);
+                break;
             }
             let next = (0..n)
+                .find(|&dim| take(&mut scratch.rem, scratch.edge_arc[(cur * n + dim) as usize]))
                 .map(|dim| cur ^ (1u32 << dim))
-                .find(|&w| take(v_out(cur), v_in(w)))
                 .expect("flow decomposition stuck (bug)");
-            path.push(next as Node);
+            scratch.tmp_nodes.push(next as Node);
             cur = next;
         }
     }
-    Ok(paths.into_iter().map(|p| p.expect("missing fan path")).collect())
+    debug_assert!(scratch.path_of_target.iter().all(|&p| p != UNSET));
+    Ok(())
 }
 
 /// Checks fan validity: `paths[i]` runs `s → targets[i]`, each simple,

@@ -90,6 +90,73 @@ pub fn disjoint_paths_limited(
     Ok(paths)
 }
 
+/// [`disjoint_paths_limited`] writing into caller-owned CSR buffers:
+/// each path is appended to `nodes`, with its end offset pushed to
+/// `offsets` (callers seed `offsets` with the current `nodes` length —
+/// usually `[0]` — so path `i` spans `nodes[offsets[i]..offsets[i+1]]`).
+/// `dims_scratch` holds the differing-dimension sequence between calls.
+/// Allocation-free once the buffers have warmed up.
+pub fn disjoint_paths_buf(
+    cube: &Cube,
+    u: Node,
+    v: Node,
+    count: usize,
+    dims_scratch: &mut Vec<u32>,
+    nodes: &mut Vec<Node>,
+    offsets: &mut Vec<u32>,
+) -> Result<(), CubeError> {
+    cube.check(u)?;
+    cube.check(v)?;
+    if u == v {
+        return Err(CubeError::EqualNodes);
+    }
+    assert!(
+        count <= cube.dim() as usize,
+        "requested {count} paths but connectivity is {}",
+        cube.dim()
+    );
+    dims_scratch.clear();
+    dims_scratch.extend((0..cube.dim()).filter(|&d| (u ^ v) >> d & 1 == 1));
+    let dims = &dims_scratch[..];
+    let k = dims.len();
+    let mut emitted = 0usize;
+
+    // Rotations: lengths k. Rotation r flips dims[r..], then dims[..r].
+    for r in 0..k.min(count) {
+        let mut cur = u;
+        nodes.push(cur);
+        for &d in dims[r..].iter().chain(&dims[..r]) {
+            cur ^= 1u128 << d;
+            nodes.push(cur);
+        }
+        offsets.push(nodes.len() as u32);
+        emitted += 1;
+    }
+
+    // Detours: lengths k + 2, one per clean dimension j: j, D, j.
+    if emitted < count {
+        for j in 0..cube.dim() {
+            if dims.binary_search(&j).is_ok() {
+                continue;
+            }
+            let mut cur = u ^ (1u128 << j);
+            nodes.push(u);
+            nodes.push(cur);
+            for &d in dims {
+                cur ^= 1u128 << d;
+                nodes.push(cur);
+            }
+            nodes.push(cur ^ (1u128 << j));
+            offsets.push(nodes.len() as u32);
+            emitted += 1;
+            if emitted == count {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Flips `dims` in sequence starting from `u`, collecting visited nodes.
 fn walk(u: Node, dims: &[u32]) -> Path {
     let mut path = Vec::with_capacity(dims.len() + 1);
@@ -177,8 +244,7 @@ mod tests {
                 }
                 let ps = disjoint_paths(&q, u, v).unwrap();
                 assert_eq!(ps.len(), 4);
-                check_disjoint(&q, u, v, &ps)
-                    .unwrap_or_else(|e| panic!("u={u:#b} v={v:#b}: {e}"));
+                check_disjoint(&q, u, v, &ps).unwrap_or_else(|e| panic!("u={u:#b} v={v:#b}: {e}"));
             }
         }
     }
@@ -219,6 +285,22 @@ mod tests {
         check_disjoint(&q, u, v, &ps).unwrap();
         let max_len = ps.iter().map(|p| p.len() - 1).max().unwrap();
         assert_eq!(max_len, 42); // k + 2
+    }
+
+    #[test]
+    fn buffered_variant_matches_allocating_one() {
+        let q = Cube::new(5).unwrap();
+        let mut dims = Vec::new();
+        for v in 1..32u128 {
+            let expect = disjoint_paths(&q, 0, v).unwrap();
+            let (mut nodes, mut offsets) = (Vec::new(), vec![0u32]);
+            disjoint_paths_buf(&q, 0, v, 5, &mut dims, &mut nodes, &mut offsets).unwrap();
+            assert_eq!(offsets.len(), expect.len() + 1);
+            for (i, p) in expect.iter().enumerate() {
+                let s = &nodes[offsets[i] as usize..offsets[i + 1] as usize];
+                assert_eq!(s, p.as_slice(), "path {i} for v={v:#b}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! * **ground truth** reachability (any path at all) comes from BFS on
 //!   the materialised graph, for calibration on small networks.
 
-use crate::net::Network;
+use crate::net::{Network, RouteScratch};
 use crate::strategy::path_blocked;
 use hhc_core::NodeId;
 use std::collections::HashSet;
@@ -38,17 +38,27 @@ pub fn analyze<N: Network + ?Sized>(
     v: NodeId,
     faults: &HashSet<NodeId>,
 ) -> DeliveryOutcome {
+    analyze_with(net, u, v, faults, &mut RouteScratch::new())
+}
+
+/// [`analyze`] with caller-owned route scratch — sweeps over many (pair,
+/// fault set) combinations reuse the disjoint-path buffers (experiment
+/// F3 issues tens of thousands of these).
+pub fn analyze_with<N: Network + ?Sized>(
+    net: &N,
+    u: NodeId,
+    v: NodeId,
+    faults: &HashSet<NodeId>,
+    scratch: &mut RouteScratch,
+) -> DeliveryOutcome {
     assert_ne!(u, v);
     assert!(
         !faults.contains(&u) && !faults.contains(&v),
         "endpoints must be alive"
     );
     let single = net.route(u, v);
-    let disjoint = net.disjoint_routes(u, v);
-    let surviving = disjoint
-        .iter()
-        .filter(|p| !path_blocked(p, faults))
-        .count() as u32;
+    let disjoint = net.disjoint_routes_into(u, v, scratch);
+    let surviving = disjoint.iter().filter(|p| !path_blocked(p, faults)).count() as u32;
     DeliveryOutcome {
         single_path_ok: !path_blocked(&single, faults),
         multipath_ok: surviving > 0,

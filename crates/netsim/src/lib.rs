@@ -23,7 +23,7 @@ pub mod sim;
 pub mod stats;
 pub mod strategy;
 
-pub use net::{CubeNet, Network};
+pub use net::{CubeNet, Network, RouteScratch};
 pub use sim::{DeliveryRecord, SimConfig, Simulator, Switching};
 pub use stats::SimStats;
 pub use strategy::Strategy;

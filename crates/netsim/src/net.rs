@@ -7,9 +7,30 @@
 //! services the strategies need — a deterministic single route and the
 //! family of internally node-disjoint routes.
 
-use hhc_core::{Hhc, NodeId, Path};
+use hhc_core::{CrossingOrder, Hhc, NodeId, Path, PathBuilder, PathSet};
 use hypercube::Cube;
 use workloads::AddressSpace;
+
+/// Reusable buffers for [`Network::disjoint_routes_into`]. One scratch
+/// per simulation run (or per analysis sweep) makes repeated disjoint-
+/// route queries allocation-free after warm-up. The fields cover both
+/// topologies: the HHC construction writes through its [`PathBuilder`],
+/// the plain cube through the CSR buffers.
+#[derive(Default)]
+pub struct RouteScratch {
+    /// The route family of the most recent query, as a flat [`PathSet`].
+    pub(crate) set: PathSet,
+    pub(crate) builder: PathBuilder,
+    qdims: Vec<u32>,
+    qnodes: Vec<u128>,
+    qoffsets: Vec<u32>,
+}
+
+impl RouteScratch {
+    pub fn new() -> Self {
+        RouteScratch::default()
+    }
+}
 
 /// A simulatable network: an address space with routing services.
 pub trait Network: AddressSpace {
@@ -29,11 +50,29 @@ pub trait Network: AddressSpace {
     /// (`degree()` many on the maximally connected topologies here).
     fn disjoint_routes(&self, src: NodeId, dst: NodeId) -> Vec<Path>;
 
+    /// [`Network::disjoint_routes`] into the scratch's [`PathSet`],
+    /// reusing the scratch's working buffers across queries. Returns a
+    /// view of the family; identical routes to `disjoint_routes`.
+    fn disjoint_routes_into<'s>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        scratch: &'s mut RouteScratch,
+    ) -> &'s PathSet {
+        scratch.set.clear();
+        for p in self.disjoint_routes(src, dst) {
+            scratch.set.push_path(&p);
+        }
+        &scratch.set
+    }
+
     /// All nodes, for per-cycle injection sweeps.
     /// Only meaningful for materialisable sizes; guarded by the caller.
     fn all_nodes(&self) -> Vec<NodeId> {
         assert!(self.address_bits() <= 16, "all_nodes on a huge network");
-        (0..1u128 << self.address_bits()).map(NodeId::from_raw).collect()
+        (0..1u128 << self.address_bits())
+            .map(NodeId::from_raw)
+            .collect()
     }
 }
 
@@ -56,6 +95,24 @@ impl Network for Hhc {
 
     fn disjoint_routes(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
         Hhc::disjoint_paths(self, src, dst).expect("valid pair")
+    }
+
+    fn disjoint_routes_into<'s>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        scratch: &'s mut RouteScratch,
+    ) -> &'s PathSet {
+        hhc_core::disjoint_paths_into(
+            self,
+            src,
+            dst,
+            CrossingOrder::Gray,
+            &mut scratch.set,
+            &mut scratch.builder,
+        )
+        .expect("valid pair");
+        &scratch.set
     }
 }
 
@@ -108,6 +165,35 @@ impl Network for CubeNet {
             .map(|p| p.into_iter().map(NodeId::from_raw).collect())
             .collect()
     }
+
+    fn disjoint_routes_into<'s>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        scratch: &'s mut RouteScratch,
+    ) -> &'s PathSet {
+        scratch.qnodes.clear();
+        scratch.qoffsets.clear();
+        scratch.qoffsets.push(0);
+        hypercube::paths::disjoint_paths_buf(
+            &self.0,
+            src.raw(),
+            dst.raw(),
+            self.0.dim() as usize,
+            &mut scratch.qdims,
+            &mut scratch.qnodes,
+            &mut scratch.qoffsets,
+        )
+        .expect("valid pair");
+        scratch.set.clear();
+        for w in scratch.qoffsets.windows(2) {
+            for &y in &scratch.qnodes[w[0] as usize..w[1] as usize] {
+                scratch.set.push_node(NodeId::from_raw(y));
+            }
+            scratch.set.finish_path();
+        }
+        &scratch.set
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +232,20 @@ mod tests {
             }
         }
         assert_eq!(q.neighbors_of(u).len(), 6);
+    }
+
+    #[test]
+    fn scratch_routes_match_allocating_routes() {
+        let h = Hhc::new(2).unwrap();
+        let q = CubeNet::matching_hhc(2);
+        let mut scratch = RouteScratch::new();
+        for (u, v) in [(0u128, 45u128), (3, 60), (17, 42)] {
+            let (u, v) = (NodeId::from_raw(u), NodeId::from_raw(v));
+            let set = h.disjoint_routes_into(u, v, &mut scratch);
+            assert_eq!(set.to_paths(), Network::disjoint_routes(&h, u, v));
+            let set = q.disjoint_routes_into(u, v, &mut scratch);
+            assert_eq!(set.to_paths(), q.disjoint_routes(u, v));
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! The engine is fully deterministic under (`SimConfig::seed`, topology,
 //! pattern, strategy).
 
-use crate::net::Network;
+use crate::net::{Network, RouteScratch};
 use crate::packet::Packet;
 use crate::stats::SimStats;
 use crate::strategy::Strategy;
@@ -165,6 +165,9 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
         let mut in_flight: BTreeMap<u64, Vec<Packet>> = BTreeMap::new();
         let mut next_id = 0u64;
         let nodes: Vec<NodeId> = self.net.all_nodes();
+        // One route scratch for the whole run: route selection reuses the
+        // disjoint-path construction buffers across every injection.
+        let mut route_scratch = RouteScratch::new();
 
         for cycle in 0..cfg.cycles + cfg.drain_cycles {
             // Phase 1: injection (disabled during drain).
@@ -181,19 +184,20 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
                         stats.dropped_dst_faulty += 1;
                         continue;
                     }
-                    match self
-                        .strategy
-                        .select(self.net, src, dst, &self.faults, &mut rng)
-                    {
+                    match self.strategy.select_with(
+                        self.net,
+                        src,
+                        dst,
+                        &self.faults,
+                        &mut rng,
+                        &mut route_scratch,
+                    ) {
                         Some(route) => {
                             let pkt = Packet::new(next_id, cycle, route);
                             next_id += 1;
                             let key = (pkt.current(), pkt.next().expect("≥1 hop"));
                             let q = queues.entry(key).or_default();
-                            if cfg
-                                .queue_capacity
-                                .is_some_and(|cap| q.len() as u64 >= cap)
-                            {
+                            if cfg.queue_capacity.is_some_and(|cap| q.len() as u64 >= cap) {
                                 stats.dropped_backpressure += 1;
                                 continue;
                             }
@@ -428,7 +432,10 @@ mod tests {
         assert_eq!(multi.delivered, multi.injected);
         let hs = single.mean_hops().unwrap();
         let hm = multi.mean_hops().unwrap();
-        assert!(hm > hs, "disjoint families must average longer than the Gray route");
+        assert!(
+            hm > hs,
+            "disjoint families must average longer than the Gray route"
+        );
         assert!(hm < hs * 2.5, "multipath hop premium should stay bounded");
     }
 
@@ -459,15 +466,14 @@ mod instrumentation_tests {
     #[test]
     fn transmissions_equal_hops_when_drained() {
         let h = Hhc::new(2).unwrap();
-        let stats = Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath).run(
-            SimConfig {
+        let stats =
+            Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath).run(SimConfig {
                 cycles: 150,
                 drain_cycles: 5000,
                 inject_rate: 0.05,
                 seed: 17,
                 ..SimConfig::default()
-            },
-        );
+            });
         assert_eq!(stats.in_flight_at_end, 0);
         // Every delivered packet's hop produced exactly one transmission.
         assert_eq!(stats.link_transmissions, stats.hops_sum);
@@ -491,7 +497,10 @@ mod instrumentation_tests {
         };
         let lo = run(0.02);
         let hi = run(0.20);
-        assert!(hi > lo * 5.0, "utilisation should scale ~linearly: {lo} vs {hi}");
+        assert!(
+            hi > lo * 5.0,
+            "utilisation should scale ~linearly: {lo} vs {hi}"
+        );
     }
 }
 
@@ -503,15 +512,14 @@ mod cube_network_tests {
     #[test]
     fn simulator_runs_on_plain_hypercube() {
         let q = CubeNet::matching_hhc(2); // Q_6, 64 nodes
-        let stats = Simulator::new(&q, Pattern::UniformRandom, Strategy::SinglePath).run(
-            SimConfig {
+        let stats =
+            Simulator::new(&q, Pattern::UniformRandom, Strategy::SinglePath).run(SimConfig {
                 cycles: 200,
                 drain_cycles: 4000,
                 inject_rate: 0.05,
                 seed: 21,
                 ..SimConfig::default()
-            },
-        );
+            });
         assert_eq!(stats.delivered, stats.injected);
         assert!(stats.delivered > 100);
         // Q_6 mean distance is 3 (n/2); latency can't be below hops.
@@ -701,7 +709,10 @@ mod switching_tests {
         let sim = Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath);
         let saf = sim.run(cfg(8, Switching::StoreAndForward));
         let vct = sim.run(cfg(8, Switching::CutThrough));
-        assert_eq!(saf.delivered, vct.delivered, "same arrivals under same seed");
+        assert_eq!(
+            saf.delivered, vct.delivered,
+            "same arrivals under same seed"
+        );
         let (ls, lv) = (saf.mean_latency().unwrap(), vct.mean_latency().unwrap());
         // SAF ≈ hops × 8, VCT ≈ hops + 7 at low load: a large gap.
         assert!(

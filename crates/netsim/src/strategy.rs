@@ -4,7 +4,7 @@
 //! return a full route or `None` (unroutable). The simulator charges an
 //! unroutable packet as a drop at injection time.
 
-use crate::net::Network;
+use crate::net::{Network, RouteScratch};
 use hhc_core::{NodeId, Path};
 use rand::Rng;
 use std::collections::HashSet;
@@ -34,7 +34,8 @@ pub enum Strategy {
 
 impl Strategy {
     /// Selects a route from `src` to `dst` (`src ≠ dst`), or `None` if the
-    /// strategy cannot route around the faults.
+    /// strategy cannot route around the faults. Allocates a fresh scratch
+    /// per call; loops should use [`Strategy::select_with`].
     pub fn select<N: Network + ?Sized, R: Rng>(
         &self,
         net: &N,
@@ -42,6 +43,21 @@ impl Strategy {
         dst: NodeId,
         faults: &HashSet<NodeId>,
         rng: &mut R,
+    ) -> Option<Path> {
+        self.select_with(net, src, dst, faults, rng, &mut RouteScratch::new())
+    }
+
+    /// [`Strategy::select`] with caller-owned route scratch: the disjoint
+    /// family is built into the scratch's buffers and only the chosen
+    /// route is copied out. Identical routes and RNG draw sequence.
+    pub fn select_with<N: Network + ?Sized, R: Rng>(
+        &self,
+        net: &N,
+        src: NodeId,
+        dst: NodeId,
+        faults: &HashSet<NodeId>,
+        rng: &mut R,
+        scratch: &mut RouteScratch,
     ) -> Option<Path> {
         debug_assert_ne!(src, dst);
         debug_assert!(!faults.contains(&src) && !faults.contains(&dst));
@@ -55,21 +71,22 @@ impl Strategy {
                 }
             }
             Strategy::MultipathRandom => {
-                let paths = net.disjoint_routes(src, dst);
+                let paths = net.disjoint_routes_into(src, dst, scratch);
                 let i = rng.gen_range(0..paths.len());
-                Some(paths.into_iter().nth(i).expect("index in range"))
+                Some(paths.path(i).to_vec())
             }
             Strategy::FaultAdaptive => {
-                let paths = net.disjoint_routes(src, dst);
-                let alive: Vec<Path> = paths
-                    .into_iter()
-                    .filter(|p| !path_blocked(p, faults))
-                    .collect();
-                if alive.is_empty() {
+                let paths = net.disjoint_routes_into(src, dst, scratch);
+                let alive = paths.iter().filter(|p| !path_blocked(p, faults)).count();
+                if alive == 0 {
                     None
                 } else {
-                    let i = rng.gen_range(0..alive.len());
-                    alive.into_iter().nth(i)
+                    let i = rng.gen_range(0..alive);
+                    paths
+                        .iter()
+                        .filter(|p| !path_blocked(p, faults))
+                        .nth(i)
+                        .map(|p| p.to_vec())
                 }
             }
             Strategy::Valiant => {
@@ -151,10 +168,7 @@ mod tests {
         let (h, u, v, mut rng) = setup();
         // Block interior nodes of m of the m+1 paths: still routable.
         let paths = h.disjoint_paths(u, v).unwrap();
-        let faults: HashSet<_> = paths[..h.m() as usize]
-            .iter()
-            .map(|p| p[1])
-            .collect();
+        let faults: HashSet<_> = paths[..h.m() as usize].iter().map(|p| p[1]).collect();
         let p = Strategy::FaultAdaptive
             .select(&h, u, v, &faults, &mut rng)
             .unwrap();
@@ -179,7 +193,10 @@ mod tests {
             }
             lengths.insert(w.len());
         }
-        assert!(lengths.len() > 1, "random intermediates should vary lengths");
+        assert!(
+            lengths.len() > 1,
+            "random intermediates should vary lengths"
+        );
     }
 
     #[test]

@@ -165,8 +165,7 @@ mod adversarial_tests {
         let v = h.node(0b1001, 0b10).unwrap();
         let paths = h.disjoint_paths(u, v).unwrap();
         let blockable = paths.iter().filter(|p| p.len() > 2).count();
-        let faults =
-            adversarial_fault_set(&paths, blockable, &mut StdRng::seed_from_u64(1));
+        let faults = adversarial_fault_set(&paths, blockable, &mut StdRng::seed_from_u64(1));
         let blocked = paths
             .iter()
             .filter(|p| p.iter().any(|x| faults.contains(x)))

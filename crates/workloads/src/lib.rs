@@ -8,11 +8,14 @@
 //!   address space;
 //! * [`arrivals`] — per-node Bernoulli injection processes parameterised
 //!   by offered load;
-//! * [`faults`] — random distinct fault sets avoiding protected nodes.
+//! * [`faults`] — random distinct fault sets avoiding protected nodes;
+//! * [`sampling`] — random node/pair sampling over the HHC address
+//!   space, shared by experiments, benches and stress tests.
 
 pub mod arrivals;
 pub mod faults;
 pub mod patterns;
+pub mod sampling;
 pub mod space;
 
 pub use arrivals::Bernoulli;

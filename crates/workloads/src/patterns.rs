@@ -208,7 +208,9 @@ mod tests {
         let src = h.node(0x3C, 0b010).unwrap();
         let mut r = rng();
         for _ in 0..50 {
-            let d = Pattern::NearestNeighbor.destination(&h, src, &mut r).unwrap();
+            let d = Pattern::NearestNeighbor
+                .destination(&h, src, &mut r)
+                .unwrap();
             assert!(h.is_edge(src, d), "destination must be adjacent");
         }
     }

@@ -45,7 +45,11 @@ fn main() {
 
     for (i, (path, plan)) in paths.iter().zip(&trace.plans).enumerate() {
         let plan = plan.as_ref().expect("cross-cube paths all have plans");
-        let kind = if i < trace.rotations { "rotation" } else { "detour" };
+        let kind = if i < trace.rotations {
+            "rotation"
+        } else {
+            "detour"
+        };
         println!(
             "P{i} ({kind}): crossings at positions {:?}, length {}",
             plan.positions,

@@ -55,7 +55,10 @@ fn main() {
     // can save those, and they are counted separately).
     let mut rng = StdRng::seed_from_u64(7);
     let faults = random_fault_set(&net, net.m() as usize, &[], &mut rng);
-    println!("\nwith f = m = {} random faulty nodes at load 0.05:", faults.len());
+    println!(
+        "\nwith f = m = {} random faulty nodes at load 0.05:",
+        faults.len()
+    );
     let cfg = SimConfig {
         cycles: 500,
         drain_cycles: 10_000,

@@ -84,9 +84,7 @@ fn main() {
     // --- Gray-cycle crossing order (the length-bound trick) -----------------
     let positions = [0u64, 5, 3, 6];
     let ordered = gray::sort_along_gray_cycle(&positions, 3, 2);
-    println!(
-        "\nGray-cycle order of crossing positions {positions:?} anchored at 2: {ordered:?}"
-    );
+    println!("\nGray-cycle order of crossing positions {positions:?} anchored at 2: {ordered:?}");
     println!("(consecutive crossings are cheap to reach inside a son-cube —");
     println!(" this ordering is what keeps the disjoint paths near-diameter length)");
 }

@@ -131,11 +131,7 @@ fn diameter_formula_spotcheck_m3() {
 fn one_to_many_fans_exist_on_hhc2() {
     let h = Hhc::new(2).unwrap();
     let g = h.materialize().unwrap();
-    for (s, targets) in [
-        (0u32, [21u32, 42, 63]),
-        (17, [0, 1, 2]),
-        (63, [10, 20, 30]),
-    ] {
+    for (s, targets) in [(0u32, [21u32, 42, 63]), (17, [0, 1, 2]), (63, [10, 20, 30])] {
         let f = hhc_suite::graphs::fan::fan_paths(&g, s, &targets)
             .unwrap_or_else(|| panic!("no fan from {s} to {targets:?}"));
         hhc_suite::graphs::fan::check_fan(&g, s, &targets, &f).unwrap();
@@ -156,7 +152,6 @@ fn many_to_many_covers_exist_on_hhc2() {
     ] {
         let ps = hhc_suite::graphs::many_to_many_paths(&g, &sources, &targets)
             .unwrap_or_else(|| panic!("no cover for {sources:?} → {targets:?}"));
-        hhc_suite::graphs::many_to_many::check_many_to_many(&g, &sources, &targets, &ps)
-            .unwrap();
+        hhc_suite::graphs::many_to_many::check_many_to_many(&g, &sources, &targets, &ps).unwrap();
     }
 }

@@ -21,8 +21,14 @@ fn pipeline_conservation_and_latency_sanity() {
             ..SimConfig::default()
         });
         assert_eq!(stats.delivered, stats.injected, "{strategy:?} must drain");
-        assert!(stats.latency_sum >= stats.hops_sum, "{strategy:?} latency floor");
-        assert!(stats.delivered > 500, "{strategy:?} too little traffic to be meaningful");
+        assert!(
+            stats.latency_sum >= stats.hops_sum,
+            "{strategy:?} latency floor"
+        );
+        assert!(
+            stats.delivered > 500,
+            "{strategy:?} too little traffic to be meaningful"
+        );
     }
 }
 
@@ -45,7 +51,10 @@ fn all_patterns_run_clean() {
             ..SimConfig::default()
         });
         assert_eq!(stats.delivered, stats.injected, "{pattern:?}");
-        assert_eq!(stats.dropped_unroutable, 0, "{pattern:?}: no faults, no drops");
+        assert_eq!(
+            stats.dropped_unroutable, 0,
+            "{pattern:?}: no faults, no drops"
+        );
     }
 }
 
@@ -109,15 +118,19 @@ fn full_stack_determinism() {
     let h = Hhc::new(2).unwrap();
     let faults = random_fault_set(&h, 3, &[], &mut StdRng::seed_from_u64(8));
     let mk = || {
-        Simulator::new(&h, Pattern::Hotspot { hot_fraction: 0.3 }, Strategy::FaultAdaptive)
-            .with_faults(faults.clone())
-            .run(SimConfig {
-                cycles: 250,
-                drain_cycles: 5_000,
-                inject_rate: 0.07,
-                seed: 4242,
-                ..SimConfig::default()
-            })
+        Simulator::new(
+            &h,
+            Pattern::Hotspot { hot_fraction: 0.3 },
+            Strategy::FaultAdaptive,
+        )
+        .with_faults(faults.clone())
+        .run(SimConfig {
+            cycles: 250,
+            drain_cycles: 5_000,
+            inject_rate: 0.07,
+            seed: 4242,
+            ..SimConfig::default()
+        })
     };
     assert_eq!(mk(), mk());
 }

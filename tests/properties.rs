@@ -8,7 +8,11 @@ use proptest::prelude::*;
 fn hhc_pair() -> impl Strategy<Value = (u32, u128, u128)> {
     (1u32..=6).prop_flat_map(|m| {
         let n = (1u32 << m) + m;
-        let mask = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+        let mask = if n >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << n) - 1
+        };
         (Just(m), any::<u128>(), any::<u128>())
             .prop_map(move |(m, a, b)| (m, a & mask, b & mask))
             .prop_filter("distinct", |(_, a, b)| a != b)
