@@ -1,18 +1,20 @@
 //! Quick throughput profiler for the batch engine: measures the per-pair
 //! loop, the scratch-reusing core, and both batch entry points on the
-//! acceptance workload (random HHC(5) pairs), plus a replay of the exact
-//! fan queries the construction issues. Uses a min-over-repeats protocol
-//! so a noisy host does not swamp the numbers; `cargo bench -p bench
-//! --bench batch_throughput` is the canonical measurement.
+//! acceptance workload (random HHC(5) pairs), plus the metered batch
+//! path (counters on, timing off — the zero-cost claim) and a replay of
+//! the exact fan queries the construction issues. Uses a min-over-repeats
+//! protocol so a noisy host does not swamp the numbers; `cargo bench -p
+//! bench --bench batch_throughput` is the canonical measurement.
+//!
+//! `--quick` runs one iteration on a reduced workload: a CI smoke test
+//! that the profiler itself works, not a measurement.
 
 use hhc_core::{batch, disjoint, CrossingOrder, Hhc, PathBuilder, PathSet};
 use std::time::Instant;
 
-const REPEATS: usize = 5;
-
-fn min_time<F: FnMut()>(mut f: F) -> f64 {
+fn min_time<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..REPEATS {
+    for _ in 0..repeats {
         let t = Instant::now();
         f();
         best = best.min(t.elapsed().as_secs_f64());
@@ -21,8 +23,10 @@ fn min_time<F: FnMut()>(mut f: F) -> f64 {
 }
 
 fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let (repeats, pair_count) = if quick { (1, 200) } else { (5, 4000) };
     let h = Hhc::new(5).unwrap();
-    let pairs = workloads::sampling::random_pairs(&h, 4000, 0x10_000);
+    let pairs = workloads::sampling::random_pairs(&h, pair_count, 0x10_000);
     let n = pairs.len() as f64;
 
     // Warm-up both code paths once.
@@ -32,26 +36,32 @@ fn main() {
         disjoint::disjoint_paths_into(&h, u, v, CrossingOrder::Gray, &mut set, &mut sc).unwrap();
     }
 
-    let per_pair = min_time(|| {
+    let per_pair = min_time(repeats, || {
         let mut out = Vec::with_capacity(pairs.len());
         for &(u, v) in &pairs {
             out.push(disjoint::disjoint_paths(&h, u, v, CrossingOrder::Gray).unwrap());
         }
         std::hint::black_box(&out);
     });
-    let core = min_time(|| {
+    let core = min_time(repeats, || {
         for &(u, v) in &pairs {
             disjoint::disjoint_paths_into(&h, u, v, CrossingOrder::Gray, &mut set, &mut sc)
                 .unwrap();
             std::hint::black_box(&set);
         }
     });
-    let serial = min_time(|| {
+    let serial = min_time(repeats, || {
         let out = batch::construct_many_serial(&h, &pairs, CrossingOrder::Gray).unwrap();
         std::hint::black_box(&out);
     });
-    let rayon = min_time(|| {
+    let rayon = min_time(repeats, || {
         let out = batch::construct_many(&h, &pairs, CrossingOrder::Gray).unwrap();
+        std::hint::black_box(&out);
+    });
+    // Counters on, timing off: the claimed ~zero-cost metrics mode.
+    let metered = min_time(repeats, || {
+        let out =
+            batch::construct_many_serial_metered(&h, &pairs, CrossingOrder::Gray, false).unwrap();
         std::hint::black_box(&out);
     });
 
@@ -76,7 +86,7 @@ fn main() {
     for (s, tg) in &queries {
         let _ = hypercube::fan_paths_into(&cube, *s, tg, &mut fs);
     }
-    let fan = min_time(|| {
+    let fan = min_time(repeats, || {
         for (s, tg) in &queries {
             let _ = hypercube::fan_paths_into(&cube, *s, tg, &mut fs);
             std::hint::black_box(&fs);
@@ -94,6 +104,11 @@ fn main() {
         "batched_rayon   {:8.1} us/pair  ({:.2}x)",
         rayon * 1e6 / n,
         per_pair / rayon
+    );
+    println!(
+        "batched_metered {:8.1} us/pair  ({:+.1}% vs serial)",
+        metered * 1e6 / n,
+        (metered / serial - 1.0) * 100.0
     );
     println!(
         "fan replay      {:8.1} us/pair ({} queries, {:.1} us/call)",

@@ -22,8 +22,9 @@ pub fn run() {
     );
     for m in 1..=6u32 {
         let h = Hhc::new(m).unwrap();
-        let adv = wide::adversarial(&h);
-        let sam = wide::sampled(&h, if m <= 4 { 3000 } else { 800 }, 0xF2F2 + m as u64);
+        let adv = wide::adversarial(&h).expect("adversarial pairs use valid fields");
+        let sam = wide::sampled(&h, if m <= 4 { 3000 } else { 800 }, 0xF2F2 + m as u64)
+            .expect("sampled pairs use masked fields");
         let observed = adv.observed_max.max(sam.observed_max);
         t.row(vec![
             m.to_string(),

@@ -21,14 +21,21 @@ pub fn run() {
             "rate",
             "single lat",
             "multi lat",
+            "single p99",
+            "multi p99",
             "single thr",
             "multi thr",
             "single hops",
             "multi hops",
         ],
     );
+    // One sidecar entry per simulation run: full SimStats JSON including
+    // the latency histogram and the sampled queue-depth/utilisation
+    // time series.
+    let mut sidecar: Vec<String> = Vec::new();
     for m in [2u32, 3] {
         let h = Hhc::new(m).unwrap();
+        let links = (h.num_nodes() as u64) * (m as u64 + 1);
         let rates: &[f64] = if m == 2 {
             &[0.02, 0.05, 0.10, 0.20, 0.30, 0.40]
         } else {
@@ -41,17 +48,28 @@ pub fn run() {
                 drain_cycles: 20_000,
                 inject_rate: rate,
                 seed: 0xF4F4,
+                sample_every: 100,
                 ..SimConfig::default()
             };
             let s = Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath).run(cfg);
             let mu = Simulator::new(&h, Pattern::UniformRandom, Strategy::MultipathRandom).run(cfg);
             assert_eq!(s.delivered, s.injected, "single-path run did not drain");
             assert_eq!(mu.delivered, mu.injected, "multipath run did not drain");
+            for (strategy, st) in [("single", &s), ("multi", &mu)] {
+                let mut o = obs::json::Obj::new();
+                o.u64("m", m as u64);
+                o.f64("rate", rate);
+                o.str("strategy", strategy);
+                o.raw("stats", &st.to_json(links));
+                sidecar.push(o.finish());
+            }
             t.row(vec![
                 m.to_string(),
                 util::f2(rate),
                 util::f2(s.mean_latency().unwrap_or(0.0)),
                 util::f2(mu.mean_latency().unwrap_or(0.0)),
+                s.latency_p99().unwrap_or(0).to_string(),
+                mu.latency_p99().unwrap_or(0).to_string(),
                 util::f4(s.throughput()),
                 util::f4(mu.throughput()),
                 util::f2(s.mean_hops().unwrap_or(0.0)),
@@ -60,4 +78,5 @@ pub fn run() {
         }
     }
     t.emit("f4_load_sweep");
+    util::write_metrics_sidecar("f4_load_sweep", &obs::json::array(&sidecar));
 }

@@ -46,11 +46,11 @@ pub fn run() {
         }
         t.row(vec![
             util::f2(rate),
-            util::f2(s.mean_latency().unwrap()),
-            util::f2(va.mean_latency().unwrap()),
-            util::f2(mu.mean_latency().unwrap()),
-            util::f2(s.mean_hops().unwrap()),
-            util::f2(va.mean_hops().unwrap()),
+            util::f2(s.mean_latency().unwrap_or(0.0)),
+            util::f2(va.mean_latency().unwrap_or(0.0)),
+            util::f2(mu.mean_latency().unwrap_or(0.0)),
+            util::f2(s.mean_hops().unwrap_or(0.0)),
+            util::f2(va.mean_hops().unwrap_or(0.0)),
         ]);
     }
     t.emit("f7_permutation");

@@ -36,24 +36,31 @@ pub fn run() {
                 packet_len: len,
                 switching,
                 queue_capacity: None,
+                sample_every: 0,
             };
             let sim = Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath);
             let saf = sim.run(mk(Switching::StoreAndForward));
             let vct = sim.run(mk(Switching::CutThrough));
             assert_eq!(saf.delivered, saf.injected);
             assert_eq!(vct.delivered, vct.injected);
-            let hops = vct.mean_hops().unwrap();
+            let hops = vct.mean_hops().unwrap_or(0.0);
+            let (saf_lat, vct_lat) = (
+                saf.mean_latency().unwrap_or(0.0),
+                vct.mean_latency().unwrap_or(0.0),
+            );
+            let speedup = if vct_lat > 0.0 {
+                saf_lat / vct_lat
+            } else {
+                1.0
+            };
             t.row(vec![
                 m.to_string(),
                 len.to_string(),
-                util::f2(saf.mean_latency().unwrap()),
-                util::f2(vct.mean_latency().unwrap()),
+                util::f2(saf_lat),
+                util::f2(vct_lat),
                 util::f2(hops),
                 util::f2(hops + len as f64 - 1.0),
-                format!(
-                    "{:.2}x",
-                    saf.mean_latency().unwrap() / vct.mean_latency().unwrap()
-                ),
+                format!("{speedup:.2}x"),
             ]);
         }
     }

@@ -6,7 +6,8 @@
 //! adversarial + sampled otherwise), the provable bound and the diameter.
 
 use crate::table::Table;
-use hhc_core::{wide, Hhc};
+use crate::util;
+use hhc_core::{wide, Hhc, Workspace};
 
 pub fn run() {
     let mut t = Table::new(
@@ -20,13 +21,25 @@ pub fn run() {
             "diameter",
         ],
     );
+    // One workspace across the whole sweep: scratch reuse plus one
+    // accumulated construction-metrics sidecar for every pair examined.
+    let mut ws = Workspace::new();
+    ws.enable_timing(true);
     for m in 1..=6u32 {
         let h = Hhc::new(m).unwrap();
-        let (est, mode) = if m <= 2 {
-            (wide::exhaustive(&h), "exhaustive")
+        let (est, mode) = if m <= wide::EXHAUSTIVE_MAX_M {
+            let est = wide::exhaustive_with(&h, &mut ws).expect("m within the exhaustive guard");
+            (est, "exhaustive")
         } else {
-            let adv = wide::adversarial(&h);
-            let sam = wide::sampled(&h, if m <= 4 { 4000 } else { 1000 }, 0xD1CE + m as u64);
+            let adv =
+                wide::adversarial_with(&h, &mut ws).expect("adversarial pairs use valid fields");
+            let sam = wide::sampled_with(
+                &h,
+                if m <= 4 { 4000 } else { 1000 },
+                0xD1CE + m as u64,
+                &mut ws,
+            )
+            .expect("sampled pairs use masked fields");
             (
                 wide::WideDiameterEstimate {
                     observed_max: adv.observed_max.max(sam.observed_max),
@@ -46,4 +59,5 @@ pub fn run() {
         ]);
     }
     t.emit("t4_wide_diameter");
+    util::write_metrics_sidecar("t4_wide_diameter", &ws.metrics().to_json());
 }

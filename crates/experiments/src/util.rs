@@ -22,6 +22,20 @@ pub fn f4(x: f64) -> String {
     format!("{x:.4}")
 }
 
+/// Writes a metrics sidecar next to the CSVs:
+/// `results/<name>.metrics.json`. Like [`crate::table::Table::emit`],
+/// failure to write is a warning, not an abort — the table on stdout is
+/// the primary artifact.
+pub fn write_metrics_sidecar(name: &str, json: &str) {
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all("results")?;
+        std::fs::write(format!("results/{name}.metrics.json"), json)
+    };
+    if let Err(e) = write() {
+        eprintln!("warning: could not write results/{name}.metrics.json: {e}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

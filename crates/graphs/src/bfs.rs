@@ -18,6 +18,9 @@ pub struct Bfs {
 
 impl Bfs {
     /// Runs BFS from `source`.
+    ///
+    /// # Panics
+    /// Panics if `source` is not a node of `g`.
     pub fn run(g: &CsrGraph, source: u32) -> Self {
         Self::run_avoiding(g, source, |_| false)
     }
@@ -27,6 +30,9 @@ impl Bfs {
     ///
     /// Used by the fault-tolerance experiments to compute ground-truth
     /// reachability in a faulty network.
+    ///
+    /// # Panics
+    /// Panics if `source` is not a node of `g`.
     pub fn run_avoiding<F: Fn(u32) -> bool>(g: &CsrGraph, source: u32, blocked: F) -> Self {
         let n = g.num_nodes() as usize;
         assert!((source as usize) < n, "source out of range");

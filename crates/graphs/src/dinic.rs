@@ -21,6 +21,40 @@ struct Arc {
     rev: ArcId,
 }
 
+/// Effort counters accumulated by a [`Dinic`] instance across solves.
+///
+/// Counters are monotone until [`Dinic::reset_stats`]; they survive
+/// [`Dinic::rewind`]/[`Dinic::reset_caps`] so a reused network (the fan
+/// engine) reports totals across all of its queries. Incrementing them
+/// is a plain `u64` add on paths that already do comparable work, so
+/// they stay unconditionally enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DinicStats {
+    /// Level-graph BFS passes (one per Dinic phase, one per unit path in
+    /// [`Dinic::max_flow_unit`]).
+    pub bfs_passes: u64,
+    /// Augmenting paths pushed (each carries ≥ 1 unit of flow).
+    pub augmentations: u64,
+    /// Arc-slot mutations recorded for rewind (augment steps, seeded
+    /// units and capacity overrides), duplicates included.
+    pub arcs_touched: u64,
+    /// Slots restored by [`Dinic::rewind`].
+    pub slots_rewound: u64,
+    /// Lazy CSR flattens triggered by solving after edge insertion.
+    pub csr_rebuilds: u64,
+}
+
+impl DinicStats {
+    /// Element-wise accumulation (for combining several instances).
+    pub fn merge(&mut self, other: &DinicStats) {
+        self.bfs_passes += other.bfs_passes;
+        self.augmentations += other.augmentations;
+        self.arcs_touched += other.arcs_touched;
+        self.slots_rewound += other.slots_rewound;
+        self.csr_rebuilds += other.csr_rebuilds;
+    }
+}
+
 /// A Dinic max-flow instance over a directed graph with integer capacities.
 pub struct Dinic {
     /// Per-node outgoing arc ids (build-time shape; solves read the CSR).
@@ -45,6 +79,8 @@ pub struct Dinic {
     touched: Vec<u32>,
     /// Arc that discovered each node in the last unit-augmenting BFS.
     parent: Vec<ArcId>,
+    /// Monotone effort counters; see [`DinicStats`].
+    stats: DinicStats,
 }
 
 const NO_LEVEL: u32 = u32::MAX;
@@ -63,7 +99,19 @@ impl Dinic {
             queue: Vec::with_capacity(n),
             touched: Vec::new(),
             parent: vec![0; n],
+            stats: DinicStats::default(),
         }
+    }
+
+    /// Effort counters accumulated since construction or the last
+    /// [`Dinic::reset_stats`].
+    pub fn stats(&self) -> DinicStats {
+        self.stats
+    }
+
+    /// Zeroes the effort counters (network state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = DinicStats::default();
     }
 
     /// Rebuilds the flat adjacency from `adj`.
@@ -78,6 +126,7 @@ impl Dinic {
         }
         self.csr_start.push(acc);
         self.csr_dirty = false;
+        self.stats.csr_rebuilds += 1;
     }
 
     /// Number of nodes.
@@ -87,6 +136,9 @@ impl Dinic {
 
     /// Adds a directed arc `from → to` with capacity `cap`.
     /// Returns the arc id, usable with [`Dinic::flow_on`] after solving.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a node of this network.
     pub fn add_edge(&mut self, from: u32, to: u32, cap: u32) -> ArcId {
         assert!((from as usize) < self.adj.len() && (to as usize) < self.adj.len());
         let a = self.arcs.len() as ArcId;
@@ -110,6 +162,7 @@ impl Dinic {
     }
 
     fn bfs_levels(&mut self, s: u32, t: u32) -> bool {
+        self.stats.bfs_passes += 1;
         self.level.fill(NO_LEVEL);
         self.level[s as usize] = 0;
         self.queue.clear();
@@ -156,6 +209,7 @@ impl Dinic {
                     let rev = self.arcs[aid as usize].rev;
                     self.arcs[rev as usize].cap += got;
                     self.touched.push(aid >> 1);
+                    self.stats.arcs_touched += 1;
                     return got;
                 }
             }
@@ -190,6 +244,7 @@ impl Dinic {
                 if pushed == 0 {
                     break;
                 }
+                self.stats.augmentations += 1;
                 total += pushed;
             }
         }
@@ -216,6 +271,7 @@ impl Dinic {
         }
         let mut total = 0u32;
         while total < limit {
+            self.stats.bfs_passes += 1;
             self.level.fill(NO_LEVEL);
             self.level[s as usize] = 0;
             self.queue.clear();
@@ -252,8 +308,10 @@ impl Dinic {
                 let rev = self.arcs[aid as usize].rev;
                 self.arcs[rev as usize].cap += 1;
                 self.touched.push(aid >> 1);
+                self.stats.arcs_touched += 1;
                 v = self.arcs[rev as usize].to;
             }
+            self.stats.augmentations += 1;
             total += 1;
         }
         total
@@ -269,6 +327,7 @@ impl Dinic {
         self.arcs[id as usize].cap = cap;
         self.arcs[rev as usize].cap = 0;
         self.touched.push(id >> 1);
+        self.stats.arcs_touched += 1;
     }
 
     /// Pushes one unit of flow through arc `id` directly, bypassing the
@@ -281,6 +340,7 @@ impl Dinic {
         self.arcs[id as usize].cap -= 1;
         self.arcs[rev as usize].cap += 1;
         self.touched.push(id >> 1);
+        self.stats.arcs_touched += 1;
     }
 
     /// Forward-arc slots (`arc id / 2`) modified since the last
@@ -300,6 +360,7 @@ impl Dinic {
             let i = slot as usize;
             self.arcs[2 * i].cap = caps[i];
             self.arcs[2 * i + 1].cap = 0;
+            self.stats.slots_rewound += 1;
         }
     }
 
@@ -579,6 +640,47 @@ mod tests {
         let mut over = build();
         // A limit above the max flow degenerates to the plain solve.
         assert_eq!(over.max_flow_limited(0, 5, 99), 23);
+    }
+
+    #[test]
+    fn stats_track_solver_effort() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 2);
+        d.add_edge(1, 3, 2);
+        d.add_edge(0, 2, 1);
+        d.add_edge(2, 3, 1);
+        assert_eq!(d.stats(), DinicStats::default());
+        assert_eq!(d.max_flow(0, 3), 3);
+        let s = d.stats();
+        assert_eq!(s.csr_rebuilds, 1);
+        // 3 units over paths of length 2 ⇒ ≥ 2 augmentations, ≥ 4 arc
+        // mutations; the final BFS proves no path remains.
+        assert!(s.bfs_passes >= 2, "bfs_passes = {}", s.bfs_passes);
+        assert!(s.augmentations >= 2);
+        assert!(s.arcs_touched >= 4);
+        assert_eq!(s.slots_rewound, 0);
+        d.rewind(&[2, 2, 1, 1]);
+        let s = d.stats();
+        assert!(s.slots_rewound >= 4);
+        // Counters survive rewind; reset_stats zeroes them.
+        assert!(s.augmentations >= 2);
+        d.reset_stats();
+        assert_eq!(d.stats(), DinicStats::default());
+    }
+
+    #[test]
+    fn unit_solver_counts_one_bfs_per_unit() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 1);
+        d.add_edge(0, 2, 1);
+        d.add_edge(1, 3, 1);
+        d.add_edge(2, 3, 1);
+        assert_eq!(d.max_flow_unit(0, 3, u32::MAX), 2);
+        let s = d.stats();
+        // One BFS per unit pushed plus the final failed pass.
+        assert_eq!(s.augmentations, 2);
+        assert_eq!(s.bfs_passes, 3);
+        assert_eq!(s.arcs_touched, 4);
     }
 
     #[test]

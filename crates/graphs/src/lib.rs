@@ -34,7 +34,7 @@ pub mod vertex_disjoint;
 pub use articulation::{articulation_points, is_biconnected};
 pub use bfs::Bfs;
 pub use csr::CsrGraph;
-pub use dinic::{ArcId, Dinic};
+pub use dinic::{ArcId, Dinic, DinicStats};
 pub use edge_disjoint::{edge_connectivity_between, edge_disjoint_paths};
 pub use fan::fan_paths;
 pub use many_to_many::many_to_many_paths;

@@ -21,6 +21,7 @@
 
 use crate::disjoint::{disjoint_paths_into, CrossingOrder, PathBuilder};
 use crate::error::HhcError;
+use crate::metrics::MetricsReport;
 use crate::node::NodeId;
 use crate::pathset::PathSet;
 use crate::topology::Hhc;
@@ -82,6 +83,23 @@ impl Workspace {
         }
         Ok(max)
     }
+
+    /// Turns per-query wall-clock timing on or off for this workspace's
+    /// builder; see [`PathBuilder::enable_timing`].
+    pub fn enable_timing(&mut self, on: bool) {
+        self.builder.enable_timing(on);
+    }
+
+    /// Effort snapshot of this workspace's builder; see
+    /// [`PathBuilder::metrics`].
+    pub fn metrics(&self) -> MetricsReport {
+        self.builder.metrics()
+    }
+
+    /// Zeroes the builder's counters; see [`PathBuilder::reset_metrics`].
+    pub fn reset_metrics(&mut self) {
+        self.builder.reset_metrics();
+    }
 }
 
 /// Constructs the disjoint-path family for every pair, in input order,
@@ -126,6 +144,74 @@ pub fn construct_many_serial(
             Ok(tmp.clone())
         })
         .collect()
+}
+
+/// [`construct_many`] additionally returning the [`MetricsReport`]
+/// accumulated across every worker. Results are node-for-node identical
+/// to [`construct_many`]; `timed` enables per-query wall-clock timing
+/// (see [`PathBuilder::enable_timing`] for its cost).
+///
+/// The pair list is split into one contiguous chunk per rayon worker so
+/// each chunk's builder — and its counters — can be recovered after the
+/// parallel section and merged (plain `map_init` scratch is unrecoverable
+/// once the iterator finishes).
+pub fn construct_many_metered(
+    hhc: &Hhc,
+    pairs: &[(NodeId, NodeId)],
+    order: CrossingOrder,
+    timed: bool,
+) -> Result<(Vec<PathSet>, MetricsReport), HhcError> {
+    if pairs.is_empty() {
+        return Ok((Vec::new(), MetricsReport::default()));
+    }
+    let workers = rayon::current_num_threads().max(1);
+    let chunk_len = pairs.len().div_ceil(workers);
+    let chunks: Vec<&[(NodeId, NodeId)]> = pairs.chunks(chunk_len).collect();
+    let per_chunk: Vec<Result<(Vec<PathSet>, MetricsReport), HhcError>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut scratch = PathBuilder::new();
+            scratch.enable_timing(timed);
+            let mut tmp = PathSet::new();
+            let sets = chunk
+                .iter()
+                .map(|&(u, v)| {
+                    disjoint_paths_into(hhc, u, v, order, &mut tmp, &mut scratch)?;
+                    Ok(tmp.clone())
+                })
+                .collect::<Result<Vec<PathSet>, HhcError>>()?;
+            Ok((sets, scratch.metrics()))
+        })
+        .collect();
+    let mut out = Vec::with_capacity(pairs.len());
+    let mut report = MetricsReport::default();
+    for res in per_chunk {
+        let (sets, m) = res?;
+        out.extend(sets);
+        report.merge(&m);
+    }
+    Ok((out, report))
+}
+
+/// [`construct_many_serial`] additionally returning the single builder's
+/// [`MetricsReport`].
+pub fn construct_many_serial_metered(
+    hhc: &Hhc,
+    pairs: &[(NodeId, NodeId)],
+    order: CrossingOrder,
+    timed: bool,
+) -> Result<(Vec<PathSet>, MetricsReport), HhcError> {
+    let mut scratch = PathBuilder::new();
+    scratch.enable_timing(timed);
+    let mut tmp = PathSet::new();
+    let sets = pairs
+        .iter()
+        .map(|&(u, v)| {
+            disjoint_paths_into(hhc, u, v, order, &mut tmp, &mut scratch)?;
+            Ok(tmp.clone())
+        })
+        .collect::<Result<Vec<PathSet>, HhcError>>()?;
+    Ok((sets, scratch.metrics()))
 }
 
 #[cfg(test)]
@@ -202,5 +288,70 @@ mod tests {
     fn empty_batch_is_fine() {
         let h = Hhc::new(2).unwrap();
         assert_eq!(construct_many(&h, &[], CrossingOrder::Gray), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn metered_matches_unmetered_and_conserves_counters() {
+        let (h, pairs) = pairs_m3();
+        let plain = construct_many(&h, &pairs, CrossingOrder::Gray).unwrap();
+        let (metered, report) =
+            construct_many_metered(&h, &pairs, CrossingOrder::Gray, false).unwrap();
+        assert_eq!(metered, plain);
+        let c = &report.construction;
+        assert_eq!(c.queries, pairs.len() as u64);
+        assert_eq!(c.same_cube + c.cross_cube, c.queries);
+        // Case B issues exactly one fan per side per query; case A none.
+        assert_eq!(report.fan_queries(), 2 * c.cross_cube);
+        // Every query selects exactly m + 1 = degree crossing plans.
+        assert_eq!(
+            c.rotation_plans + c.detour_plans,
+            c.cross_cube * h.degree() as u64 + c.same_cube
+        );
+        // Timing disabled: no samples recorded.
+        assert_eq!(c.timing.count(), 0);
+
+        let (serial, sreport) =
+            construct_many_serial_metered(&h, &pairs, CrossingOrder::Gray, true).unwrap();
+        assert_eq!(serial, plain);
+        assert_eq!(sreport.construction.queries, c.queries);
+        assert_eq!(sreport.construction.cross_cube, c.cross_cube);
+        // Timing enabled: one sample per query.
+        assert_eq!(sreport.construction.timing.count(), pairs.len() as u64);
+    }
+
+    #[test]
+    fn metered_empty_and_error_paths() {
+        let h = Hhc::new(2).unwrap();
+        let (sets, report) = construct_many_metered(&h, &[], CrossingOrder::Gray, false).unwrap();
+        assert!(sets.is_empty());
+        assert_eq!(report, MetricsReport::default());
+        let u = h.node(1, 1).unwrap();
+        let err = construct_many_metered(&h, &[(u, u)], CrossingOrder::Gray, false);
+        assert!(matches!(err, Err(HhcError::EqualNodes)));
+    }
+
+    #[test]
+    fn workspace_surfaces_metrics() {
+        let h = Hhc::new(3).unwrap();
+        let mut ws = Workspace::new();
+        ws.enable_timing(true);
+        let u = h.node(0x00, 0b000).unwrap();
+        let v = h.node(0x2B, 0b101).unwrap(); // cross-cube
+        let w = h.node(0x00, 0b111).unwrap(); // same cube as u
+        ws.construct(&h, u, v, CrossingOrder::Gray).unwrap();
+        ws.construct_and_verify(&h, u, w, CrossingOrder::Gray)
+            .unwrap();
+        let m = ws.metrics();
+        assert_eq!(m.construction.queries, 2);
+        assert_eq!(m.construction.cross_cube, 1);
+        assert_eq!(m.construction.same_cube, 1);
+        assert_eq!(m.fan_queries(), 2);
+        assert_eq!(m.construction.timing.count(), 2);
+        assert!(m.solver.bfs_passes > 0);
+        // Failed queries leave the counters untouched.
+        assert!(ws.construct(&h, u, u, CrossingOrder::Gray).is_err());
+        assert_eq!(ws.metrics().construction.queries, 2);
+        ws.reset_metrics();
+        assert_eq!(ws.metrics(), MetricsReport::default());
     }
 }

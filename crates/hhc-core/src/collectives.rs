@@ -22,6 +22,13 @@ pub type Schedule = Vec<Vec<(NodeId, NodeId)>>;
 /// Every node appears as a receiver exactly once; every sender is
 /// informed before it sends; each node sends at most once per round.
 ///
+/// Oversized networks (`n > 16`) and invalid roots return errors.
+///
+/// # Panics
+///
+/// Panics only if a round informs no new node, which cannot happen on a
+/// connected network (internal invariant — every HHC is connected).
+///
 /// # Examples
 /// ```
 /// use hhc_core::{collectives, Hhc, NodeId};

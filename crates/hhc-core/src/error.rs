@@ -18,6 +18,10 @@ pub enum HhcError {
     EqualNodes,
     /// Materialisation requested above the explicit-graph guard (`m ≤ 4`).
     TooLargeToMaterialize(u32),
+    /// The operation is valid in principle but not supported at this
+    /// parameter scale (e.g. an exhaustive sweep over a network too large
+    /// to enumerate). The message names the operation and its limit.
+    Unsupported(String),
 }
 
 impl std::fmt::Display for HhcError {
@@ -31,6 +35,7 @@ impl std::fmt::Display for HhcError {
             HhcError::TooLargeToMaterialize(m) => {
                 write!(f, "refusing to materialise HHC(m={m}) (> 2^20 nodes)")
             }
+            HhcError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }

@@ -55,6 +55,7 @@ pub mod bounds;
 pub mod collectives;
 pub mod disjoint;
 pub mod error;
+pub mod metrics;
 pub mod node;
 pub mod pathset;
 pub mod routing;
@@ -62,9 +63,13 @@ pub mod topology;
 pub mod verify;
 pub mod wide;
 
-pub use batch::{construct_many, construct_many_serial, Workspace};
+pub use batch::{
+    construct_many, construct_many_metered, construct_many_serial, construct_many_serial_metered,
+    Workspace,
+};
 pub use disjoint::{disjoint_paths_into, CrossingOrder, PathBuilder};
 pub use error::HhcError;
+pub use metrics::{ConstructionMetrics, MetricsReport};
 pub use node::NodeId;
 pub use pathset::PathSet;
 pub use topology::Hhc;

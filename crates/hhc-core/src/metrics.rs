@@ -1,0 +1,150 @@
+//! Construction-level metrics: what the disjoint-path engine did and how
+//! long it took.
+//!
+//! Counters live inside [`PathBuilder`](crate::PathBuilder) and are
+//! plain `u64` increments on queries that already run fans and max-flows
+//! — they stay unconditionally enabled. Per-query wall-clock timing costs
+//! two `Instant` reads per query and is therefore opt-in
+//! ([`PathBuilder::enable_timing`](crate::PathBuilder::enable_timing));
+//! a disabled builder never touches the clock. See `DESIGN.md` §8 for
+//! the measured overhead of both modes.
+//!
+//! [`MetricsReport`] is the full snapshot: construction counters plus
+//! the fan-engine and flow-solver counters accumulated underneath, with
+//! a JSON export used by the experiment sidecars and `hhc stats`.
+
+use graphs::DinicStats;
+use hypercube::FanMetrics;
+use obs::{json, TimingStats};
+
+/// Counters owned directly by one `PathBuilder`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstructionMetrics {
+    /// Successful constructions (validated pairs built to completion).
+    pub queries: u64,
+    /// Queries that took case A (`Xu = Xv`).
+    pub same_cube: u64,
+    /// Queries that took case B (`Xu ≠ Xv`).
+    pub cross_cube: u64,
+    /// Rotation crossing plans selected (case B only).
+    pub rotation_plans: u64,
+    /// Detour crossing plans selected (case B plus case A's single
+    /// external loop, mirroring `ConstructionTrace`).
+    pub detour_plans: u64,
+    /// Per-query wall-clock nanoseconds; empty unless timing was enabled.
+    pub timing: TimingStats,
+}
+
+impl ConstructionMetrics {
+    pub fn merge(&mut self, other: &ConstructionMetrics) {
+        self.queries += other.queries;
+        self.same_cube += other.same_cube;
+        self.cross_cube += other.cross_cube;
+        self.rotation_plans += other.rotation_plans;
+        self.detour_plans += other.detour_plans;
+        self.timing.merge(&other.timing);
+    }
+
+    pub fn reset(&mut self) {
+        *self = ConstructionMetrics::default();
+    }
+}
+
+/// Full effort snapshot of a `PathBuilder` (or of a whole batch run):
+/// construction counters plus the two terminal-fan engines and their
+/// combined max-flow solver counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    pub construction: ConstructionMetrics,
+    /// Fan engine serving the source cube (`Yu` → plan entry coordinates).
+    pub src_fan: FanMetrics,
+    /// Fan engine serving the target cube (`Yv` → plan exit coordinates).
+    pub tgt_fan: FanMetrics,
+    /// Max-flow solver counters summed over both fan networks.
+    pub solver: DinicStats,
+}
+
+impl MetricsReport {
+    /// Total fan queries across both terminal engines. Case B issues
+    /// exactly two (one per side), case A none, so this always equals
+    /// `2 * construction.cross_cube`.
+    pub fn fan_queries(&self) -> u64 {
+        self.src_fan.queries + self.tgt_fan.queries
+    }
+
+    /// Element-wise accumulation (for combining per-thread reports).
+    pub fn merge(&mut self, other: &MetricsReport) {
+        self.construction.merge(&other.construction);
+        self.src_fan.merge(&other.src_fan);
+        self.tgt_fan.merge(&other.tgt_fan);
+        self.solver.merge(&other.solver);
+    }
+
+    /// Compact JSON object with every counter; `timing_ns` is present
+    /// only when timing was enabled and at least one query ran.
+    pub fn to_json(&self) -> String {
+        let c = &self.construction;
+        let mut o = json::Obj::new();
+        o.u64("queries", c.queries);
+        o.u64("same_cube", c.same_cube);
+        o.u64("cross_cube", c.cross_cube);
+        o.u64("rotation_plans", c.rotation_plans);
+        o.u64("detour_plans", c.detour_plans);
+        if c.timing.count() > 0 {
+            o.raw("timing_ns", &c.timing.to_json());
+        }
+        let fan_obj = |f: &FanMetrics| {
+            let mut fo = json::Obj::new();
+            fo.u64("queries", f.queries);
+            fo.u64("targets_requested", f.targets_requested);
+            fo.u64("seeded_direct", f.seeded_direct);
+            fo.u64("network_builds", f.network_builds);
+            fo.finish()
+        };
+        o.raw("src_fan", &fan_obj(&self.src_fan));
+        o.raw("tgt_fan", &fan_obj(&self.tgt_fan));
+        let mut so = json::Obj::new();
+        so.u64("bfs_passes", self.solver.bfs_passes);
+        so.u64("augmentations", self.solver.augmentations);
+        so.u64("arcs_touched", self.solver.arcs_touched);
+        so.u64("slots_rewound", self.solver.slots_rewound);
+        so.u64("csr_rebuilds", self.solver.csr_rebuilds);
+        o.raw("solver", &so.finish());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = MetricsReport::default();
+        a.construction.queries = 3;
+        a.construction.cross_cube = 2;
+        a.src_fan.queries = 2;
+        a.tgt_fan.queries = 2;
+        a.solver.bfs_passes = 7;
+        let mut b = MetricsReport::default();
+        b.construction.queries = 1;
+        b.construction.same_cube = 1;
+        b.solver.bfs_passes = 1;
+        a.merge(&b);
+        assert_eq!(a.construction.queries, 4);
+        assert_eq!(a.construction.same_cube, 1);
+        assert_eq!(a.fan_queries(), 4);
+        assert_eq!(a.solver.bfs_passes, 8);
+    }
+
+    #[test]
+    fn json_omits_timing_when_empty() {
+        let mut r = MetricsReport::default();
+        r.construction.queries = 1;
+        let j = r.to_json();
+        assert!(j.contains("\"queries\":1"));
+        assert!(!j.contains("timing_ns"));
+        r.construction.timing.record_ns(500);
+        assert!(r.to_json().contains("\"timing_ns\":{"));
+    }
+}

@@ -180,6 +180,12 @@ impl Hhc {
     }
 
     /// Iterator over every node (small m only: `2^n` items).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > 24` (m ≥ 5): enumerating `2^n` nodes is a
+    /// programming error at that scale, not a recoverable condition.
+    /// Symbolic operations (routing, disjoint paths) work at any `m`.
     pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> {
         assert!(self.n <= 24, "iter_nodes on a network too large");
         (0..1u128 << self.n).map(NodeId)

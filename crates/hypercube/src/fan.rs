@@ -50,6 +50,34 @@ impl From<CubeError> for FanError {
     }
 }
 
+/// Effort counters accumulated by a [`FanScratch`] across queries.
+///
+/// Plain `u64` increments on paths that already run a max-flow solve —
+/// unconditionally enabled. Solver-level effort (BFS passes, arc
+/// mutations) is reported separately via [`FanScratch::solver_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FanMetrics {
+    /// Validated [`fan_paths_into`] calls (including empty target sets).
+    pub queries: u64,
+    /// Total targets across all queries (= total fan paths produced).
+    pub targets_requested: u64,
+    /// Targets adjacent to the source whose direct edge was seeded,
+    /// bypassing the solver.
+    pub seeded_direct: u64,
+    /// Flow networks (re)built because the cube dimension changed.
+    pub network_builds: u64,
+}
+
+impl FanMetrics {
+    /// Element-wise accumulation (for merging per-thread scratches).
+    pub fn merge(&mut self, other: &FanMetrics) {
+        self.queries += other.queries;
+        self.targets_requested += other.targets_requested;
+        self.seeded_direct += other.seeded_direct;
+        self.network_builds += other.network_builds;
+    }
+}
+
 #[inline]
 fn v_in(v: u32) -> u32 {
     2 * v
@@ -88,6 +116,8 @@ pub struct FanScratch {
     tmp_offsets: Vec<u32>,
     /// `path_of_target[i]` = index into `tmp_offsets` of target `i`'s path.
     path_of_target: Vec<u32>,
+    /// Monotone effort counters; see [`FanMetrics`].
+    metrics: FanMetrics,
 }
 
 impl FanScratch {
@@ -104,7 +134,28 @@ impl FanScratch {
             tmp_nodes: Vec::new(),
             tmp_offsets: Vec::new(),
             path_of_target: Vec::new(),
+            metrics: FanMetrics::default(),
         }
+    }
+
+    /// Effort counters accumulated since construction or the last
+    /// [`FanScratch::reset_metrics`].
+    pub fn metrics(&self) -> FanMetrics {
+        self.metrics
+    }
+
+    /// Zeroes the effort counters (network and solver state untouched).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = FanMetrics::default();
+        if let Some(d) = self.dinic.as_mut() {
+            d.reset_stats();
+        }
+    }
+
+    /// Counters of the underlying max-flow solver, accumulated across
+    /// every query since the network was built (default if never built).
+    pub fn solver_stats(&self) -> graphs::DinicStats {
+        self.dinic.as_ref().map(|d| d.stats()).unwrap_or_default()
     }
 
     /// Number of fan paths produced by the last [`fan_paths_into`] call.
@@ -161,6 +212,7 @@ impl FanScratch {
         self.target_idx.resize(num as usize, UNSET);
         self.dinic = Some(d);
         self.dim = n;
+        self.metrics.network_builds += 1;
     }
 }
 
@@ -199,6 +251,14 @@ pub fn fan_paths(cube: &Cube, s: Node, targets: &[Node]) -> Result<Vec<Vec<Node>
 /// [`fan_paths`] writing into caller-owned buffers: the fan is computed
 /// inside `scratch` and read back through [`FanScratch::path`]. After the
 /// first call at a given dimension, subsequent calls allocate nothing.
+///
+/// # Panics
+///
+/// Panics only on an internal invariant violation: the fan lemma
+/// guarantees a fan of size `targets.len()` exists whenever the validated
+/// preconditions hold, so a smaller max-flow (or a stuck decomposition)
+/// indicates a bug in this module, never bad input — all input errors are
+/// reported as [`FanError`].
 pub fn fan_paths_into(
     cube: &Cube,
     s: Node,
@@ -234,6 +294,8 @@ pub fn fan_paths_into(
         }
         scratch.target_idx[t as usize] = i as u32;
     }
+    scratch.metrics.queries += 1;
+    scratch.metrics.targets_requested += targets.len() as u64;
     if targets.is_empty() {
         return Ok(());
     }
@@ -268,6 +330,7 @@ pub fn fan_paths_into(
             seeded += 1;
         }
     }
+    scratch.metrics.seeded_direct += seeded as u64;
 
     // The terminal arcs cap the flow at exactly `targets.len()`, and the
     // fan lemma guarantees that value is reached — so the solver can stop
@@ -450,6 +513,30 @@ mod tests {
                     .unwrap_or_else(|e| panic!("s={s} targets={targets:?}: {e}"));
             }
         }
+    }
+
+    #[test]
+    fn metrics_count_queries_and_builds() {
+        let q = Cube::new(4).unwrap();
+        let mut sc = FanScratch::new();
+        let s = 0u128;
+        let neighbors: Vec<Node> = q.neighbors(s).collect();
+        fan_paths_into(&q, s, &neighbors, &mut sc).unwrap();
+        fan_paths_into(&q, s, &[0b1111], &mut sc).unwrap();
+        let m = sc.metrics();
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.targets_requested, 5);
+        // All 4 neighbours seed directly; the far target seeds nothing.
+        assert_eq!(m.seeded_direct, 4);
+        assert_eq!(m.network_builds, 1);
+        // The far query needed the solver: at least one BFS recorded.
+        assert!(sc.solver_stats().bfs_passes >= 1);
+        // Rejected calls are not counted as queries.
+        assert!(fan_paths_into(&q, s, &[s], &mut sc).is_err());
+        assert_eq!(sc.metrics().queries, 2);
+        sc.reset_metrics();
+        assert_eq!(sc.metrics(), FanMetrics::default());
+        assert_eq!(sc.solver_stats(), graphs::DinicStats::default());
     }
 
     #[test]

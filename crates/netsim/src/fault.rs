@@ -44,6 +44,10 @@ pub fn analyze<N: Network + ?Sized>(
 /// [`analyze`] with caller-owned route scratch — sweeps over many (pair,
 /// fault set) combinations reuse the disjoint-path buffers (experiment
 /// F3 issues tens of thousands of these).
+///
+/// # Panics
+///
+/// Same contract as [`analyze`]: `u ≠ v` and both endpoints alive.
 pub fn analyze_with<N: Network + ?Sized>(
     net: &N,
     u: NodeId,

@@ -24,6 +24,6 @@ pub mod stats;
 pub mod strategy;
 
 pub use net::{CubeNet, Network, RouteScratch};
-pub use sim::{DeliveryRecord, SimConfig, Simulator, Switching};
-pub use stats::SimStats;
+pub use sim::{DeliveryRecord, SimConfig, SimError, Simulator, Switching};
+pub use stats::{CycleSample, SimStats};
 pub use strategy::Strategy;

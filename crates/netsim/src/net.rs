@@ -44,10 +44,20 @@ pub trait Network: AddressSpace {
     fn is_edge(&self, a: NodeId, b: NodeId) -> bool;
 
     /// The deterministic single route from `src` to `dst` (`src ≠ dst`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `src == dst` or an endpoint is
+    /// outside the network — the simulator never issues such queries
+    /// (self-addressed injections are filtered before routing).
     fn route(&self, src: NodeId, dst: NodeId) -> Path;
 
     /// A maximal family of internally node-disjoint routes
     /// (`degree()` many on the maximally connected topologies here).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Network::route`]: `src ≠ dst` and both valid.
     fn disjoint_routes(&self, src: NodeId, dst: NodeId) -> Vec<Path>;
 
     /// [`Network::disjoint_routes`] into the scratch's [`PathSet`],
@@ -68,6 +78,11 @@ pub trait Network: AddressSpace {
 
     /// All nodes, for per-cycle injection sweeps.
     /// Only meaningful for materialisable sizes; guarded by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics above 16 address bits; [`crate::Simulator::try_new`]
+    /// rejects such networks before any sweep can reach this.
     fn all_nodes(&self) -> Vec<NodeId> {
         assert!(self.address_bits() <= 16, "all_nodes on a huge network");
         (0..1u128 << self.address_bits())

@@ -69,6 +69,12 @@ pub struct SimConfig {
     /// with escape queues in real hardware) or restricted turn models,
     /// which are out of scope here.
     pub queue_capacity: Option<u64>,
+    /// Time-series sampling period in cycles: every `sample_every`-th
+    /// cycle (including cycle 0) a [`CycleSample`](crate::stats::CycleSample)
+    /// of queue depth and link activity is appended to
+    /// [`SimStats::samples`]. 0 (the default) disables sampling — the
+    /// run then does no per-cycle scan and allocates nothing.
+    pub sample_every: u64,
 }
 
 impl Default for SimConfig {
@@ -81,9 +87,40 @@ impl Default for SimConfig {
             packet_len: 1,
             switching: Switching::StoreAndForward,
             queue_capacity: None,
+            sample_every: 0,
         }
     }
 }
+
+/// Errors from simulator construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The network has too many address bits to iterate every node each
+    /// cycle (the slotted engine materialises the node list).
+    NetworkTooLarge {
+        /// Address bits of the offending network.
+        address_bits: u32,
+        /// Largest supported value.
+        max_bits: u32,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NetworkTooLarge {
+                address_bits,
+                max_bits,
+            } => write!(
+                f,
+                "network with {address_bits} address bits too large to simulate \
+                 (per-cycle node iteration; max {max_bits} bits)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// A simulator instance bound to one network, pattern and strategy.
 ///
@@ -107,18 +144,35 @@ pub struct Simulator<'a, N: Network + ?Sized> {
 }
 
 impl<'a, N: Network + ?Sized> Simulator<'a, N> {
+    /// Largest network (address bits) the slotted engine will iterate.
+    pub const MAX_ADDRESS_BITS: u32 = 16;
+
     /// Creates a simulator with no faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network exceeds [`Simulator::MAX_ADDRESS_BITS`]
+    /// address bits (the engine iterates every node each cycle); use
+    /// [`Simulator::try_new`] for a typed error instead.
     pub fn new(net: &'a N, pattern: Pattern, strategy: Strategy) -> Self {
-        assert!(
-            net.address_bits() <= 16,
-            "simulation iterates all nodes per cycle; materialisable networks only"
-        );
-        Simulator {
+        Self::try_new(net, pattern, strategy).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Simulator::new`]: rejects networks too large to
+    /// iterate per cycle with [`SimError::NetworkTooLarge`].
+    pub fn try_new(net: &'a N, pattern: Pattern, strategy: Strategy) -> Result<Self, SimError> {
+        if net.address_bits() > Self::MAX_ADDRESS_BITS {
+            return Err(SimError::NetworkTooLarge {
+                address_bits: net.address_bits(),
+                max_bits: Self::MAX_ADDRESS_BITS,
+            });
+        }
+        Ok(Simulator {
             net,
             pattern,
             strategy,
             faults: HashSet::new(),
-        }
+        })
     }
 
     /// Installs a fault set (faulty nodes inject nothing, carry nothing,
@@ -254,7 +308,8 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
                 };
                 started.push((cycle + delay - 1, pkt));
             }
-            stats.link_transmissions += started.len() as u64;
+            let started_this_cycle = started.len() as u64;
+            stats.link_transmissions += started_this_cycle;
             for (land, pkt) in started {
                 in_flight.entry(land).or_default().push(pkt);
             }
@@ -267,6 +322,7 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
                     let lat = cycle + 1 - pkt.injected_at;
                     stats.latency_sum += lat;
                     stats.latency_max = stats.latency_max.max(lat);
+                    stats.latency_hist.record(lat);
                     stats.hops_sum += (pkt.route.len() - 1) as u64;
                     if let Some(records) = trace.as_deref_mut() {
                         records.push(DeliveryRecord {
@@ -282,6 +338,20 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
                     q.push_back(pkt);
                     stats.max_queue_len = stats.max_queue_len.max(q.len() as u64);
                 }
+            }
+
+            // Time-series sampling: end-of-cycle snapshot of queue state
+            // and this cycle's link activity. Entirely skipped (no scan,
+            // no allocation) when sampling is disabled.
+            if cfg.sample_every > 0 && cycle % cfg.sample_every == 0 {
+                let queued_packets: u64 = queues.values().map(|q| q.len() as u64).sum();
+                let max_queue_len = queues.values().map(|q| q.len() as u64).max().unwrap_or(0);
+                stats.samples.push(crate::stats::CycleSample {
+                    cycle,
+                    queued_packets,
+                    max_queue_len,
+                    transmissions: started_this_cycle,
+                });
             }
         }
 
@@ -481,6 +551,83 @@ mod instrumentation_tests {
     }
 
     #[test]
+    fn latency_histogram_matches_scalar_aggregates() {
+        let h = Hhc::new(2).unwrap();
+        let stats =
+            Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath).run(SimConfig {
+                cycles: 200,
+                drain_cycles: 5000,
+                inject_rate: 0.08,
+                seed: 23,
+                ..SimConfig::default()
+            });
+        assert!(stats.delivered > 0);
+        assert_eq!(stats.latency_hist.count(), stats.delivered);
+        assert_eq!(stats.latency_hist.sum(), stats.latency_sum);
+        assert_eq!(stats.latency_hist.max(), Some(stats.latency_max));
+        let p99 = stats.latency_p99().unwrap();
+        assert!(p99 <= stats.latency_max);
+        assert!(p99 as f64 >= stats.mean_latency().unwrap() / 2.0);
+    }
+
+    #[test]
+    fn sampling_captures_queue_depth_series() {
+        let h = Hhc::new(2).unwrap();
+        let sim = Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath);
+        let cfg = SimConfig {
+            cycles: 200,
+            drain_cycles: 0,
+            inject_rate: 0.25,
+            seed: 31,
+            sample_every: 10,
+            ..SimConfig::default()
+        };
+        let stats = sim.run(cfg);
+        assert_eq!(stats.samples.len(), 20); // cycles 0, 10, …, 190
+        assert!(stats
+            .samples
+            .windows(2)
+            .all(|w| w[1].cycle == w[0].cycle + 10));
+        // At 25% load on HHC(2) some sample must catch queued packets
+        // and active links.
+        assert!(stats.samples.iter().any(|s| s.queued_packets > 0));
+        assert!(stats.samples.iter().any(|s| s.transmissions > 0));
+        assert!(stats
+            .samples
+            .iter()
+            .all(|s| s.max_queue_len <= s.queued_packets));
+        assert!(stats
+            .samples
+            .iter()
+            .all(|s| s.max_queue_len <= stats.max_queue_len));
+        // Sampling only observes; it must not perturb the run.
+        let mut unsampled_cfg = cfg;
+        unsampled_cfg.sample_every = 0;
+        let unsampled = sim.run(unsampled_cfg);
+        assert!(unsampled.samples.is_empty());
+        let mut resampled = stats.clone();
+        resampled.samples.clear();
+        assert_eq!(unsampled, resampled);
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_networks() {
+        let big = Hhc::new(5).unwrap(); // n = 37 address bits
+        match Simulator::try_new(&big, Pattern::UniformRandom, Strategy::SinglePath) {
+            Err(SimError::NetworkTooLarge {
+                address_bits,
+                max_bits,
+            }) => {
+                assert_eq!(address_bits, 37);
+                assert_eq!(max_bits, Simulator::<Hhc>::MAX_ADDRESS_BITS);
+            }
+            Ok(_) => panic!("expected NetworkTooLarge"),
+        }
+        let small = Hhc::new(2).unwrap();
+        assert!(Simulator::try_new(&small, Pattern::UniformRandom, Strategy::SinglePath).is_ok());
+    }
+
+    #[test]
     fn utilization_grows_with_load() {
         let h = Hhc::new(2).unwrap();
         let links = 64 * 3; // 2^n nodes × (m+1) directed links
@@ -631,6 +778,7 @@ mod latency_model_tests {
             packet_len: len,
             switching: Switching::StoreAndForward,
             queue_capacity: None,
+            sample_every: 0,
         }
     }
 
@@ -680,6 +828,7 @@ mod latency_model_tests {
             packet_len: 0,
             switching: Switching::StoreAndForward,
             queue_capacity: None,
+            sample_every: 0,
         });
         assert_eq!(stats.delivered, stats.injected);
         assert!(stats.latency_sum >= stats.hops_sum);
@@ -700,6 +849,7 @@ mod switching_tests {
             packet_len: len,
             switching,
             queue_capacity: None,
+            sample_every: 0,
         }
     }
 

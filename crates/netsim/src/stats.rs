@@ -1,5 +1,22 @@
 //! Simulation statistics.
 
+use obs::{json, Histogram};
+
+/// One time-series sample, captured at the end of a cycle when
+/// [`SimConfig::sample_every`](crate::SimConfig::sample_every) is set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleSample {
+    /// Cycle the sample was taken at.
+    pub cycle: u64,
+    /// Packets sitting in link queues at the end of the cycle.
+    pub queued_packets: u64,
+    /// Deepest single queue at the end of the cycle.
+    pub max_queue_len: u64,
+    /// Link transmissions started during the cycle (the numerator of
+    /// instantaneous link utilisation).
+    pub transmissions: u64,
+}
+
 /// Counters and aggregates collected by a simulation run.
 ///
 /// Conservation invariant (checked in tests):
@@ -41,6 +58,12 @@ pub struct SimStats {
     pub cycles: u64,
     /// Nodes in the network.
     pub nodes: u64,
+    /// Latency distribution of delivered packets (power-of-two buckets;
+    /// always populated — recording a `u64` into a fixed array is cheap).
+    pub latency_hist: Histogram,
+    /// Per-cycle time series; empty unless
+    /// [`SimConfig::sample_every`](crate::SimConfig::sample_every) > 0.
+    pub samples: Vec<CycleSample>,
 }
 
 impl SimStats {
@@ -82,6 +105,72 @@ impl SimStats {
             self.delivered as f64 / self.injected as f64
         }
     }
+
+    /// Approximate p99 latency (bucket upper bound, clamped to the true
+    /// max), or `None` if nothing was delivered.
+    pub fn latency_p99(&self) -> Option<u64> {
+        self.latency_hist.quantile(0.99)
+    }
+
+    /// Mean queued-packet count over the captured time series, or `None`
+    /// when sampling was disabled (no samples).
+    pub fn mean_sampled_queue_depth(&self) -> Option<f64> {
+        (!self.samples.is_empty()).then(|| {
+            let total: u64 = self.samples.iter().map(|s| s.queued_packets).sum();
+            total as f64 / self.samples.len() as f64
+        })
+    }
+
+    /// Serialises the full stats — counters, derived rates, the latency
+    /// histogram and the sampled time series — as one compact JSON object.
+    /// `directed_links` scales the per-sample utilisation series (pass
+    /// the network's directed-link count; 0 yields zero utilisation).
+    pub fn to_json(&self, directed_links: u64) -> String {
+        let mut o = json::Obj::new();
+        o.u64("injected", self.injected);
+        o.u64("delivered", self.delivered);
+        o.u64("dropped_unroutable", self.dropped_unroutable);
+        o.u64("dropped_dst_faulty", self.dropped_dst_faulty);
+        o.u64("dropped_backpressure", self.dropped_backpressure);
+        o.u64("backpressure_stalls", self.backpressure_stalls);
+        o.u64("self_addressed", self.self_addressed);
+        o.u64("in_flight_at_end", self.in_flight_at_end);
+        o.u64("latency_max", self.latency_max);
+        o.u64("link_transmissions", self.link_transmissions);
+        o.u64("max_queue_len", self.max_queue_len);
+        o.u64("cycles", self.cycles);
+        o.u64("nodes", self.nodes);
+        // NaN degrades to JSON null, keeping the key set stable.
+        o.f64("mean_latency", self.mean_latency().unwrap_or(f64::NAN));
+        o.f64("mean_hops", self.mean_hops().unwrap_or(f64::NAN));
+        o.f64(
+            "latency_p99",
+            self.latency_p99().map_or(f64::NAN, |v| v as f64),
+        );
+        o.f64("throughput", self.throughput());
+        o.f64("delivery_ratio", self.delivery_ratio());
+        o.f64("link_utilization", self.link_utilization(directed_links));
+        o.raw("latency_hist", &self.latency_hist.to_json());
+        let cycles: Vec<u64> = self.samples.iter().map(|s| s.cycle).collect();
+        let depth: Vec<u64> = self.samples.iter().map(|s| s.queued_packets).collect();
+        let qmax: Vec<u64> = self.samples.iter().map(|s| s.max_queue_len).collect();
+        let util: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| {
+                if directed_links == 0 {
+                    0.0
+                } else {
+                    s.transmissions as f64 / directed_links as f64
+                }
+            })
+            .collect();
+        o.raw("sample_cycles", &json::u64_array(&cycles));
+        o.raw("queue_depth", &json::u64_array(&depth));
+        o.raw("queue_max", &json::u64_array(&qmax));
+        o.raw("link_utilization_series", &json::f64_array(&util));
+        o.finish()
+    }
 }
 
 #[cfg(test)]
@@ -110,8 +199,55 @@ mod tests {
     fn empty_run_is_well_defined() {
         let s = SimStats::default();
         assert_eq!(s.mean_latency(), None);
+        assert_eq!(s.mean_hops(), None);
+        assert_eq!(s.latency_p99(), None);
+        assert_eq!(s.mean_sampled_queue_depth(), None);
         assert_eq!(s.throughput(), 0.0);
         assert_eq!(s.delivery_ratio(), 1.0);
+        // Even the empty run serialises: every numeric key present,
+        // undefined means degrade to null.
+        let j = s.to_json(0);
+        assert!(j.contains("\"delivered\":0"));
+        assert!(j.contains("\"mean_latency\":null"));
+        assert!(j.contains("\"latency_hist\":{"));
+        assert!(j.contains("\"queue_depth\":[]"));
+    }
+
+    #[test]
+    fn json_exports_histogram_and_series() {
+        let mut s = SimStats {
+            injected: 3,
+            delivered: 3,
+            latency_sum: 12,
+            latency_max: 6,
+            cycles: 10,
+            nodes: 4,
+            link_transmissions: 5,
+            ..Default::default()
+        };
+        for lat in [2u64, 4, 6] {
+            s.latency_hist.record(lat);
+        }
+        s.samples.push(CycleSample {
+            cycle: 0,
+            queued_packets: 2,
+            max_queue_len: 2,
+            transmissions: 1,
+        });
+        s.samples.push(CycleSample {
+            cycle: 5,
+            queued_packets: 4,
+            max_queue_len: 3,
+            transmissions: 2,
+        });
+        assert_eq!(s.mean_sampled_queue_depth(), Some(3.0));
+        assert_eq!(s.latency_p99(), Some(6));
+        let j = s.to_json(10);
+        assert!(j.contains("\"sample_cycles\":[0,5]"));
+        assert!(j.contains("\"queue_depth\":[2,4]"));
+        assert!(j.contains("\"queue_max\":[2,3]"));
+        assert!(j.contains("\"link_utilization_series\":[0.1,0.2]"));
+        assert!(j.contains("\"count\":3"));
     }
 }
 

@@ -1,0 +1,134 @@
+//! Minimal JSON writer (no external dependencies).
+//!
+//! The metrics sidecars are flat objects of numbers, strings and nested
+//! pre-serialised fragments; this module provides exactly that and
+//! nothing more. Output is compact (no whitespace), keys are emitted in
+//! insertion order.
+
+/// Escapes a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises a slice of pre-serialised JSON values as an array.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Serialises a slice of `u64` as a JSON array of numbers.
+pub fn u64_array(items: &[u64]) -> String {
+    let strs: Vec<String> = items.iter().map(u64::to_string).collect();
+    format!("[{}]", strs.join(","))
+}
+
+/// Serialises a slice of `f64` as a JSON array of numbers.
+pub fn f64_array(items: &[f64]) -> String {
+    let strs: Vec<String> = items.iter().map(|v| fmt_f64(*v)).collect();
+    format!("[{}]", strs.join(","))
+}
+
+/// Finite floats print shortest-round-trip; non-finite values (invalid
+/// in JSON) degrade to null.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object builder.
+///
+/// ```
+/// let mut o = obs::json::Obj::new();
+/// o.u64("answer", 42);
+/// o.str("name", "hhc");
+/// assert_eq!(o.finish(), r#"{"answer":42,"name":"hhc"}"#);
+/// ```
+#[derive(Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    pub fn u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    pub fn f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.buf.push_str(&fmt_f64(v));
+    }
+
+    pub fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+    }
+
+    /// Inserts a pre-serialised JSON value (object, array, number…).
+    pub fn raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(v);
+    }
+
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_object() {
+        let mut o = Obj::new();
+        o.u64("a", 1);
+        o.f64("b", 2.5);
+        o.str("c", "x\"y");
+        o.raw("d", "[1,2]");
+        assert_eq!(o.finish(), r#"{"a":1,"b":2.5,"c":"x\"y","d":[1,2]}"#);
+    }
+
+    #[test]
+    fn arrays_and_escape() {
+        assert_eq!(u64_array(&[1, 2, 3]), "[1,2,3]");
+        assert_eq!(f64_array(&[0.5]), "[0.5]");
+        assert_eq!(array(&["{}".into(), "1".into()]), "[{},1]");
+        assert_eq!(escape("tab\there"), "tab\\there");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(Obj::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the metrics primitives: the invariants every
+//! consumer of [`obs::Histogram`] relies on.
+
+use obs::{Histogram, TimingStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucket totals always equal the observation count, and the exact
+    /// summary fields match a straight recomputation.
+    #[test]
+    fn bucket_totals_and_summary(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let total: u64 = h.nonzero_buckets().map(|(_, _, c)| c).sum();
+        prop_assert_eq!(total, values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), values.iter().copied().min());
+        prop_assert_eq!(h.max(), values.iter().copied().max());
+        let sum = values.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(h.sum(), sum);
+    }
+
+    /// Every value lands in a bucket whose [lo, hi] range contains it.
+    #[test]
+    fn values_fall_in_their_buckets(v in any::<u64>()) {
+        let mut h = Histogram::new();
+        h.record(v);
+        let (lo, hi, c) = h.nonzero_buckets().next().unwrap();
+        prop_assert_eq!(c, 1);
+        prop_assert!(lo <= v && v <= hi, "{} not in [{}, {}]", v, lo, hi);
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(values in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q).unwrap())
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", qs);
+        }
+        prop_assert!(qs[0] >= h.min().unwrap());
+        prop_assert_eq!(*qs.last().unwrap(), h.max().unwrap());
+    }
+
+    /// merge(a, b) is indistinguishable from recording both streams into
+    /// one histogram, in either order.
+    #[test]
+    fn merge_is_concatenation(
+        xs in proptest::collection::vec(any::<u64>(), 0..100),
+        ys in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &xs { a.record(v); both.record(v); }
+        for &v in &ys { b.record(v); both.record(v); }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        prop_assert_eq!(&ab, &both);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ba, &both);
+    }
+
+    /// TimingStats is a faithful view over its histogram.
+    #[test]
+    fn timing_view_consistent(values in proptest::collection::vec(0u64..10_000_000, 1..100)) {
+        let mut t = TimingStats::new();
+        for &v in &values {
+            t.record_ns(v);
+        }
+        prop_assert_eq!(t.count(), values.len() as u64);
+        prop_assert_eq!(t.min_ns(), values.iter().copied().min());
+        prop_assert_eq!(t.max_ns(), values.iter().copied().max());
+        prop_assert!(t.p99_ns().unwrap() >= t.min_ns().unwrap());
+        prop_assert!(t.p99_ns().unwrap() <= t.max_ns().unwrap());
+    }
+}

@@ -90,10 +90,10 @@ fn claim_3_m_faults_never_disconnect() {
 fn claim_4_wide_diameter_sandwich() {
     for m in 1..=4 {
         let h = Hhc::new(m).unwrap();
-        let est = hhc_suite::hhc::wide::sampled(&h, 150, 0xC1A4 + m as u64);
+        let est = hhc_suite::hhc::wide::sampled(&h, 150, 0xC1A4 + m as u64).unwrap();
         assert!(est.observed_max <= est.upper_bound);
         // Antipodal pairs force at least diameter-length longest paths.
-        let adv = hhc_suite::hhc::wide::adversarial(&h);
+        let adv = hhc_suite::hhc::wide::adversarial(&h).unwrap();
         assert!(adv.observed_max as u32 >= h.diameter());
     }
 }
