@@ -6,10 +6,20 @@
 //! protocol so a noisy host does not swamp the numbers; `cargo bench -p
 //! bench --bench batch_throughput` is the canonical measurement.
 //!
+//! The cache section compares the symmetry caches on vs off across three
+//! 10k-pair workloads with different reuse profiles — uniform (every pair
+//! distinct), permutation (a fixed pair pool cycled) and hotspot (many
+//! sources, one destination) — asserting byte-identical output in both
+//! modes and reporting ns/pair, speedup and hit rates. `--cache on` /
+//! `--cache off` restrict to one mode; the default runs both. A
+//! machine-readable summary is written to `results/BENCH_batch.json`.
+//!
 //! `--quick` runs one iteration on a reduced workload: a CI smoke test
-//! that the profiler itself works, not a measurement.
+//! that the profiler itself works (including the cached ≡ uncached
+//! assertion), not a measurement.
 
-use hhc_core::{batch, disjoint, CrossingOrder, Hhc, PathBuilder, PathSet};
+use hhc_core::{batch, disjoint, CacheConfig, CrossingOrder, Hhc, NodeId, PathBuilder, PathSet};
+use obs::json;
 use std::time::Instant;
 
 fn min_time<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
@@ -22,11 +32,154 @@ fn min_time<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
     best
 }
 
+/// Which cache modes the cache section should run.
+#[derive(Clone, Copy, PartialEq)]
+enum CacheMode {
+    On,
+    Off,
+    Both,
+}
+
+/// One cache-comparison workload: a pair sequence plus its reuse label.
+struct Workload {
+    name: &'static str,
+    distinct: usize,
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// Measured cache-on/off row for one workload.
+struct CacheRow {
+    name: &'static str,
+    distinct: usize,
+    on_ns: Option<f64>,
+    off_ns: Option<f64>,
+    family_hit_rate: f64,
+    fan_hit_rate: f64,
+}
+
+/// The three reuse profiles, all over HHC(5) with `total` pairs.
+fn make_workloads(h: &Hhc, total: usize, pool: usize) -> Vec<Workload> {
+    let uniform = workloads::sampling::random_pairs(h, total, 0x10_000);
+    // Permutation traffic: a fixed pool of distinct pairs cycled — the
+    // repeated-(src, dst) shape every traffic pattern produces.
+    let perm_pool = workloads::sampling::random_pairs(h, pool, 0x22_222);
+    let permutation: Vec<_> = perm_pool.iter().copied().cycle().take(total).collect();
+    // Hotspot: many sources, one hot destination.
+    let hot_pool = workloads::sampling::random_pairs(h, pool + 1, 0x33_333);
+    let hot = hot_pool[0].0;
+    let hot_pairs: Vec<_> = hot_pool[1..]
+        .iter()
+        .map(|&(s, _)| (s, hot))
+        .filter(|&(s, _)| s != hot)
+        .collect();
+    let hotspot: Vec<_> = hot_pairs.iter().copied().cycle().take(total).collect();
+    vec![
+        Workload {
+            name: "uniform",
+            distinct: total,
+            pairs: uniform,
+        },
+        Workload {
+            name: "permutation",
+            distinct: pool,
+            pairs: permutation,
+        },
+        Workload {
+            name: "hotspot",
+            distinct: hot_pairs.len(),
+            pairs: hotspot,
+        },
+    ]
+}
+
+fn run_cache_section(
+    h: &Hhc,
+    repeats: usize,
+    total: usize,
+    pool: usize,
+    mode: CacheMode,
+) -> Vec<CacheRow> {
+    let mut rows = Vec::new();
+    for w in make_workloads(h, total, pool) {
+        let n = w.pairs.len() as f64;
+        let measure = |cfg: CacheConfig, repeats: usize| {
+            let (sets, report) = batch::construct_many_serial_metered_with(
+                h,
+                &w.pairs,
+                CrossingOrder::Gray,
+                false,
+                cfg,
+            )
+            .unwrap();
+            let secs = min_time(repeats, || {
+                let out = batch::construct_many_serial_metered_with(
+                    h,
+                    &w.pairs,
+                    CrossingOrder::Gray,
+                    false,
+                    cfg,
+                )
+                .unwrap();
+                std::hint::black_box(&out);
+            });
+            (sets, report, secs * 1e9 / n)
+        };
+        let mut row = CacheRow {
+            name: w.name,
+            distinct: w.distinct,
+            on_ns: None,
+            off_ns: None,
+            family_hit_rate: f64::NAN,
+            fan_hit_rate: f64::NAN,
+        };
+        let on = (mode != CacheMode::Off).then(|| measure(CacheConfig::enabled(), repeats));
+        let off = (mode != CacheMode::On).then(|| measure(CacheConfig::disabled(), repeats));
+        if let Some((_, report, ns)) = &on {
+            row.on_ns = Some(*ns);
+            row.family_hit_rate = report.construction.family_hit_rate().unwrap_or(f64::NAN);
+            row.fan_hit_rate = report.fan_cache_hit_rate().unwrap_or(f64::NAN);
+        }
+        if let Some((_, _, ns)) = &off {
+            row.off_ns = Some(*ns);
+        }
+        // The caches memoise exact canonical solutions: byte-identical
+        // families are a hard invariant, not a statistical one.
+        if let (Some((a, _, _)), Some((b, _, _))) = (&on, &off) {
+            assert_eq!(a, b, "cached output differs from uncached on {}", w.name);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
 fn main() {
-    let quick = std::env::args().skip(1).any(|a| a == "--quick");
-    let (repeats, pair_count) = if quick { (1, 200) } else { (5, 4000) };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut mode = CacheMode::Both;
+    for (i, a) in args.iter().enumerate() {
+        let v = match a.strip_prefix("--cache=") {
+            Some(v) => Some(v.to_string()),
+            None if a == "--cache" => args.get(i + 1).cloned(),
+            None => None,
+        };
+        match v.as_deref() {
+            Some("on") => mode = CacheMode::On,
+            Some("off") => mode = CacheMode::Off,
+            Some("both") => mode = CacheMode::Both,
+            Some(other) => {
+                eprintln!("unknown --cache value {other:?} (expected on|off|both)");
+                std::process::exit(2);
+            }
+            None => {}
+        }
+    }
+    let (repeats, pair_count, pool) = if quick {
+        (1, 200, 32)
+    } else {
+        (5, 10_000, 512)
+    };
     let h = Hhc::new(5).unwrap();
-    let pairs = workloads::sampling::random_pairs(&h, pair_count, 0x10_000);
+    let pairs = workloads::sampling::random_pairs(&h, pair_count.min(4000), 0x10_000);
     let n = pairs.len() as f64;
 
     // Warm-up both code paths once.
@@ -116,4 +269,75 @@ fn main() {
         queries.len(),
         fan * 1e6 / queries.len() as f64
     );
+
+    // --- Symmetry-cache comparison -----------------------------------
+    println!();
+    println!(
+        "cache section: {} pairs per workload (serial metered batch)",
+        pair_count
+    );
+    let rows = run_cache_section(&h, repeats, pair_count, pool, mode);
+    for r in &rows {
+        let fmt = |v: Option<f64>| match v {
+            Some(ns) => format!("{:9.0} ns/pair", ns),
+            None => "        (skipped)".to_string(),
+        };
+        let speedup = match (r.on_ns, r.off_ns) {
+            (Some(on), Some(off)) => format!("{:5.2}x", off / on),
+            _ => "    —".to_string(),
+        };
+        println!(
+            "{:11} ({:5} distinct)  on {}  off {}  speedup {}  family hits {:5.1}%  fan hits {:5.1}%",
+            r.name,
+            r.distinct,
+            fmt(r.on_ns),
+            fmt(r.off_ns),
+            speedup,
+            r.family_hit_rate * 100.0,
+            r.fan_hit_rate * 100.0
+        );
+    }
+
+    // Machine-readable sidecar for CI and the experiment notes.
+    let mut o = json::Obj::new();
+    o.str("bench", "profile_batch");
+    o.u64("quick", quick as u64);
+    o.u64("m", 5);
+    o.u64("baseline_pairs", pairs.len() as u64);
+    o.u64("cache_pairs", pair_count as u64);
+    o.f64("per_pair_us", per_pair * 1e6 / n);
+    o.f64("core_us", core * 1e6 / n);
+    o.f64("batched_serial_us", serial * 1e6 / n);
+    o.f64("batched_rayon_us", rayon * 1e6 / n);
+    o.f64("batched_metered_us", metered * 1e6 / n);
+    let row_objs: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let mut ro = json::Obj::new();
+            ro.str("workload", r.name);
+            ro.u64("distinct_pairs", r.distinct as u64);
+            ro.f64("cache_on_ns_per_pair", r.on_ns.unwrap_or(f64::NAN));
+            ro.f64("cache_off_ns_per_pair", r.off_ns.unwrap_or(f64::NAN));
+            ro.f64(
+                "speedup",
+                match (r.on_ns, r.off_ns) {
+                    (Some(on), Some(off)) => off / on,
+                    _ => f64::NAN,
+                },
+            );
+            ro.f64("family_hit_rate", r.family_hit_rate);
+            ro.f64("fan_hit_rate", r.fan_hit_rate);
+            ro.finish()
+        })
+        .collect();
+    o.raw("cache_workloads", &json::array(&row_objs));
+    let payload = o.finish();
+    let path = "results/BENCH_batch.json";
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, payload.as_bytes()))
+    {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {path}");
+    }
 }

@@ -11,7 +11,7 @@ use crate::table::Table;
 use crate::util;
 use hhc_core::Hhc;
 use netsim::fault::analyze_with;
-use netsim::RouteScratch;
+use netsim::{FaultSet, RouteScratch};
 use workloads::random_fault_set;
 
 pub fn run() {
@@ -39,7 +39,9 @@ pub fn run() {
         let mut surviving_sum = 0u64;
         for _ in 0..trials {
             let (u, v) = util::random_pair(&h, &mut rng);
-            let faults = random_fault_set(&h, f, &[u, v], &mut rng);
+            // Sorted-slice representation: the analysis probes the set
+            // once per path node, so membership should be binary search.
+            let faults = FaultSet::from_set(&random_fault_set(&h, f, &[u, v], &mut rng));
             let out = analyze_with(&h, u, v, &faults, &mut scratch);
             single_ok += out.single_path_ok as u32;
             multi_ok += out.multipath_ok as u32;

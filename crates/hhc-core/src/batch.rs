@@ -19,6 +19,7 @@
 //! identical to per-pair results (property-tested in
 //! `tests/batch_equivalence.rs`).
 
+use crate::disjoint::family_cache::CacheConfig;
 use crate::disjoint::{disjoint_paths_into, CrossingOrder, PathBuilder};
 use crate::error::HhcError;
 use crate::metrics::MetricsReport;
@@ -41,6 +42,21 @@ pub struct Workspace {
 impl Workspace {
     pub fn new() -> Self {
         Workspace::default()
+    }
+
+    /// A workspace whose builder uses the given symmetry-cache
+    /// capacities; see [`PathBuilder::with_caches`].
+    pub fn with_caches(cfg: CacheConfig) -> Self {
+        Workspace {
+            builder: PathBuilder::with_caches(cfg),
+            ..Workspace::default()
+        }
+    }
+
+    /// Replaces the builder's symmetry caches; see
+    /// [`PathBuilder::set_cache_config`].
+    pub fn set_cache_config(&mut self, cfg: CacheConfig) {
+        self.builder.set_cache_config(cfg);
     }
 
     /// Constructs the `m + 1` disjoint paths for one pair into the owned
@@ -113,10 +129,23 @@ pub fn construct_many(
     pairs: &[(NodeId, NodeId)],
     order: CrossingOrder,
 ) -> Result<Vec<PathSet>, HhcError> {
+    construct_many_with(hhc, pairs, order, CacheConfig::default())
+}
+
+/// [`construct_many`] with explicit per-worker symmetry-cache capacities
+/// (each rayon worker owns its caches — no locks on the hot path).
+/// Results are byte-identical for every `cfg`, including
+/// [`CacheConfig::disabled`].
+pub fn construct_many_with(
+    hhc: &Hhc,
+    pairs: &[(NodeId, NodeId)],
+    order: CrossingOrder,
+    cfg: CacheConfig,
+) -> Result<Vec<PathSet>, HhcError> {
     pairs
         .par_iter()
         .map_init(
-            || (PathBuilder::new(), PathSet::new()),
+            || (PathBuilder::with_caches(cfg), PathSet::new()),
             |(scratch, tmp), &(u, v)| {
                 disjoint_paths_into(hhc, u, v, order, tmp, scratch)?;
                 // Cloning the warm arena sizes the output exactly; building
@@ -161,6 +190,19 @@ pub fn construct_many_metered(
     order: CrossingOrder,
     timed: bool,
 ) -> Result<(Vec<PathSet>, MetricsReport), HhcError> {
+    construct_many_metered_with(hhc, pairs, order, timed, CacheConfig::default())
+}
+
+/// [`construct_many_metered`] with explicit per-worker symmetry-cache
+/// capacities; the merged report's `family_hits` / fan `cache_hits`
+/// counters expose the aggregate hit rates.
+pub fn construct_many_metered_with(
+    hhc: &Hhc,
+    pairs: &[(NodeId, NodeId)],
+    order: CrossingOrder,
+    timed: bool,
+    cfg: CacheConfig,
+) -> Result<(Vec<PathSet>, MetricsReport), HhcError> {
     if pairs.is_empty() {
         return Ok((Vec::new(), MetricsReport::default()));
     }
@@ -170,7 +212,7 @@ pub fn construct_many_metered(
     let per_chunk: Vec<Result<(Vec<PathSet>, MetricsReport), HhcError>> = chunks
         .par_iter()
         .map(|chunk| {
-            let mut scratch = PathBuilder::new();
+            let mut scratch = PathBuilder::with_caches(cfg);
             scratch.enable_timing(timed);
             let mut tmp = PathSet::new();
             let sets = chunk
@@ -201,7 +243,19 @@ pub fn construct_many_serial_metered(
     order: CrossingOrder,
     timed: bool,
 ) -> Result<(Vec<PathSet>, MetricsReport), HhcError> {
-    let mut scratch = PathBuilder::new();
+    construct_many_serial_metered_with(hhc, pairs, order, timed, CacheConfig::default())
+}
+
+/// [`construct_many_serial_metered`] with explicit symmetry-cache
+/// capacities.
+pub fn construct_many_serial_metered_with(
+    hhc: &Hhc,
+    pairs: &[(NodeId, NodeId)],
+    order: CrossingOrder,
+    timed: bool,
+    cfg: CacheConfig,
+) -> Result<(Vec<PathSet>, MetricsReport), HhcError> {
+    let mut scratch = PathBuilder::with_caches(cfg);
     scratch.enable_timing(timed);
     let mut tmp = PathSet::new();
     let sets = pairs
@@ -300,8 +354,12 @@ mod tests {
         let c = &report.construction;
         assert_eq!(c.queries, pairs.len() as u64);
         assert_eq!(c.same_cube + c.cross_cube, c.queries);
-        // Case B issues exactly one fan per side per query; case A none.
-        assert_eq!(report.fan_queries(), 2 * c.cross_cube);
+        // Case B issues exactly one fan per side per query, except when
+        // the whole family replayed from the cache; case A none.
+        assert_eq!(
+            report.fan_queries(),
+            2 * (c.cross_cube - c.family_hits_cross)
+        );
         // Every query selects exactly m + 1 = degree crossing plans.
         assert_eq!(
             c.rotation_plans + c.detour_plans,

@@ -1,0 +1,269 @@
+//! Bounded cache of canonical disjoint-path families.
+//!
+//! `HHC(m)` is vertex-transitive under cube-field translation: for any
+//! mask `A`, the map `(X, Y) ↦ (X ⊕ A, Y)` is an automorphism (internal
+//! edges ignore the cube field; the external edge at `(X, Y)` flips cube
+//! bit `Y` on both sides). The whole construction is equivariant under
+//! it — plan selection reads only `dx = Xu ⊕ Xv`, `Yu`, `Yv`, `m` and the
+//! crossing order; fans run in son-cube coordinates; assembly threads the
+//! cube field through XORs only. So the family for `(u, v)` is the family
+//! for the canonical pair `((0, Yu), (dx, Yv))` with every node
+//! translated by `Xu`, and one cached solve serves all `2^{2^m}`
+//! translated instances of its signature.
+//!
+//! Eviction mirrors [`hypercube::FanCache`]: two generations ("hot" and
+//! "cold"); lookups probe hot then cold (promoting on a cold hit); a full
+//! hot map becomes the new cold map and the previous cold generation is
+//! dropped. Bounded memory (≤ 2 × capacity entries), amortised O(1),
+//! approximately LRU.
+//!
+//! Entries also carry the rotation/detour plan counts of the cached
+//! family so metric conservation laws (`rotation_plans + detour_plans =
+//! degree × cross_cube + same_cube`) survive cache replays.
+
+use super::CrossingOrder;
+use crate::node::NodeId;
+use crate::pathset::PathSet;
+use std::collections::HashMap;
+
+/// Default hot-generation capacity. An HHC(5) family entry is a few
+/// kilobytes, so the default bounds a per-worker cache at single-digit
+/// megabytes while covering typical repeated-pattern workloads.
+pub const DEFAULT_FAMILY_CACHE_CAPACITY: usize = 1024;
+
+/// Capacities of the two construction caches carried by a
+/// [`PathBuilder`](crate::PathBuilder). Capacity 0 disables the
+/// corresponding cache (identical results, no memoisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Hot-generation capacity of the canonical fan cache.
+    pub fan_capacity: usize,
+    /// Hot-generation capacity of the canonical family cache.
+    pub family_capacity: usize,
+}
+
+impl CacheConfig {
+    /// Both caches at their default capacities (the `PathBuilder`
+    /// default).
+    pub fn enabled() -> Self {
+        CacheConfig {
+            fan_capacity: hypercube::DEFAULT_FAN_CACHE_CAPACITY,
+            family_capacity: DEFAULT_FAMILY_CACHE_CAPACITY,
+        }
+    }
+
+    /// Both caches disabled: every query is solved from scratch. The
+    /// reference mode for equivalence testing and ablation benchmarks.
+    pub fn disabled() -> Self {
+        CacheConfig {
+            fan_capacity: 0,
+            family_capacity: 0,
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::enabled()
+    }
+}
+
+/// Cache key: everything the construction output depends on besides the
+/// translation mask. `dx` occupies the low 64 bits (positions `2^m ≤ 64`),
+/// then `Yu`, `Yv`, `m` and the crossing order in separate bytes.
+pub(crate) fn family_key(m: u32, dx: u128, yu: u32, yv: u32, order: CrossingOrder) -> u128 {
+    debug_assert!(dx < 1u128 << 64 && yu < 64 && yv < 64 && m <= 6);
+    let order_bit = match order {
+        CrossingOrder::Gray => 0u128,
+        CrossingOrder::Sorted => 1,
+    };
+    dx | (yu as u128) << 64 | (yv as u128) << 72 | (m as u128) << 80 | order_bit << 88
+}
+
+/// One cached canonical family: the CSR path set for `Xu = 0`, plus the
+/// plan counts it was built from.
+#[derive(Debug, Clone)]
+struct FamilyEntry {
+    nodes: Box<[u128]>,
+    offsets: Box<[u32]>,
+    rotations: u64,
+    detours: u64,
+}
+
+/// Bounded, generation-swept cache of canonical disjoint-path families;
+/// see the module docs. Owned per [`PathBuilder`](crate::PathBuilder),
+/// so batch workers never contend on it.
+#[derive(Debug)]
+pub struct FamilyCache {
+    capacity: usize,
+    hot: HashMap<u128, FamilyEntry>,
+    cold: HashMap<u128, FamilyEntry>,
+    sweeps: u64,
+}
+
+impl FamilyCache {
+    pub fn new(capacity: usize) -> Self {
+        FamilyCache {
+            capacity,
+            hot: HashMap::new(),
+            cold: HashMap::new(),
+            sweeps: 0,
+        }
+    }
+
+    /// Hot-generation capacity this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently retained (both generations).
+    pub fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.hot.is_empty() && self.cold.is_empty()
+    }
+
+    /// Generation sweeps performed so far.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Drops all entries, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.hot.clear();
+        self.cold.clear();
+    }
+
+    fn make_room(&mut self) {
+        if self.hot.len() >= self.capacity {
+            self.cold = std::mem::take(&mut self.hot);
+            self.sweeps += 1;
+        }
+    }
+
+    fn get(&mut self, key: u128) -> Option<&FamilyEntry> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if self.hot.contains_key(&key) {
+            return self.hot.get(&key);
+        }
+        if let Some(e) = self.cold.remove(&key) {
+            self.make_room();
+            return Some(self.hot.entry(key).or_insert(e));
+        }
+        None
+    }
+
+    /// On a hit, writes the cached family translated by `mask` into
+    /// `out` (which must be cleared) and returns its
+    /// `(rotations, detours)` plan counts.
+    pub(crate) fn replay(
+        &mut self,
+        key: u128,
+        mask: u128,
+        out: &mut PathSet,
+    ) -> Option<(u64, u64)> {
+        let e = self.get(key)?;
+        for w in e.offsets.windows(2) {
+            for &raw in &e.nodes[w[0] as usize..w[1] as usize] {
+                out.push_node(NodeId::from_raw(raw ^ mask));
+            }
+            out.finish_path();
+        }
+        Some((e.rotations, e.detours))
+    }
+
+    /// Stores the family in `set` (a fresh construction for some pair
+    /// with translation mask `mask`) under `key`, canonicalised to
+    /// `Xu = 0` by XOR-ing `mask` back out.
+    pub(crate) fn store(
+        &mut self,
+        key: u128,
+        mask: u128,
+        set: &PathSet,
+        rotations: u64,
+        detours: u64,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut nodes = Vec::with_capacity(set.total_nodes());
+        let mut offsets = Vec::with_capacity(set.len() + 1);
+        offsets.push(0u32);
+        for path in set.iter() {
+            nodes.extend(path.iter().map(|v| v.raw() ^ mask));
+            offsets.push(nodes.len() as u32);
+        }
+        self.make_room();
+        self.hot.insert(
+            key,
+            FamilyEntry {
+                nodes: nodes.into_boxed_slice(),
+                offsets: offsets.into_boxed_slice(),
+                rotations,
+                detours,
+            },
+        );
+    }
+}
+
+impl Default for FamilyCache {
+    fn default() -> Self {
+        FamilyCache::new(DEFAULT_FAMILY_CACHE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_separate_every_component() {
+        let mut keys = std::collections::HashSet::new();
+        for (m, dx, yu, yv, order) in [
+            (3u32, 0b101u128, 1u32, 2u32, CrossingOrder::Gray),
+            (3, 0b101, 1, 2, CrossingOrder::Sorted),
+            (3, 0b101, 2, 1, CrossingOrder::Gray),
+            (3, 0b100, 1, 2, CrossingOrder::Gray),
+            (4, 0b101, 1, 2, CrossingOrder::Gray),
+        ] {
+            assert!(keys.insert(family_key(m, dx, yu, yv, order)));
+        }
+    }
+
+    #[test]
+    fn store_replay_round_trips_translation() {
+        let mut cache = FamilyCache::new(8);
+        let mut set = PathSet::new();
+        for p in [[5u128, 7, 9], [5, 6, 9]] {
+            for raw in p {
+                set.push_node(NodeId::from_raw(raw));
+            }
+            set.finish_path();
+        }
+        cache.store(1, 4, &set, 2, 1);
+        // Replaying with a different mask translates node-wise.
+        let mut out = PathSet::new();
+        let (nr, nd) = cache.replay(1, 8, &mut out).unwrap();
+        assert_eq!((nr, nd), (2, 1));
+        let expect: Vec<u128> = [5u128, 7, 9, 5, 6, 9].iter().map(|r| r ^ 4 ^ 8).collect();
+        let got: Vec<u128> = out.iter().flatten().map(|v| v.raw()).collect();
+        assert_eq!(got, expect);
+        assert!(cache.replay(2, 0, &mut PathSet::new()).is_none());
+    }
+
+    #[test]
+    fn capacity_zero_is_inert() {
+        let mut cache = FamilyCache::new(0);
+        let mut set = PathSet::new();
+        set.push_node(NodeId::from_raw(3));
+        set.finish_path();
+        cache.store(1, 0, &set, 0, 1);
+        assert!(cache.replay(1, 0, &mut PathSet::new()).is_none());
+        assert!(cache.is_empty());
+    }
+}

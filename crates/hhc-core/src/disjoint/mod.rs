@@ -22,6 +22,7 @@
 //! exhaustively for m ∈ {1, 2} and on large samples for m ∈ {3..6}.
 
 mod case_b;
+pub mod family_cache;
 pub mod plan;
 
 use crate::error::HhcError;
@@ -30,7 +31,8 @@ use crate::node::NodeId;
 use crate::pathset::PathSet;
 use crate::topology::Hhc;
 use crate::Path;
-use hypercube::FanScratch;
+use family_cache::{CacheConfig, FamilyCache};
+use hypercube::{FanCache, FanScratch};
 use plan::{assemble_into, CrossingPlan};
 
 /// The order in which a path crosses the differing cube-field positions.
@@ -109,6 +111,11 @@ pub struct PathBuilder {
     seg_tgt: Vec<u32>,
     src_fan: FanScratch,
     tgt_fan: FanScratch,
+    // Symmetry caches (see `family_cache` and `hypercube::fancache`):
+    // canonical fan solutions shared by both terminal engines, and whole
+    // canonical families. Owned per builder — batch workers never lock.
+    fan_cache: FanCache,
+    family_cache: FamilyCache,
     // Observability: monotone counters plus opt-in per-query timing.
     metrics: ConstructionMetrics,
     timing_enabled: bool,
@@ -117,6 +124,34 @@ pub struct PathBuilder {
 impl PathBuilder {
     pub fn new() -> Self {
         PathBuilder::default()
+    }
+
+    /// A builder whose symmetry caches use the given capacities
+    /// ([`CacheConfig::disabled`] reproduces pre-cache behaviour:
+    /// byte-identical output, no memoisation).
+    pub fn with_caches(cfg: CacheConfig) -> Self {
+        let mut b = PathBuilder::default();
+        b.set_cache_config(cfg);
+        b
+    }
+
+    /// Replaces both symmetry caches with empty ones of the given
+    /// capacities. Results are unaffected (caching is exact); only
+    /// memoisation behaviour and memory use change.
+    pub fn set_cache_config(&mut self, cfg: CacheConfig) {
+        self.fan_cache = FanCache::new(cfg.fan_capacity);
+        self.family_cache = FamilyCache::new(cfg.family_capacity);
+    }
+
+    /// The family cache, for capacity/occupancy introspection.
+    pub fn family_cache(&self) -> &FamilyCache {
+        &self.family_cache
+    }
+
+    /// The shared canonical fan cache, for capacity/occupancy
+    /// introspection.
+    pub fn fan_cache(&self) -> &FanCache {
+        &self.fan_cache
     }
 
     /// Turns per-query wall-clock timing on or off (off by default).
@@ -226,6 +261,35 @@ fn construct_into(
     }
     out.clear();
     let same = hhc.cube_field(u) == hhc.cube_field(v);
+
+    // Family cache: the construction is equivariant under cube-field
+    // translation (plan selection reads only dx/Yu/Yv/m/order; assembly
+    // threads cube fields through XORs), so families are cached for the
+    // canonical source cube X = 0 and replayed translated by Xu. Traced
+    // queries bypass the cache — a replay has no plan internals to report.
+    let dx = hhc.cube_field(u) ^ hhc.cube_field(v);
+    let key = family_cache::family_key(hhc.m(), dx, hhc.node_field(u), hhc.node_field(v), order);
+    let mask = hhc.cube_field(u) << hhc.m();
+    if !want_trace {
+        if let Some((nr, nd)) = scratch.family_cache.replay(key, mask, out) {
+            let m = &mut scratch.metrics;
+            m.queries += 1;
+            m.family_hits += 1;
+            if same {
+                m.same_cube += 1;
+            } else {
+                m.cross_cube += 1;
+                m.family_hits_cross += 1;
+            }
+            m.rotation_plans += nr;
+            m.detour_plans += nd;
+            if let Some(t0) = t0 {
+                m.timing.record_ns(t0.elapsed().as_nanos() as u64);
+            }
+            return Ok(None);
+        }
+    }
+
     let result = if same {
         same_cube_into(hhc, u, v, out, scratch, want_trace)
     } else {
@@ -239,6 +303,7 @@ fn construct_into(
         } else {
             (scratch.rot_sel.len() as u64, scratch.det_sel.len() as u64)
         };
+        scratch.family_cache.store(key, mask, out, nr, nd);
         let m = &mut scratch.metrics;
         m.queries += 1;
         if same {

@@ -64,9 +64,11 @@ pub mod verify;
 pub mod wide;
 
 pub use batch::{
-    construct_many, construct_many_metered, construct_many_serial, construct_many_serial_metered,
+    construct_many, construct_many_metered, construct_many_metered_with, construct_many_serial,
+    construct_many_serial_metered, construct_many_serial_metered_with, construct_many_with,
     Workspace,
 };
+pub use disjoint::family_cache::{CacheConfig, FamilyCache, DEFAULT_FAMILY_CACHE_CAPACITY};
 pub use disjoint::{disjoint_paths_into, CrossingOrder, PathBuilder};
 pub use error::HhcError;
 pub use metrics::{ConstructionMetrics, MetricsReport};

@@ -29,8 +29,18 @@ pub struct ConstructionMetrics {
     /// Rotation crossing plans selected (case B only).
     pub rotation_plans: u64,
     /// Detour crossing plans selected (case B plus case A's single
-    /// external loop, mirroring `ConstructionTrace`).
+    /// external loop, mirroring `ConstructionTrace`). Replayed family
+    /// hits contribute the plan counts of the cached construction, so
+    /// `rotation_plans + detour_plans = degree·cross_cube + same_cube`
+    /// holds with or without caching.
     pub detour_plans: u64,
+    /// Queries answered by replaying a translation-canonical cached
+    /// family (no fans, no flow solves).
+    pub family_hits: u64,
+    /// Subset of [`family_hits`](Self::family_hits) that were cross-cube
+    /// queries (the ones that would otherwise have issued two fan
+    /// queries each).
+    pub family_hits_cross: u64,
     /// Per-query wall-clock nanoseconds; empty unless timing was enabled.
     pub timing: TimingStats,
 }
@@ -42,11 +52,18 @@ impl ConstructionMetrics {
         self.cross_cube += other.cross_cube;
         self.rotation_plans += other.rotation_plans;
         self.detour_plans += other.detour_plans;
+        self.family_hits += other.family_hits;
+        self.family_hits_cross += other.family_hits_cross;
         self.timing.merge(&other.timing);
     }
 
     pub fn reset(&mut self) {
         *self = ConstructionMetrics::default();
+    }
+
+    /// Family-cache hit rate over all queries; `None` before any query.
+    pub fn family_hit_rate(&self) -> Option<f64> {
+        (self.queries > 0).then(|| self.family_hits as f64 / self.queries as f64)
     }
 }
 
@@ -66,10 +83,19 @@ pub struct MetricsReport {
 
 impl MetricsReport {
     /// Total fan queries across both terminal engines. Case B issues
-    /// exactly two (one per side), case A none, so this always equals
-    /// `2 * construction.cross_cube`.
+    /// exactly two (one per side) unless the whole family was replayed
+    /// from the family cache, case A none, so this always equals
+    /// `2 * (construction.cross_cube - construction.family_hits_cross)`.
     pub fn fan_queries(&self) -> u64 {
         self.src_fan.queries + self.tgt_fan.queries
+    }
+
+    /// Canonical-fan-cache hit rate across both terminal engines;
+    /// `None` before any cache-eligible fan query.
+    pub fn fan_cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.src_fan.cache_hits + self.tgt_fan.cache_hits;
+        let probes = hits + self.src_fan.cache_misses + self.tgt_fan.cache_misses;
+        (probes > 0).then(|| hits as f64 / probes as f64)
     }
 
     /// Element-wise accumulation (for combining per-thread reports).
@@ -90,6 +116,8 @@ impl MetricsReport {
         o.u64("cross_cube", c.cross_cube);
         o.u64("rotation_plans", c.rotation_plans);
         o.u64("detour_plans", c.detour_plans);
+        o.u64("family_hits", c.family_hits);
+        o.u64("family_hits_cross", c.family_hits_cross);
         if c.timing.count() > 0 {
             o.raw("timing_ns", &c.timing.to_json());
         }
@@ -99,6 +127,9 @@ impl MetricsReport {
             fo.u64("targets_requested", f.targets_requested);
             fo.u64("seeded_direct", f.seeded_direct);
             fo.u64("network_builds", f.network_builds);
+            fo.u64("fast_path", f.fast_path);
+            fo.u64("cache_hits", f.cache_hits);
+            fo.u64("cache_misses", f.cache_misses);
             fo.finish()
         };
         o.raw("src_fan", &fan_obj(&self.src_fan));

@@ -14,6 +14,7 @@
 //! walks positive-flow arcs from the source.
 
 use crate::cube::{Cube, CubeError, Node};
+use crate::fancache::{FanCache, FanEntry};
 use graphs::{ArcId, Dinic};
 
 /// Errors from fan construction.
@@ -62,10 +63,18 @@ pub struct FanMetrics {
     /// Total targets across all queries (= total fan paths produced).
     pub targets_requested: u64,
     /// Targets adjacent to the source whose direct edge was seeded,
-    /// bypassing the solver.
+    /// bypassing the solver (counts fast-path targets too).
     pub seeded_direct: u64,
     /// Flow networks (re)built because the cube dimension changed.
     pub network_builds: u64,
+    /// Queries answered by the combinatorial neighbour-fan fast path
+    /// (all targets adjacent to the source; no solver, no cache).
+    pub fast_path: u64,
+    /// [`fan_paths_cached`] queries answered from the [`FanCache`].
+    pub cache_hits: u64,
+    /// [`fan_paths_cached`] queries that had to solve (and, capacity
+    /// permitting, populated the cache).
+    pub cache_misses: u64,
 }
 
 impl FanMetrics {
@@ -75,6 +84,16 @@ impl FanMetrics {
         self.targets_requested += other.targets_requested;
         self.seeded_direct += other.seeded_direct;
         self.network_builds += other.network_builds;
+        self.fast_path += other.fast_path;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Cache hit rate over [`fan_paths_cached`] queries that reached the
+    /// cache (fast-path queries never do); `None` before any such query.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let probes = self.cache_hits + self.cache_misses;
+        (probes > 0).then(|| self.cache_hits as f64 / probes as f64)
     }
 }
 
@@ -116,6 +135,12 @@ pub struct FanScratch {
     tmp_offsets: Vec<u32>,
     /// `path_of_target[i]` = index into `tmp_offsets` of target `i`'s path.
     path_of_target: Vec<u32>,
+    /// Per-call canonicalisation: `(target ⊕ s, original index)`, sorted.
+    canon: Vec<(Node, u32)>,
+    /// Per-call: the sorted canonical targets as a plain node slice.
+    canon_nodes: Vec<Node>,
+    /// Per-call: canonical-order path indices being remapped.
+    pot_tmp: Vec<u32>,
     /// Monotone effort counters; see [`FanMetrics`].
     metrics: FanMetrics,
 }
@@ -134,6 +159,9 @@ impl FanScratch {
             tmp_nodes: Vec::new(),
             tmp_offsets: Vec::new(),
             path_of_target: Vec::new(),
+            canon: Vec::new(),
+            canon_nodes: Vec::new(),
+            pot_tmp: Vec::new(),
             metrics: FanMetrics::default(),
         }
     }
@@ -208,8 +236,6 @@ impl FanScratch {
             self.terminal_arc.push(d.add_edge(v_out(v), sink, 0));
             self.default_caps.push(0);
         }
-        self.target_idx.clear();
-        self.target_idx.resize(num as usize, UNSET);
         self.dinic = Some(d);
         self.dim = n;
         self.metrics.network_builds += 1;
@@ -265,6 +291,27 @@ pub fn fan_paths_into(
     targets: &[Node],
     scratch: &mut FanScratch,
 ) -> Result<(), FanError> {
+    let n = validate_and_index(cube, s, targets, scratch)?;
+    if targets.is_empty() {
+        return Ok(());
+    }
+    if all_adjacent(s, targets) {
+        write_direct_fan(s, targets, scratch);
+        return Ok(());
+    }
+    solve_dinic(n, s, targets, scratch);
+    Ok(())
+}
+
+/// Input validation shared by every fan entry point. On success the
+/// output arena is cleared, `target_idx` maps node labels to positions in
+/// `targets`, and the query is counted in the metrics.
+fn validate_and_index(
+    cube: &Cube,
+    s: Node,
+    targets: &[Node],
+    scratch: &mut FanScratch,
+) -> Result<u32, FanError> {
     let n = cube.dim();
     if n > 16 {
         return Err(FanError::CubeTooLarge(n));
@@ -279,15 +326,15 @@ pub fn fan_paths_into(
             dim: n,
         });
     }
-    scratch.ensure_network(n);
     scratch.tmp_nodes.clear();
     scratch.tmp_offsets.clear();
     scratch.tmp_offsets.push(0);
     scratch.path_of_target.clear();
 
     // Duplicate/source detection doubles as the target index used by the
-    // decomposition below.
-    scratch.target_idx.fill(UNSET);
+    // flow decomposition.
+    scratch.target_idx.clear();
+    scratch.target_idx.resize(1usize << n, UNSET);
     for (i, &t) in targets.iter().enumerate() {
         if t == s || scratch.target_idx[t as usize] != UNSET {
             return Err(FanError::BadTargets);
@@ -296,10 +343,36 @@ pub fn fan_paths_into(
     }
     scratch.metrics.queries += 1;
     scratch.metrics.targets_requested += targets.len() as u64;
-    if targets.is_empty() {
-        return Ok(());
-    }
+    Ok(n)
+}
 
+#[inline]
+fn all_adjacent(s: Node, targets: &[Node]) -> bool {
+    targets.iter().all(|&t| (t ^ s).count_ones() == 1)
+}
+
+/// Combinatorial fast path: when every target is a neighbour of `s`, the
+/// unique minimum fan is the star of direct edges — exactly what the flow
+/// formulation returns after seeding (each target's vertex capacity is
+/// consumed by its own terminal unit, so no seeded edge is ever rerouted).
+/// Writing it directly skips the solver, and even network construction.
+fn write_direct_fan(s: Node, targets: &[Node], scratch: &mut FanScratch) {
+    for (i, &t) in targets.iter().enumerate() {
+        scratch.tmp_nodes.push(s);
+        scratch.tmp_nodes.push(t);
+        scratch.tmp_offsets.push(scratch.tmp_nodes.len() as u32);
+        scratch.path_of_target.push(i as u32);
+    }
+    scratch.metrics.seeded_direct += targets.len() as u64;
+    scratch.metrics.fast_path += 1;
+}
+
+/// The general solver: seeds direct edges, runs unit max-flow, and
+/// decomposes the flow into the output arena. Requires
+/// [`validate_and_index`] to have set up `target_idx` for exactly this
+/// `(s, targets)` query, and `targets` non-empty.
+fn solve_dinic(n: u32, s: Node, targets: &[Node], scratch: &mut FanScratch) {
+    scratch.ensure_network(n);
     let num = 1u32 << n;
     let sink = 2 * num;
     let s32 = s as u32;
@@ -390,6 +463,135 @@ pub fn fan_paths_into(
         }
     }
     debug_assert!(scratch.path_of_target.iter().all(|&p| p != UNSET));
+}
+
+/// Whether a canonical fan query in `Q_n` with `k` targets fits the
+/// [`FanCache`] key/entry encoding (one byte per sorted nonzero target).
+#[inline]
+fn cacheable(n: u32, k: usize) -> bool {
+    n <= 8 && k <= 8
+}
+
+/// [`fan_paths_into`] with translation canonicalisation and memoisation.
+///
+/// The query is canonicalised by XOR-translating the source to 0 and
+/// sorting the targets — an automorphism of `Q_n`, so the canonical
+/// solution maps back exactly. Canonical solutions are looked up in (and
+/// inserted into) `cache`; results are read back through
+/// [`FanScratch::path`] in original target order, exactly as with
+/// [`fan_paths_into`].
+///
+/// **Determinism contract:** for a given `(cube, s, targets)` the
+/// resulting paths are byte-identical regardless of cache capacity,
+/// contents, or hit/miss history. Misses always solve the *canonical*
+/// query, so a later hit replays exactly what the miss produced. A
+/// capacity-0 cache therefore serves as the reference "off" mode.
+/// (Because of canonicalisation, individual paths may differ from the
+/// direct [`fan_paths_into`] solve of the untranslated query — both are
+/// valid minimum-total-length fans.)
+///
+/// Queries outside the cacheable regime (`n > 8`; never produced by the
+/// HHC construction, whose son-cubes have `m ≤ 6`) skip canonicalisation
+/// and solve directly.
+pub fn fan_paths_cached(
+    cube: &Cube,
+    s: Node,
+    targets: &[Node],
+    scratch: &mut FanScratch,
+    cache: &mut FanCache,
+) -> Result<(), FanError> {
+    let n = validate_and_index(cube, s, targets, scratch)?;
+    let k = targets.len();
+    if k == 0 {
+        return Ok(());
+    }
+    if all_adjacent(s, targets) {
+        write_direct_fan(s, targets, scratch);
+        return Ok(());
+    }
+    if !cacheable(n, k) {
+        solve_dinic(n, s, targets, scratch);
+        return Ok(());
+    }
+
+    // Canonicalise: translate the source to 0 and sort the targets.
+    // `canon[j] = (sorted canonical target, its original index)`.
+    scratch.canon.clear();
+    for (i, &t) in targets.iter().enumerate() {
+        scratch.canon.push((t ^ s, i as u32));
+    }
+    scratch.canon.sort_unstable();
+    let mut key = (n as u128) << 64;
+    for (j, &(ct, _)) in scratch.canon.iter().enumerate() {
+        key |= ct << (8 * j);
+    }
+
+    if let Some(e) = cache.get(key) {
+        // Replay the canonical fan, translated back by `s`. The arena is
+        // laid out in sorted-target order; `path_of_target` restores the
+        // caller's order.
+        for j in 0..k {
+            let (a, b) = (e.offsets[j] as usize, e.offsets[j + 1] as usize);
+            for &x in &e.nodes[a..b] {
+                scratch.tmp_nodes.push(x as Node ^ s);
+            }
+            scratch.tmp_offsets.push(scratch.tmp_nodes.len() as u32);
+        }
+        scratch.path_of_target.resize(k, UNSET);
+        for (j, &(_, i)) in scratch.canon.iter().enumerate() {
+            scratch.path_of_target[i as usize] = j as u32;
+        }
+        scratch.metrics.cache_hits += 1;
+        return Ok(());
+    }
+    scratch.metrics.cache_misses += 1;
+
+    // Solve the canonical query: re-index `target_idx` for the
+    // translated labels, then run the ordinary solver from source 0.
+    scratch.target_idx.fill(UNSET);
+    scratch.canon_nodes.clear();
+    for (j, &(ct, _)) in scratch.canon.iter().enumerate() {
+        scratch.canon_nodes.push(ct);
+        scratch.target_idx[ct as usize] = j as u32;
+    }
+    let canon_nodes = std::mem::take(&mut scratch.canon_nodes);
+    solve_dinic(n, 0, &canon_nodes, scratch);
+    scratch.canon_nodes = canon_nodes;
+
+    // Snapshot the canonical solution for the cache (sorted-target CSR,
+    // byte labels) before de-canonicalising the arena in place.
+    if cache.capacity() > 0 {
+        let mut nodes = Vec::new();
+        let mut offsets = Vec::with_capacity(k + 1);
+        offsets.push(0u16);
+        for j in 0..k {
+            let p = scratch.path_of_target[j] as usize;
+            let (a, b) = (
+                scratch.tmp_offsets[p] as usize,
+                scratch.tmp_offsets[p + 1] as usize,
+            );
+            nodes.extend(scratch.tmp_nodes[a..b].iter().map(|&x| x as u8));
+            offsets.push(nodes.len() as u16);
+        }
+        cache.insert(
+            key,
+            FanEntry {
+                nodes: nodes.into_boxed_slice(),
+                offsets: offsets.into_boxed_slice(),
+            },
+        );
+    }
+
+    // De-canonicalise: translate every arena node back, and remap
+    // `path_of_target` from canonical (sorted) indices to original ones.
+    for x in &mut scratch.tmp_nodes {
+        *x ^= s;
+    }
+    scratch.pot_tmp.clear();
+    scratch.pot_tmp.extend_from_slice(&scratch.path_of_target);
+    for (j, &(_, i)) in scratch.canon.iter().enumerate() {
+        scratch.path_of_target[i as usize] = scratch.pot_tmp[j];
+    }
     Ok(())
 }
 
@@ -528,6 +730,9 @@ mod tests {
         assert_eq!(m.targets_requested, 5);
         // All 4 neighbours seed directly; the far target seeds nothing.
         assert_eq!(m.seeded_direct, 4);
+        // The all-neighbour query took the combinatorial fast path, so
+        // only the far query forced a network build.
+        assert_eq!(m.fast_path, 1);
         assert_eq!(m.network_builds, 1);
         // The far query needed the solver: at least one BFS recorded.
         assert!(sc.solver_stats().bfs_passes >= 1);
@@ -537,6 +742,117 @@ mod tests {
         sc.reset_metrics();
         assert_eq!(sc.metrics(), FanMetrics::default());
         assert_eq!(sc.solver_stats(), graphs::DinicStats::default());
+    }
+
+    /// Runs the general solver on a query the public entry points would
+    /// answer via the combinatorial fast path.
+    fn dinic_reference(q: &Cube, s: Node, targets: &[Node], sc: &mut FanScratch) {
+        let n = validate_and_index(q, s, targets, sc).unwrap();
+        solve_dinic(n, s, targets, sc);
+    }
+
+    #[test]
+    fn fast_path_agrees_with_dinic_exhaustively() {
+        // Every source and every non-empty neighbour subset of Q_2..Q_4:
+        // the direct fan must match the flow solver path-for-path.
+        for n in 2u32..=4 {
+            let q = Cube::new(n).unwrap();
+            let mut fast = FanScratch::new();
+            let mut oracle = FanScratch::new();
+            for s in 0..(1u128 << n) {
+                let nbrs: Vec<Node> = q.neighbors(s).collect();
+                for mask in 1u32..(1 << nbrs.len()) {
+                    let targets: Vec<Node> = nbrs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask >> i & 1 == 1)
+                        .map(|(_, &t)| t)
+                        .collect();
+                    fan_paths_into(&q, s, &targets, &mut fast).unwrap();
+                    dinic_reference(&q, s, &targets, &mut oracle);
+                    assert_eq!(fast.num_paths(), oracle.num_paths());
+                    for i in 0..targets.len() {
+                        assert_eq!(
+                            fast.path(i),
+                            oracle.path(i),
+                            "n={n} s={s} targets={targets:?} path {i}"
+                        );
+                    }
+                }
+            }
+            // The fast path never touched the solver.
+            assert_eq!(fast.metrics().network_builds, 0);
+            assert!(oracle.metrics().network_builds >= 1);
+        }
+    }
+
+    #[test]
+    fn cached_is_deterministic_and_hits_on_translation() {
+        // Same canonical class (translated sources, permuted targets):
+        // one miss, then hits; every answer identical to the capacity-0
+        // reference and a valid fan.
+        let q = Cube::new(4).unwrap();
+        let mut warm = FanScratch::new();
+        let mut cold = FanScratch::new();
+        let mut cache = FanCache::new(64);
+        let mut off = FanCache::new(0);
+        let base: Vec<Node> = vec![0b1111, 0b0111, 0b1110];
+        for s in 0..16u128 {
+            let targets: Vec<Node> = base.iter().map(|&t| t ^ s).collect();
+            let mut rev = targets.clone();
+            rev.reverse();
+            for t in [&targets, &rev] {
+                fan_paths_cached(&q, s, t, &mut warm, &mut cache).unwrap();
+                fan_paths_cached(&q, s, t, &mut cold, &mut off).unwrap();
+                assert_eq!(warm.num_paths(), cold.num_paths());
+                let fan: Vec<Vec<Node>> = (0..t.len()).map(|i| warm.path(i).to_vec()).collect();
+                for i in 0..t.len() {
+                    assert_eq!(warm.path(i), cold.path(i), "s={s} targets={t:?} path {i}");
+                }
+                check_fan(&q, s, t, &fan).unwrap();
+            }
+        }
+        let m = warm.metrics();
+        assert_eq!(m.cache_misses, 1, "one canonical class ⇒ one solve");
+        assert_eq!(m.cache_hits, 31);
+        assert_eq!(cold.metrics().cache_hits, 0);
+        assert_eq!(cold.metrics().cache_misses, 32);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn cached_survives_eviction_pressure() {
+        // A capacity-1 cache sweeps constantly; answers must not change.
+        let q = Cube::new(5).unwrap();
+        let mut tiny_sc = FanScratch::new();
+        let mut off_sc = FanScratch::new();
+        let mut tiny = FanCache::new(1);
+        let mut off = FanCache::new(0);
+        let mut state = 0xdeadbeefcafef00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..300 {
+            let s = (next() % 32) as Node;
+            let k = (next() % 5 + 1) as usize;
+            let mut targets = Vec::new();
+            while targets.len() < k {
+                let t = (next() % 32) as Node;
+                if t != s && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            fan_paths_cached(&q, s, &targets, &mut tiny_sc, &mut tiny).unwrap();
+            fan_paths_cached(&q, s, &targets, &mut off_sc, &mut off).unwrap();
+            for i in 0..k {
+                assert_eq!(tiny_sc.path(i), off_sc.path(i), "s={s} targets={targets:?}");
+            }
+        }
+        assert!(tiny.sweeps() > 0, "capacity 1 must sweep under this load");
+        assert!(tiny.len() <= 2);
     }
 
     #[test]

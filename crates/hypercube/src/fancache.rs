@@ -1,0 +1,167 @@
+//! Bounded cache of canonical fan solutions.
+//!
+//! `Q_n` is vertex-transitive under XOR translation: the fan from `s` to
+//! `targets` is the image of the fan from `0` to `targets ⊕ s` under
+//! `x ↦ x ⊕ s`. [`fan_paths_cached`](crate::fan::fan_paths_cached)
+//! canonicalises every query to source 0 with sorted targets, so one
+//! cached solve serves all `2^n` translated (and reordered) variants.
+//!
+//! Eviction is generation-swept ("hot/cold"): lookups probe the hot map
+//! then the cold map (promoting on hit); when the hot map reaches
+//! capacity it becomes the new cold map and the old cold generation is
+//! dropped wholesale. This gives bounded memory (≤ 2 × capacity entries)
+//! and approximate LRU at amortised O(1) per operation, with no
+//! per-entry bookkeeping on the hot path.
+//!
+//! Entries are compact: canonicalisation bounds node labels below
+//! `2^n ≤ 256` (only `n ≤ 8` queries are cacheable, which covers every
+//! son-cube fan the HHC construction issues, `m ≤ 6`), so paths are
+//! stored as bytes.
+
+use std::collections::HashMap;
+
+/// Default capacity of the hot generation. Son-cube fan keys are drawn
+/// from a small space (dimension ≤ 6, at most `m + 1` sorted nonzero
+/// targets), so a few hundred entries already capture whole workloads.
+pub const DEFAULT_FAN_CACHE_CAPACITY: usize = 512;
+
+/// One cached canonical fan: CSR paths in sorted-target order, from
+/// source 0, node labels `< 2^n`.
+#[derive(Debug, Clone)]
+pub(crate) struct FanEntry {
+    pub(crate) nodes: Box<[u8]>,
+    /// `offsets[j]..offsets[j+1]` delimits the path to sorted target `j`.
+    pub(crate) offsets: Box<[u16]>,
+}
+
+/// Bounded, generation-swept cache of canonical fans. See the module
+/// docs for the design; use with
+/// [`fan_paths_cached`](crate::fan::fan_paths_cached).
+///
+/// A capacity of 0 disables storage entirely (every lookup misses and
+/// inserts are dropped), which is the reference "cache off" mode: the
+/// query path is otherwise identical, so results are byte-equal.
+#[derive(Debug)]
+pub struct FanCache {
+    capacity: usize,
+    hot: HashMap<u128, FanEntry>,
+    cold: HashMap<u128, FanEntry>,
+    sweeps: u64,
+}
+
+impl FanCache {
+    /// Creates a cache whose hot generation holds up to `capacity`
+    /// entries (total retained entries are bounded by `2 × capacity`).
+    pub fn new(capacity: usize) -> Self {
+        FanCache {
+            capacity,
+            hot: HashMap::new(),
+            cold: HashMap::new(),
+            sweeps: 0,
+        }
+    }
+
+    /// Hot-generation capacity this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently retained (both generations).
+    pub fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.hot.is_empty() && self.cold.is_empty()
+    }
+
+    /// Generation sweeps performed so far (each drops the cold map).
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Drops all entries, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.hot.clear();
+        self.cold.clear();
+    }
+
+    /// Rotates generations if the hot map is full, making room for one
+    /// insertion.
+    fn make_room(&mut self) {
+        if self.hot.len() >= self.capacity {
+            self.cold = std::mem::take(&mut self.hot);
+            self.sweeps += 1;
+        }
+    }
+
+    pub(crate) fn get(&mut self, key: u128) -> Option<&FanEntry> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if self.hot.contains_key(&key) {
+            return self.hot.get(&key);
+        }
+        if let Some(e) = self.cold.remove(&key) {
+            self.make_room();
+            return Some(self.hot.entry(key).or_insert(e));
+        }
+        None
+    }
+
+    pub(crate) fn insert(&mut self, key: u128, entry: FanEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.make_room();
+        self.hot.insert(key, entry);
+    }
+}
+
+impl Default for FanCache {
+    fn default() -> Self {
+        FanCache::new(DEFAULT_FAN_CACHE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: u8) -> FanEntry {
+        FanEntry {
+            nodes: vec![tag].into_boxed_slice(),
+            offsets: vec![0, 1].into_boxed_slice(),
+        }
+    }
+
+    #[test]
+    fn capacity_zero_never_stores() {
+        let mut c = FanCache::new(0);
+        c.insert(1, entry(1));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.sweeps(), 0);
+    }
+
+    #[test]
+    fn hit_after_insert_and_bounded_eviction() {
+        let mut c = FanCache::new(2);
+        c.insert(1, entry(1));
+        c.insert(2, entry(2));
+        assert_eq!(c.get(1).unwrap().nodes[0], 1);
+        // Third insert sweeps: {1,2} become the cold generation.
+        c.insert(3, entry(3));
+        assert_eq!(c.sweeps(), 1);
+        assert!(c.len() <= 4);
+        // Cold entries are still hits, and promotion moves them back hot.
+        assert_eq!(c.get(2).unwrap().nodes[0], 2);
+        // Enough fresh keys expel untouched old entries entirely.
+        for k in 10..20 {
+            c.insert(k, entry(k as u8));
+        }
+        assert!(c.get(1).is_none());
+        assert!(c.len() <= 4);
+    }
+}

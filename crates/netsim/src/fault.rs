@@ -11,10 +11,10 @@
 //! * **ground truth** reachability (any path at all) comes from BFS on
 //!   the materialised graph, for calibration on small networks.
 
+use crate::faults::FaultLookup;
 use crate::net::{Network, RouteScratch};
 use crate::strategy::path_blocked;
 use hhc_core::NodeId;
-use std::collections::HashSet;
 
 /// Outcome of the static delivery analysis for one (pair, fault set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,11 +32,11 @@ pub struct DeliveryOutcome {
 /// # Panics
 /// Panics if `u == v` or either endpoint is faulty (the model protects
 /// the communicating pair).
-pub fn analyze<N: Network + ?Sized>(
+pub fn analyze<N: Network + ?Sized, F: FaultLookup + ?Sized>(
     net: &N,
     u: NodeId,
     v: NodeId,
-    faults: &HashSet<NodeId>,
+    faults: &F,
 ) -> DeliveryOutcome {
     analyze_with(net, u, v, faults, &mut RouteScratch::new())
 }
@@ -48,16 +48,16 @@ pub fn analyze<N: Network + ?Sized>(
 /// # Panics
 ///
 /// Same contract as [`analyze`]: `u ≠ v` and both endpoints alive.
-pub fn analyze_with<N: Network + ?Sized>(
+pub fn analyze_with<N: Network + ?Sized, F: FaultLookup + ?Sized>(
     net: &N,
     u: NodeId,
     v: NodeId,
-    faults: &HashSet<NodeId>,
+    faults: &F,
     scratch: &mut RouteScratch,
 ) -> DeliveryOutcome {
     assert_ne!(u, v);
     assert!(
-        !faults.contains(&u) && !faults.contains(&v),
+        !faults.is_faulty(u) && !faults.is_faulty(v),
         "endpoints must be alive"
     );
     let single = net.route(u, v);
@@ -73,9 +73,11 @@ pub fn analyze_with<N: Network + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultSet;
     use hhc_core::Hhc;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashSet;
     use workloads::random_fault_set;
 
     #[test]
@@ -130,6 +132,25 @@ mod tests {
         let out = analyze(&h, u, v, &faults);
         assert!(!out.single_path_ok);
         assert!(out.multipath_ok);
+    }
+
+    #[test]
+    fn sorted_fault_set_matches_hashset_analysis() {
+        // Same outcomes through either fault representation.
+        let h = Hhc::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let u = h.node(0x3C, 0b010).unwrap();
+        let v = h.node(0xC3, 0b111).unwrap();
+        let mut scratch = RouteScratch::new();
+        for f in 0..12 {
+            let hs = random_fault_set(&h, f, &[u, v], &mut rng);
+            let fs = FaultSet::from_set(&hs);
+            assert_eq!(
+                analyze_with(&h, u, v, &hs, &mut scratch),
+                analyze_with(&h, u, v, &fs, &mut scratch),
+                "representations diverged at f={f}"
+            );
+        }
     }
 
     #[test]

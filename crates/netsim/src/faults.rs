@@ -1,0 +1,123 @@
+//! Fault-set representations for the routing hot path.
+//!
+//! The injection loop and every [`Strategy`](crate::Strategy) consult
+//! the fault set per packet — and per *node* of every candidate path.
+//! `HashSet<NodeId>` pays a 16-byte hash per probe; the fault sets the
+//! experiments use are tiny (`|F| ≤ m`, occasionally a few dozen), so a
+//! sorted slice probed by binary search is cheaper, cache-resident and
+//! allocation-free after construction. [`FaultLookup`] abstracts over
+//! both: the public APIs keep accepting `HashSet<NodeId>` unchanged,
+//! while [`Simulator`](crate::Simulator) converts its set into a
+//! [`FaultSet`] once per run.
+
+use hhc_core::NodeId;
+use std::collections::HashSet;
+
+/// Membership oracle for faulty nodes. Implemented by
+/// `HashSet<NodeId>` (the ergonomic builder representation) and
+/// [`FaultSet`] (the hot-path representation).
+pub trait FaultLookup {
+    /// Whether `v` is faulty.
+    fn is_faulty(&self, v: NodeId) -> bool;
+}
+
+impl FaultLookup for HashSet<NodeId> {
+    fn is_faulty(&self, v: NodeId) -> bool {
+        self.contains(&v)
+    }
+}
+
+/// A fault set stored as a sorted, deduplicated vector and probed by
+/// binary search.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    nodes: Vec<NodeId>,
+}
+
+impl FaultSet {
+    /// Builds the set from arbitrary (unsorted, possibly duplicated)
+    /// nodes.
+    pub fn new(mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        FaultSet { nodes }
+    }
+
+    /// Converts from the builder representation.
+    pub fn from_set(set: &HashSet<NodeId>) -> Self {
+        Self::new(set.iter().copied().collect())
+    }
+
+    /// Number of faulty nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no node is faulty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// The faulty nodes in ascending order.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+impl FromIterator<NodeId> for FaultSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl FaultLookup for FaultSet {
+    fn is_faulty(&self, v: NodeId) -> bool {
+        self.contains(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(raw: u128) -> NodeId {
+        NodeId::from_raw(raw)
+    }
+
+    #[test]
+    fn agrees_with_hashset_membership() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let raw: Vec<NodeId> = (0..200).map(|_| n((next() % 512) as u128)).collect();
+        let hs: HashSet<NodeId> = raw.iter().copied().collect();
+        let fs: FaultSet = raw.iter().copied().collect();
+        assert_eq!(fs.len(), hs.len());
+        for probe in 0..512u128 {
+            assert_eq!(
+                fs.is_faulty(n(probe)),
+                hs.is_faulty(n(probe)),
+                "membership diverged at {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn dedups_and_sorts() {
+        let fs = FaultSet::new(vec![n(7), n(3), n(7), n(1)]);
+        assert_eq!(fs.as_slice(), &[n(1), n(3), n(7)]);
+        assert!(fs.contains(n(3)));
+        assert!(!fs.contains(n(2)));
+        assert!(!fs.is_empty());
+        assert!(FaultSet::default().is_empty());
+    }
+}

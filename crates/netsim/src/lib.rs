@@ -17,12 +17,15 @@
 //! analysis used by experiment F3, where only connectivity matters.
 
 pub mod fault;
+pub mod faults;
 pub mod net;
 pub mod packet;
 pub mod sim;
 pub mod stats;
 pub mod strategy;
 
+pub use faults::{FaultLookup, FaultSet};
+pub use hhc_core::CacheConfig;
 pub use net::{CubeNet, Network, RouteScratch};
 pub use sim::{DeliveryRecord, SimConfig, SimError, Simulator, Switching};
 pub use stats::{CycleSample, SimStats};

@@ -7,7 +7,9 @@
 //! services the strategies need — a deterministic single route and the
 //! family of internally node-disjoint routes.
 
-use hhc_core::{CrossingOrder, Hhc, NodeId, Path, PathBuilder, PathSet};
+use hhc_core::{
+    CacheConfig, CrossingOrder, Hhc, MetricsReport, NodeId, Path, PathBuilder, PathSet,
+};
 use hypercube::Cube;
 use workloads::AddressSpace;
 
@@ -29,6 +31,24 @@ pub struct RouteScratch {
 impl RouteScratch {
     pub fn new() -> Self {
         RouteScratch::default()
+    }
+
+    /// A scratch whose construction engine uses the given symmetry-cache
+    /// configuration (fan cache + family cache). The default scratch has
+    /// both caches enabled at their default capacities; routes are
+    /// byte-identical under every configuration.
+    pub fn with_route_cache(cfg: CacheConfig) -> Self {
+        let mut s = RouteScratch::default();
+        s.builder.set_cache_config(cfg);
+        s
+    }
+
+    /// Construction-engine effort snapshot (queries, cache hits, fan and
+    /// solver counters) accumulated by this scratch's disjoint-route
+    /// queries. Only HHC networks route through the construction engine;
+    /// on [`CubeNet`] the report stays zero.
+    pub fn construction_metrics(&self) -> MetricsReport {
+        self.builder.metrics()
     }
 }
 

@@ -14,11 +14,12 @@
 //! The engine is fully deterministic under (`SimConfig::seed`, topology,
 //! pattern, strategy).
 
+use crate::faults::FaultSet;
 use crate::net::{Network, RouteScratch};
 use crate::packet::Packet;
 use crate::stats::SimStats;
 use crate::strategy::Strategy;
-use hhc_core::NodeId;
+use hhc_core::{CacheConfig, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -141,6 +142,7 @@ pub struct Simulator<'a, N: Network + ?Sized> {
     pattern: Pattern,
     strategy: Strategy,
     faults: HashSet<NodeId>,
+    route_cache: CacheConfig,
 }
 
 impl<'a, N: Network + ?Sized> Simulator<'a, N> {
@@ -172,6 +174,7 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
             pattern,
             strategy,
             faults: HashSet::new(),
+            route_cache: CacheConfig::default(),
         })
     }
 
@@ -179,6 +182,17 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
     /// and are never selected as destinations).
     pub fn with_faults(mut self, faults: HashSet<NodeId>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Configures the symmetry caches of the run's route-construction
+    /// scratch (fan cache + family cache; on by default). The caches
+    /// memoise exact translation-canonical solutions, so routes are
+    /// byte-identical in every configuration — only the construction
+    /// cost changes. Pass [`CacheConfig::disabled`] for the uncached
+    /// reference behaviour.
+    pub fn with_route_cache(mut self, cfg: CacheConfig) -> Self {
+        self.route_cache = cfg;
         self
     }
 
@@ -220,21 +234,25 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
         let mut next_id = 0u64;
         let nodes: Vec<NodeId> = self.net.all_nodes();
         // One route scratch for the whole run: route selection reuses the
-        // disjoint-path construction buffers across every injection.
-        let mut route_scratch = RouteScratch::new();
+        // disjoint-path construction buffers — and the symmetry caches —
+        // across every injection. Traffic patterns repeat (src, dst)
+        // pairs constantly, so warm injections replay whole families.
+        let mut route_scratch = RouteScratch::with_route_cache(self.route_cache);
+        // Sorted-slice fault set for the per-packet membership probes.
+        let faults = FaultSet::from_set(&self.faults);
 
         for cycle in 0..cfg.cycles + cfg.drain_cycles {
             // Phase 1: injection (disabled during drain).
             if cycle < cfg.cycles {
                 for &src in &nodes {
-                    if self.faults.contains(&src) || !arrivals.fires(&mut rng) {
+                    if faults.contains(src) || !arrivals.fires(&mut rng) {
                         continue;
                     }
                     let Some(dst) = self.pattern.destination(self.net, src, &mut rng) else {
                         stats.self_addressed += 1;
                         continue;
                     };
-                    if self.faults.contains(&dst) {
+                    if faults.contains(dst) {
                         stats.dropped_dst_faulty += 1;
                         continue;
                     }
@@ -242,7 +260,7 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
                         self.net,
                         src,
                         dst,
-                        &self.faults,
+                        &faults,
                         &mut rng,
                         &mut route_scratch,
                     ) {
@@ -357,6 +375,9 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
 
         stats.in_flight_at_end = queues.values().map(|q| q.len() as u64).sum::<u64>()
             + in_flight.values().map(|v| v.len() as u64).sum::<u64>();
+        let routing = route_scratch.construction_metrics();
+        stats.route_constructions = routing.construction.queries;
+        stats.route_family_hits = routing.construction.family_hits;
         (stats,)
     }
 }
@@ -608,6 +629,58 @@ mod instrumentation_tests {
         let mut resampled = stats.clone();
         resampled.samples.clear();
         assert_eq!(unsampled, resampled);
+    }
+
+    #[test]
+    fn route_cache_changes_nothing_but_effort() {
+        // Multipath routing on a fixed permutation pattern repeats the
+        // same (src, dst) pairs every cycle: the family cache should
+        // absorb nearly every construction while leaving the simulation
+        // bit-for-bit unchanged.
+        let h = Hhc::new(2).unwrap();
+        let cfg = SimConfig {
+            cycles: 150,
+            drain_cycles: 2000,
+            inject_rate: 0.10,
+            seed: 97,
+            ..SimConfig::default()
+        };
+        let cached = Simulator::new(&h, Pattern::BitComplement, Strategy::MultipathRandom).run(cfg);
+        let uncached = Simulator::new(&h, Pattern::BitComplement, Strategy::MultipathRandom)
+            .with_route_cache(hhc_core::CacheConfig::disabled())
+            .run(cfg);
+        assert!(cached.route_constructions > 64);
+        assert_eq!(cached.route_constructions, uncached.route_constructions);
+        assert_eq!(uncached.route_family_hits, 0);
+        // Bit-complement on HHC(2) flips every cube-field bit, so all 64
+        // pairs share dx = 1111 and collapse onto the 4 translation
+        // classes (Y, ~Y): after one solve per class everything replays.
+        assert_eq!(
+            cached.route_family_hits,
+            cached.route_constructions - 4,
+            "bit-complement traffic has exactly 4 canonical families"
+        );
+        assert!(cached.route_cache_hit_rate().unwrap() > 0.9);
+        // Same packets, same routes, same queues — only the effort
+        // counters may differ between the two configurations.
+        let mut masked = cached.clone();
+        masked.route_family_hits = uncached.route_family_hits;
+        assert_eq!(masked, uncached);
+    }
+
+    #[test]
+    fn single_path_runs_build_no_route_families() {
+        let h = Hhc::new(2).unwrap();
+        let stats =
+            Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath).run(SimConfig {
+                cycles: 50,
+                drain_cycles: 500,
+                inject_rate: 0.05,
+                seed: 13,
+                ..SimConfig::default()
+            });
+        assert_eq!(stats.route_constructions, 0);
+        assert_eq!(stats.route_cache_hit_rate(), None);
     }
 
     #[test]

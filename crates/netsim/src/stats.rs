@@ -58,6 +58,16 @@ pub struct SimStats {
     pub cycles: u64,
     /// Nodes in the network.
     pub nodes: u64,
+    /// Disjoint-route constructions performed by the run's route
+    /// scratch. Zero when the strategy never builds route families
+    /// (single-path / Valiant) or the network routes outside the
+    /// construction engine (the plain cube).
+    pub route_constructions: u64,
+    /// Subset of [`route_constructions`](Self::route_constructions)
+    /// answered by replaying the translation-canonical family cache
+    /// instead of re-running fans and max-flows. Routes are identical
+    /// either way; this only measures construction effort saved.
+    pub route_family_hits: u64,
     /// Latency distribution of delivered packets (power-of-two buckets;
     /// always populated — recording a `u64` into a fixed array is cheap).
     pub latency_hist: Histogram,
@@ -112,6 +122,13 @@ impl SimStats {
         self.latency_hist.quantile(0.99)
     }
 
+    /// Fraction of disjoint-route constructions served from the family
+    /// cache, or `None` when the run built no route families.
+    pub fn route_cache_hit_rate(&self) -> Option<f64> {
+        (self.route_constructions > 0)
+            .then(|| self.route_family_hits as f64 / self.route_constructions as f64)
+    }
+
     /// Mean queued-packet count over the captured time series, or `None`
     /// when sampling was disabled (no samples).
     pub fn mean_sampled_queue_depth(&self) -> Option<f64> {
@@ -140,6 +157,8 @@ impl SimStats {
         o.u64("max_queue_len", self.max_queue_len);
         o.u64("cycles", self.cycles);
         o.u64("nodes", self.nodes);
+        o.u64("route_constructions", self.route_constructions);
+        o.u64("route_family_hits", self.route_family_hits);
         // NaN degrades to JSON null, keeping the key set stable.
         o.f64("mean_latency", self.mean_latency().unwrap_or(f64::NAN));
         o.f64("mean_hops", self.mean_hops().unwrap_or(f64::NAN));
@@ -149,6 +168,10 @@ impl SimStats {
         );
         o.f64("throughput", self.throughput());
         o.f64("delivery_ratio", self.delivery_ratio());
+        o.f64(
+            "route_cache_hit_rate",
+            self.route_cache_hit_rate().unwrap_or(f64::NAN),
+        );
         o.f64("link_utilization", self.link_utilization(directed_links));
         o.raw("latency_hist", &self.latency_hist.to_json());
         let cycles: Vec<u64> = self.samples.iter().map(|s| s.cycle).collect();

@@ -4,10 +4,10 @@
 //! return a full route or `None` (unroutable). The simulator charges an
 //! unroutable packet as a drop at injection time.
 
+use crate::faults::FaultLookup;
 use crate::net::{Network, RouteScratch};
 use hhc_core::{NodeId, Path};
 use rand::Rng;
-use std::collections::HashSet;
 
 /// How sources pick routes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,12 +36,12 @@ impl Strategy {
     /// Selects a route from `src` to `dst` (`src ≠ dst`), or `None` if the
     /// strategy cannot route around the faults. Allocates a fresh scratch
     /// per call; loops should use [`Strategy::select_with`].
-    pub fn select<N: Network + ?Sized, R: Rng>(
+    pub fn select<N: Network + ?Sized, F: FaultLookup + ?Sized, R: Rng>(
         &self,
         net: &N,
         src: NodeId,
         dst: NodeId,
-        faults: &HashSet<NodeId>,
+        faults: &F,
         rng: &mut R,
     ) -> Option<Path> {
         self.select_with(net, src, dst, faults, rng, &mut RouteScratch::new())
@@ -50,17 +50,17 @@ impl Strategy {
     /// [`Strategy::select`] with caller-owned route scratch: the disjoint
     /// family is built into the scratch's buffers and only the chosen
     /// route is copied out. Identical routes and RNG draw sequence.
-    pub fn select_with<N: Network + ?Sized, R: Rng>(
+    pub fn select_with<N: Network + ?Sized, F: FaultLookup + ?Sized, R: Rng>(
         &self,
         net: &N,
         src: NodeId,
         dst: NodeId,
-        faults: &HashSet<NodeId>,
+        faults: &F,
         rng: &mut R,
         scratch: &mut RouteScratch,
     ) -> Option<Path> {
         debug_assert_ne!(src, dst);
-        debug_assert!(!faults.contains(&src) && !faults.contains(&dst));
+        debug_assert!(!faults.is_faulty(src) && !faults.is_faulty(dst));
         match self {
             Strategy::SinglePath => {
                 let p = net.route(src, dst);
@@ -95,7 +95,7 @@ impl Strategy {
                     let w = NodeId::from_raw(
                         ((rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128) & mask,
                     );
-                    if w == src || w == dst || faults.contains(&w) {
+                    if w == src || w == dst || faults.is_faulty(w) {
                         continue;
                     }
                     let mut walk = net.route(src, w);
@@ -111,16 +111,18 @@ impl Strategy {
 }
 
 /// Whether any node of `path` (endpoints included) is faulty.
-pub fn path_blocked(path: &[NodeId], faults: &HashSet<NodeId>) -> bool {
-    path.iter().any(|v| faults.contains(v))
+pub fn path_blocked<F: FaultLookup + ?Sized>(path: &[NodeId], faults: &F) -> bool {
+    path.iter().any(|&v| faults.is_faulty(v))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultSet;
     use hhc_core::Hhc;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashSet;
 
     fn setup() -> (Hhc, NodeId, NodeId, StdRng) {
         let h = Hhc::new(2).unwrap();
@@ -153,9 +155,11 @@ mod tests {
         let (h, u, v, mut rng) = setup();
         let all = h.disjoint_paths(u, v).unwrap();
         let mut chosen = std::collections::HashSet::new();
+        // One scratch for the whole loop (`select` allocates per call).
+        let mut scratch = RouteScratch::new();
         for _ in 0..100 {
             let p = Strategy::MultipathRandom
-                .select(&h, u, v, &HashSet::new(), &mut rng)
+                .select_with(&h, u, v, &FaultSet::default(), &mut rng, &mut scratch)
                 .unwrap();
             assert!(all.contains(&p));
             chosen.insert(p);
@@ -179,9 +183,10 @@ mod tests {
     fn valiant_walks_are_valid_and_varied() {
         let (h, u, v, mut rng) = setup();
         let mut lengths = std::collections::HashSet::new();
+        let mut scratch = RouteScratch::new();
         for _ in 0..50 {
             let w = Strategy::Valiant
-                .select(&h, u, v, &HashSet::new(), &mut rng)
+                .select_with(&h, u, v, &FaultSet::default(), &mut rng, &mut scratch)
                 .unwrap();
             assert_eq!(*w.first().unwrap(), u);
             assert_eq!(*w.last().unwrap(), v);
@@ -203,9 +208,12 @@ mod tests {
     fn valiant_avoids_faults() {
         let (h, u, v, mut rng) = setup();
         let direct = h.route(u, v).unwrap();
-        let faults: HashSet<_> = [direct[1]].into_iter().collect();
+        let faults: FaultSet = [direct[1]].into_iter().collect();
+        let mut scratch = RouteScratch::new();
         for _ in 0..20 {
-            if let Some(w) = Strategy::Valiant.select(&h, u, v, &faults, &mut rng) {
+            if let Some(w) =
+                Strategy::Valiant.select_with(&h, u, v, &faults, &mut rng, &mut scratch)
+            {
                 assert!(!path_blocked(&w, &faults));
             }
         }
