@@ -1,0 +1,224 @@
+//! Quick throughput profiler for the DES core: flat engine vs the legacy
+//! map-based engine across representative workloads, asserting
+//! byte-identical [`SimStats`] before timing anything, plus a replication
+//! sweep through `run_many` at 1 and 4 rayon workers. Min-over-repeats
+//! protocol mirrors `profile_batch`; `cargo bench -p bench --bench
+//! netsim_throughput` is the canonical single-engine measurement.
+//!
+//! The headline figure is packets delivered per wall-second. The largest
+//! simulable HHC is `HHC(3)` (2048 nodes, 11-bit addresses): the engine's
+//! dense per-address tables cap at 16-bit address spaces, and `HHC(4)`
+//! already needs 20 bits — so the paper-scale topologies are exercised
+//! through the routing layer, not the simulator (see `EXPERIMENTS.md`
+//! §B4).
+//!
+//! `--quick` runs one iteration on reduced workloads: a CI smoke test
+//! that the two engines still agree and the JSON sidecar is well-formed,
+//! not a measurement. A machine-readable summary is written to
+//! `results/BENCH_sim.json`.
+
+use hhc_core::Hhc;
+use netsim::{CubeNet, SimConfig, SimStats, Simulator, Strategy, Switching};
+use obs::json;
+use std::time::Instant;
+use workloads::Pattern;
+
+fn min_time<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measured engine comparison for one workload.
+struct SimRow {
+    name: &'static str,
+    nodes: u64,
+    delivered: u64,
+    flat_pps: f64,
+    legacy_pps: f64,
+}
+
+/// Times both engines on one simulator/config, asserting equal stats
+/// first — the equivalence gate is the point of the bench, so it runs
+/// even in `--quick` mode.
+fn profile_workload<N: netsim::Network + ?Sized>(
+    name: &'static str,
+    sim: &Simulator<'_, N>,
+    cfg: SimConfig,
+    repeats: usize,
+) -> SimRow {
+    let flat = sim.run(cfg);
+    let legacy = sim.run_legacy(cfg);
+    assert_eq!(flat, legacy, "flat and legacy stats diverged on {name}");
+    assert!(flat.delivered > 0, "workload {name} delivered nothing");
+    let flat_secs = min_time(repeats, || {
+        std::hint::black_box(sim.run(cfg));
+    });
+    let legacy_secs = min_time(repeats, || {
+        std::hint::black_box(sim.run_legacy(cfg));
+    });
+    SimRow {
+        name,
+        nodes: flat.nodes,
+        delivered: flat.delivered,
+        flat_pps: flat.delivered as f64 / flat_secs,
+        legacy_pps: flat.delivered as f64 / legacy_secs,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let repeats = if quick { 1 } else { 5 };
+    // Enough cycles to fill the network, enough drain to land everything
+    // that can land.
+    let cfg = SimConfig {
+        cycles: if quick { 30 } else { 150 },
+        drain_cycles: 20_000,
+        inject_rate: 0.05,
+        seed: 0xD15C,
+        ..SimConfig::default()
+    };
+
+    let h3 = Hhc::new(3).unwrap();
+    let h2 = Hhc::new(2).unwrap();
+    let q11 = CubeNet::matching_hhc(3);
+    let bp_cfg = SimConfig {
+        inject_rate: 0.15,
+        queue_capacity: Some(4),
+        ..cfg
+    };
+    let rows = vec![
+        profile_workload(
+            "hhc3_uniform_single",
+            &Simulator::new(&h3, Pattern::UniformRandom, Strategy::SinglePath),
+            cfg,
+            repeats,
+        ),
+        profile_workload(
+            "hhc3_uniform_multipath",
+            &Simulator::new(&h3, Pattern::UniformRandom, Strategy::MultipathRandom),
+            cfg,
+            repeats,
+        ),
+        profile_workload(
+            "hhc3_hotspot_single",
+            &Simulator::new(
+                &h3,
+                Pattern::Hotspot { hot_fraction: 0.1 },
+                Strategy::SinglePath,
+            ),
+            cfg,
+            repeats,
+        ),
+        profile_workload(
+            "hhc2_bitcomp_backpressure",
+            &Simulator::new(&h2, Pattern::BitComplement, Strategy::MultipathRandom),
+            SimConfig {
+                switching: Switching::CutThrough,
+                packet_len: 4,
+                ..bp_cfg
+            },
+            repeats,
+        ),
+        profile_workload(
+            "q11_uniform_single",
+            &Simulator::new(&q11, Pattern::UniformRandom, Strategy::SinglePath),
+            cfg,
+            repeats,
+        ),
+    ];
+
+    println!(
+        "{:28} {:>6} {:>10} {:>14} {:>14} {:>8}",
+        "workload", "nodes", "delivered", "flat pkt/s", "legacy pkt/s", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:28} {:>6} {:>10} {:>14.0} {:>14.0} {:>7.2}x",
+            r.name,
+            r.nodes,
+            r.delivered,
+            r.flat_pps,
+            r.legacy_pps,
+            r.flat_pps / r.legacy_pps
+        );
+    }
+
+    // --- Replication sweep (run_many) --------------------------------
+    // Scaling is whatever the host gives: on a single-core container
+    // both thread counts measure the same (the result equality is the
+    // real assertion — worker count must be observationally invisible).
+    let n_runs = if quick { 4 } else { 16 };
+    let sim = Simulator::new(&h3, Pattern::UniformRandom, Strategy::MultipathRandom);
+    let mut merged_seq = SimStats::default();
+    for i in 0..n_runs as u64 {
+        merged_seq.merge(&sim.run(SimConfig {
+            seed: cfg.seed.wrapping_add(i),
+            ..cfg
+        }));
+    }
+    let timed_sweep = |threads: &str| {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let merged = sim.run_many(cfg, n_runs);
+        assert_eq!(
+            merged, merged_seq,
+            "run_many at {threads} workers diverged from sequential merge"
+        );
+        let secs = min_time(repeats, || {
+            std::hint::black_box(sim.run_many(cfg, n_runs));
+        });
+        std::env::remove_var("RAYON_NUM_THREADS");
+        secs
+    };
+    let t1 = timed_sweep("1");
+    let t4 = timed_sweep("4");
+    println!();
+    println!(
+        "run_many: {n_runs} replications of hhc3_uniform_multipath \
+         ({} delivered total)",
+        merged_seq.delivered
+    );
+    println!("  1 worker   {:8.3} s", t1);
+    println!("  4 workers  {:8.3} s  ({:.2}x scaling)", t4, t1 / t4);
+
+    // Machine-readable sidecar for CI and the experiment notes.
+    let mut o = json::Obj::new();
+    o.str("bench", "profile_sim");
+    o.u64("quick", quick as u64);
+    o.u64("cycles", cfg.cycles);
+    o.f64("inject_rate", cfg.inject_rate);
+    let row_objs: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let mut ro = json::Obj::new();
+            ro.str("workload", r.name);
+            ro.u64("nodes", r.nodes);
+            ro.u64("delivered", r.delivered);
+            ro.f64("flat_packets_per_sec", r.flat_pps);
+            ro.f64("legacy_packets_per_sec", r.legacy_pps);
+            ro.f64("speedup", r.flat_pps / r.legacy_pps);
+            ro.finish()
+        })
+        .collect();
+    o.raw("workloads", &json::array(&row_objs));
+    let mut rep = json::Obj::new();
+    rep.u64("replications", n_runs as u64);
+    rep.u64("delivered_total", merged_seq.delivered);
+    rep.f64("secs_1_worker", t1);
+    rep.f64("secs_4_workers", t4);
+    rep.f64("scaling", t1 / t4);
+    o.raw("run_many", &rep.finish());
+    let payload = o.finish();
+    let path = "results/BENCH_sim.json";
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, payload.as_bytes()))
+    {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {path}");
+    }
+}

@@ -6,13 +6,40 @@
 //! (b) at least one of the m+1 disjoint paths survives. Shape: multipath
 //! is exactly 1.0 for f ≤ m (the paper's guarantee) and degrades slowly
 //! after; single-path decays immediately.
+//!
+//! Trials fan across rayon workers: inputs (pair + fault set) are drawn
+//! serially so the RNG stream — and therefore every reported number — is
+//! identical to the sequential version; only the deterministic analysis
+//! runs in parallel, each worker holding its own `RouteScratch`.
 
 use crate::table::Table;
 use crate::util;
-use hhc_core::Hhc;
+use hhc_core::{Hhc, NodeId};
 use netsim::fault::analyze_with;
 use netsim::{FaultSet, RouteScratch};
+use rayon::prelude::*;
 use workloads::random_fault_set;
+
+/// (single ok, multipath ok, surviving paths) tallies over one batch of
+/// pre-drawn trials, analysed in parallel.
+fn analyze_trials(h: &Hhc, inputs: &[(NodeId, NodeId, FaultSet)]) -> (u32, u32, u64) {
+    let per_trial: Vec<(u32, u32, u64)> = inputs
+        .par_iter()
+        .map_init(RouteScratch::new, |scratch, (u, v, faults)| {
+            let out = analyze_with(h, *u, *v, faults, scratch);
+            (
+                out.single_path_ok as u32,
+                out.multipath_ok as u32,
+                out.surviving_paths as u64,
+            )
+        })
+        .collect();
+    per_trial
+        .into_iter()
+        .fold((0, 0, 0), |(s, m, p), (ds, dm, dp)| {
+            (s + ds, m + dm, p + dp)
+        })
+}
 
 pub fn run() {
     let m = 3u32;
@@ -29,24 +56,20 @@ pub fn run() {
         ],
     );
     let mut rng = util::rng(0xF3F3);
-    let mut scratch = RouteScratch::new();
     // Small f shows the guarantee region; the tail shows where random
     // faults finally start hitting all m+1 paths at once.
     let sweep: &[usize] = &[0, 1, 2, 3, 4, 6, 9, 16, 32, 64, 128, 256, 512];
     for &f in sweep {
-        let mut single_ok = 0u32;
-        let mut multi_ok = 0u32;
-        let mut surviving_sum = 0u64;
-        for _ in 0..trials {
-            let (u, v) = util::random_pair(&h, &mut rng);
-            // Sorted-slice representation: the analysis probes the set
-            // once per path node, so membership should be binary search.
-            let faults = FaultSet::from_set(&random_fault_set(&h, f, &[u, v], &mut rng));
-            let out = analyze_with(&h, u, v, &faults, &mut scratch);
-            single_ok += out.single_path_ok as u32;
-            multi_ok += out.multipath_ok as u32;
-            surviving_sum += out.surviving_paths as u64;
-        }
+        let inputs: Vec<(NodeId, NodeId, FaultSet)> = (0..trials)
+            .map(|_| {
+                let (u, v) = util::random_pair(&h, &mut rng);
+                // Sorted-slice representation: the analysis probes the
+                // set once per path node, so membership is binary search.
+                let faults = FaultSet::from_set(&random_fault_set(&h, f, &[u, v], &mut rng));
+                (u, v, faults)
+            })
+            .collect();
+        let (single_ok, multi_ok, surviving_sum) = analyze_trials(&h, &inputs);
         let guarantee = if f as u32 <= m { "f ≤ m ⇒ 1.0" } else { "" };
         if f as u32 <= m {
             assert_eq!(multi_ok, trials, "guarantee violated at f={f}");
@@ -77,18 +100,16 @@ pub fn run_adversarial() {
         &["f", "multipath ok", "avg surviving paths", "note"],
     );
     let mut rng = util::rng(0xF3B0);
-    let mut scratch = RouteScratch::new();
     for f in 0..=(m as usize + 2) {
-        let mut multi_ok = 0u32;
-        let mut surviving_sum = 0u64;
-        for _ in 0..trials {
-            let (u, v) = util::random_pair(&h, &mut rng);
-            let paths = h.disjoint_paths(u, v).unwrap();
-            let faults = adversarial_fault_set(&paths, f, &mut rng);
-            let out = analyze_with(&h, u, v, &faults, &mut scratch);
-            multi_ok += out.multipath_ok as u32;
-            surviving_sum += out.surviving_paths as u64;
-        }
+        let inputs: Vec<(NodeId, NodeId, FaultSet)> = (0..trials)
+            .map(|_| {
+                let (u, v) = util::random_pair(&h, &mut rng);
+                let paths = h.disjoint_paths(u, v).unwrap();
+                let faults = FaultSet::from_set(&adversarial_fault_set(&paths, f, &mut rng));
+                (u, v, faults)
+            })
+            .collect();
+        let (_, multi_ok, surviving_sum) = analyze_trials(&h, &inputs);
         let note = if f as u32 <= m {
             "theorem: survives"
         } else {

@@ -19,6 +19,7 @@ pub fn run() {
             "observed max",
             "upper bound",
             "diameter",
+            "family hit%",
         ],
     );
     // One workspace across the whole sweep: scratch reuse plus one
@@ -27,6 +28,10 @@ pub fn run() {
     ws.enable_timing(true);
     for m in 1..=6u32 {
         let h = Hhc::new(m).unwrap();
+        // Per-m cache effectiveness from metric deltas: the workspace
+        // counters are cumulative across the sweep, so subtract the
+        // snapshot taken before this m's constructions.
+        let before = ws.metrics().construction;
         let (est, mode) = if m <= wide::EXHAUSTIVE_MAX_M {
             let est = wide::exhaustive_with(&h, &mut ws).expect("m within the exhaustive guard");
             (est, "exhaustive")
@@ -49,6 +54,14 @@ pub fn run() {
                 "adversarial+sampled",
             )
         };
+        let after = ws.metrics().construction;
+        let queries = after.queries - before.queries;
+        let hits = after.family_hits - before.family_hits;
+        let hit_pct = if queries > 0 {
+            util::f2(100.0 * hits as f64 / queries as f64)
+        } else {
+            "—".into()
+        };
         t.row(vec![
             m.to_string(),
             mode.into(),
@@ -56,6 +69,7 @@ pub fn run() {
             est.observed_max.to_string(),
             est.upper_bound.to_string(),
             h.diameter().to_string(),
+            hit_pct,
         ]);
     }
     t.emit("t4_wide_diameter");

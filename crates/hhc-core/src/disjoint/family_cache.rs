@@ -31,6 +31,21 @@ use std::collections::HashMap;
 /// megabytes while covering typical repeated-pattern workloads.
 pub const DEFAULT_FAMILY_CACHE_CAPACITY: usize = 1024;
 
+/// Adaptive-bypass warm-up: the cache never latches probe-only before it
+/// has seen this many probes (a cold cache always starts at a 0% hit
+/// rate; that is not evidence the workload lacks reuse).
+pub const BYPASS_MIN_PROBES: u64 = 512;
+
+/// Adaptive-bypass hit-rate floor: below this lifetime hit rate the
+/// cache is judged useless for the running workload (uniform-random
+/// pairs on a large address space re-key almost every query).
+pub const BYPASS_HIT_FLOOR: f64 = 0.05;
+
+/// Adaptive-bypass streak: probe-only additionally requires this many
+/// consecutive misses, so a workload that alternates phases of reuse
+/// and churn is not punished for one cold burst.
+pub const BYPASS_CONSEC_MISSES: u64 = 256;
+
 /// Capacities of the two construction caches carried by a
 /// [`PathBuilder`](crate::PathBuilder). Capacity 0 disables the
 /// corresponding cache (identical results, no memoisation).
@@ -99,6 +114,19 @@ pub struct FamilyCache {
     hot: HashMap<u128, FamilyEntry>,
     cold: HashMap<u128, FamilyEntry>,
     sweeps: u64,
+    // Adaptive bypass: lifetime probe/hit accounting. When the hit rate
+    // stays under `BYPASS_HIT_FLOOR` after `BYPASS_MIN_PROBES` probes
+    // and the cache has just missed `BYPASS_CONSEC_MISSES` times in a
+    // row, it latches `probe_only`: stored entries keep replaying but
+    // no new ones are inserted, so a churn workload (uniform-random
+    // pairs over a huge key space) stops paying the canonicalise-and-
+    // copy cost of `store` on every query. The transition is one-way
+    // for the cache's lifetime — `clear` drops entries, not the latch.
+    probes: u64,
+    hits: u64,
+    consec_misses: u64,
+    probe_only: bool,
+    bypass_events: u64,
 }
 
 impl FamilyCache {
@@ -108,6 +136,11 @@ impl FamilyCache {
             hot: HashMap::new(),
             cold: HashMap::new(),
             sweeps: 0,
+            probes: 0,
+            hits: 0,
+            consec_misses: 0,
+            probe_only: false,
+            bypass_events: 0,
         }
     }
 
@@ -129,6 +162,28 @@ impl FamilyCache {
     /// Generation sweeps performed so far.
     pub fn sweeps(&self) -> u64 {
         self.sweeps
+    }
+
+    /// Lifetime replay probes (capacity-0 caches never account).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Lifetime replay hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Whether the adaptive bypass has latched: the cache still replays
+    /// existing entries but no longer inserts new ones.
+    pub fn probe_only(&self) -> bool {
+        self.probe_only
+    }
+
+    /// Number of probe-only transitions over this cache's lifetime
+    /// (0 or 1 per cache; summed across workers in merged metrics).
+    pub fn bypass_events(&self) -> u64 {
+        self.bypass_events
     }
 
     /// Drops all entries, keeping the capacity.
@@ -160,21 +215,46 @@ impl FamilyCache {
 
     /// On a hit, writes the cached family translated by `mask` into
     /// `out` (which must be cleared) and returns its
-    /// `(rotations, detours)` plan counts.
+    /// `(rotations, detours)` plan counts. Every call on an enabled
+    /// cache counts as one probe for the adaptive bypass; a sustained
+    /// miss streak at a near-zero hit rate latches [`Self::probe_only`].
     pub(crate) fn replay(
         &mut self,
         key: u128,
         mask: u128,
         out: &mut PathSet,
     ) -> Option<(u64, u64)> {
-        let e = self.get(key)?;
-        for w in e.offsets.windows(2) {
-            for &raw in &e.nodes[w[0] as usize..w[1] as usize] {
-                out.push_node(NodeId::from_raw(raw ^ mask));
-            }
-            out.finish_path();
+        if self.capacity == 0 {
+            return None;
         }
-        Some((e.rotations, e.detours))
+        self.probes += 1;
+        let replayed = match self.get(key) {
+            Some(e) => {
+                for w in e.offsets.windows(2) {
+                    for &raw in &e.nodes[w[0] as usize..w[1] as usize] {
+                        out.push_node(NodeId::from_raw(raw ^ mask));
+                    }
+                    out.finish_path();
+                }
+                Some((e.rotations, e.detours))
+            }
+            None => None,
+        };
+        if replayed.is_some() {
+            self.hits += 1;
+            self.consec_misses = 0;
+        } else {
+            self.consec_misses += 1;
+            if !self.probe_only
+                && self.probes >= BYPASS_MIN_PROBES
+                && self.consec_misses >= BYPASS_CONSEC_MISSES
+                && (self.hits as f64) < BYPASS_HIT_FLOOR * self.probes as f64
+            {
+                self.probe_only = true;
+                self.bypass_events += 1;
+            }
+        }
+        replayed
     }
 
     /// Stores the family in `set` (a fresh construction for some pair
@@ -188,7 +268,7 @@ impl FamilyCache {
         rotations: u64,
         detours: u64,
     ) {
-        if self.capacity == 0 {
+        if self.capacity == 0 || self.probe_only {
             return;
         }
         let mut nodes = Vec::with_capacity(set.total_nodes());
@@ -265,5 +345,51 @@ mod tests {
         cache.store(1, 0, &set, 0, 1);
         assert!(cache.replay(1, 0, &mut PathSet::new()).is_none());
         assert!(cache.is_empty());
+        // A disabled cache does no bypass accounting either.
+        assert_eq!(cache.probes(), 0);
+        assert!(!cache.probe_only());
+    }
+
+    fn one_path_set() -> PathSet {
+        let mut set = PathSet::new();
+        set.push_node(NodeId::from_raw(3));
+        set.finish_path();
+        set
+    }
+
+    #[test]
+    fn bypass_latches_after_sustained_misses_and_stops_inserting() {
+        let mut cache = FamilyCache::new(8);
+        let set = one_path_set();
+        // An entry stored before the latch keeps replaying after it.
+        cache.store(u128::MAX, 0, &set, 1, 0);
+        let mut out = PathSet::new();
+        for key in 0..BYPASS_MIN_PROBES as u128 {
+            assert!(cache.replay(key, 0, &mut out).is_none());
+        }
+        assert!(cache.probe_only(), "miss streak should latch probe-only");
+        assert_eq!(cache.bypass_events(), 1);
+        assert_eq!(cache.probes(), BYPASS_MIN_PROBES);
+        // Latched: store is a no-op...
+        let before = cache.len();
+        cache.store(42, 0, &set, 0, 1);
+        assert_eq!(cache.len(), before);
+        assert!(cache.replay(42, 0, &mut out).is_none());
+        // ...but pre-latch entries still hit, and the event count stays 1.
+        assert!(cache.replay(u128::MAX, 0, &mut out).is_some());
+        assert_eq!(cache.bypass_events(), 1);
+    }
+
+    #[test]
+    fn bypass_never_latches_while_the_cache_is_useful() {
+        let mut cache = FamilyCache::new(8);
+        cache.store(7, 0, &one_path_set(), 1, 0);
+        let mut out = PathSet::new();
+        for _ in 0..4 * BYPASS_MIN_PROBES {
+            assert!(cache.replay(7, 0, &mut out).is_some());
+        }
+        assert!(!cache.probe_only());
+        assert_eq!(cache.bypass_events(), 0);
+        assert_eq!(cache.hits(), cache.probes());
     }
 }

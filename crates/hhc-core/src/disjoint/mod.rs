@@ -168,8 +168,13 @@ impl PathBuilder {
     pub fn metrics(&self) -> MetricsReport {
         let mut solver = self.src_fan.solver_stats();
         solver.merge(&self.tgt_fan.solver_stats());
+        let mut construction = self.metrics.clone();
+        // Read live from the cache rather than a counter: the bypass
+        // latch outlives `reset_metrics` (it describes cache state, not
+        // a window of queries).
+        construction.family_bypass_events = self.family_cache.bypass_events();
         MetricsReport {
-            construction: self.metrics.clone(),
+            construction,
             src_fan: self.src_fan.metrics(),
             tgt_fan: self.tgt_fan.metrics(),
             solver,

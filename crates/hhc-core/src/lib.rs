@@ -68,7 +68,10 @@ pub use batch::{
     construct_many_serial_metered, construct_many_serial_metered_with, construct_many_with,
     Workspace,
 };
-pub use disjoint::family_cache::{CacheConfig, FamilyCache, DEFAULT_FAMILY_CACHE_CAPACITY};
+pub use disjoint::family_cache::{
+    CacheConfig, FamilyCache, BYPASS_CONSEC_MISSES, BYPASS_HIT_FLOOR, BYPASS_MIN_PROBES,
+    DEFAULT_FAMILY_CACHE_CAPACITY,
+};
 pub use disjoint::{disjoint_paths_into, CrossingOrder, PathBuilder};
 pub use error::HhcError;
 pub use metrics::{ConstructionMetrics, MetricsReport};

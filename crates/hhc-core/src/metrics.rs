@@ -41,6 +41,13 @@ pub struct ConstructionMetrics {
     /// queries (the ones that would otherwise have issued two fan
     /// queries each).
     pub family_hits_cross: u64,
+    /// Family caches that latched adaptive probe-only mode (stopped
+    /// inserting after a sustained near-zero hit rate); 0 or 1 per
+    /// builder, summed across workers by [`merge`](Self::merge).
+    /// Lifetime-of-cache: unlike the counters above it survives
+    /// [`PathBuilder::reset_metrics`](crate::PathBuilder::reset_metrics)
+    /// and resets only when the cache itself is replaced.
+    pub family_bypass_events: u64,
     /// Per-query wall-clock nanoseconds; empty unless timing was enabled.
     pub timing: TimingStats,
 }
@@ -54,6 +61,7 @@ impl ConstructionMetrics {
         self.detour_plans += other.detour_plans;
         self.family_hits += other.family_hits;
         self.family_hits_cross += other.family_hits_cross;
+        self.family_bypass_events += other.family_bypass_events;
         self.timing.merge(&other.timing);
     }
 
@@ -118,6 +126,7 @@ impl MetricsReport {
         o.u64("detour_plans", c.detour_plans);
         o.u64("family_hits", c.family_hits);
         o.u64("family_hits_cross", c.family_hits_cross);
+        o.u64("family_bypass_events", c.family_bypass_events);
         if c.timing.count() > 0 {
             o.raw("timing_ns", &c.timing.to_json());
         }

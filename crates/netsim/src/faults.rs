@@ -81,6 +81,52 @@ impl FaultLookup for FaultSet {
     }
 }
 
+/// Dense per-node fault flags for materialised networks: one `bool` per
+/// address, probed by direct indexing. The flat simulation core iterates
+/// every node each cycle and probes the fault set per packet, so on the
+/// ≤ 2^16-node networks it accepts a dense table beats both the hash set
+/// and the binary search. Nodes outside the table (never issued by the
+/// simulator) read as healthy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultFlags {
+    flags: Vec<bool>,
+    faulty: usize,
+}
+
+impl FaultFlags {
+    /// Builds the table from the builder representation, for a network
+    /// of `num_nodes` addresses (raw ids `0..num_nodes`).
+    pub fn from_set(set: &HashSet<NodeId>, num_nodes: usize) -> Self {
+        let mut flags = vec![false; num_nodes];
+        let mut faulty = 0;
+        for v in set {
+            let i = v.raw() as usize;
+            if i < num_nodes && !flags[i] {
+                flags[i] = true;
+                faulty += 1;
+            }
+        }
+        FaultFlags { flags, faulty }
+    }
+
+    /// Number of faulty nodes inside the table.
+    pub fn len(&self) -> usize {
+        self.faulty
+    }
+
+    /// Whether no node is faulty.
+    pub fn is_empty(&self) -> bool {
+        self.faulty == 0
+    }
+}
+
+impl FaultLookup for FaultFlags {
+    #[inline]
+    fn is_faulty(&self, v: NodeId) -> bool {
+        *self.flags.get(v.raw() as usize).unwrap_or(&false)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +155,20 @@ mod tests {
                 "membership diverged at {probe}"
             );
         }
+    }
+
+    #[test]
+    fn flags_agree_with_hashset_membership() {
+        let hs: HashSet<NodeId> = [3u128, 17, 63, 63, 200].map(n).into_iter().collect();
+        let ff = FaultFlags::from_set(&hs, 64); // 200 outside the table
+        assert_eq!(ff.len(), 3);
+        assert!(!ff.is_empty());
+        for probe in 0..64u128 {
+            assert_eq!(ff.is_faulty(n(probe)), hs.is_faulty(n(probe)));
+        }
+        // Out-of-table probes read healthy rather than panicking.
+        assert!(!ff.is_faulty(n(200)));
+        assert!(FaultFlags::default().is_empty());
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! The flat simulation core: dense integer-indexed data structures.
+//!
+//! The legacy engine ([`crate::legacy`]) keyed every per-link structure
+//! by `(NodeId, NodeId)` in `BTreeMap`s and gave every packet an owned
+//! `Vec<NodeId>` route — an O(log links) probe plus an allocation on
+//! each hop. This module replaces all of it with arrays:
+//!
+//! * **[`LinkTable`]** — CSR adjacency built once per run; a directed
+//!   link *is* an index, and ids ascend in `(from, to)` order, which is
+//!   exactly the legacy `BTreeMap` iteration order.
+//! * **link queues** — `Vec<VecDeque<FlatPacket>>` indexed by link id; a
+//!   sorted active-link list (plus an unsorted pending list merged each
+//!   cycle) visits only non-empty queues, in id order — identical link
+//!   service order to the legacy map sweep over non-empty queues.
+//! * **[`RouteArena`]** — interned, deduplicated routes with
+//!   precomputed per-hop link ids; packets ([`FlatPacket`]) carry
+//!   `(route_id, hop)` and are `Copy`.
+//! * **[`EventCalendar`]** — a timing wheel over delivery cycles
+//!   replacing the in-flight `BTreeMap<u64, Vec<Packet>>`. Every
+//!   scheduled landing is at most `packet_len` cycles out, so a wheel of
+//!   `packet_len` slots never collides, and per-slot insertion order
+//!   matches the map's per-key push order.
+//!
+//! The run loop itself keeps the legacy phase structure (injection →
+//! transmission → landing) and draws from the RNG in exactly the same
+//! order, so a flat run and a legacy run of the same configuration
+//! produce **byte-identical [`SimStats`]** — enforced by the
+//! `flat_equivalence` test suite and the `profile_sim` bench.
+
+use crate::faults::{FaultFlags, FaultLookup};
+use crate::net::{LinkTable, Network, RouteScratch};
+use crate::packet::FlatPacket;
+use crate::sim::{DeliveryRecord, SimConfig, Switching};
+use crate::stats::{CycleSample, SimStats};
+use crate::strategy::Strategy;
+use hhc_core::{CacheConfig, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use workloads::{Bernoulli, Pattern};
+
+/// Arena of interned routes. Each distinct node sequence is stored once
+/// (deduplicated via a hash index) together with its precomputed per-hop
+/// link ids; packets refer to routes by arena id. Traffic patterns
+/// repeat (src, dst) pairs constantly, so the arena stays small while
+/// packet hand-off becomes a `Copy` of 24 bytes.
+#[derive(Debug)]
+pub struct RouteArena {
+    /// Concatenated node sequences (raw addresses).
+    nodes: Vec<u32>,
+    /// Concatenated per-hop link ids: route `r` with `k` nodes has
+    /// `k - 1` entries starting at `offsets[r] - r`.
+    links: Vec<u32>,
+    /// CSR offsets into `nodes`; `offsets.len() = routes + 1`.
+    offsets: Vec<u32>,
+    index: HashMap<Box<[u32]>, u32>,
+}
+
+impl RouteArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RouteArena {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            offsets: vec![0],
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct routes interned so far.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether no route has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Interns `route` (raw node addresses, ≥ 2 nodes), returning its
+    /// arena id. A sequence already present is not stored again.
+    pub fn intern(&mut self, route: &[u32], table: &LinkTable) -> u32 {
+        debug_assert!(route.len() >= 2, "a route needs at least one hop");
+        if let Some(&id) = self.index.get(route) {
+            return id;
+        }
+        let id = (self.offsets.len() - 1) as u32;
+        self.nodes.extend_from_slice(route);
+        for w in route.windows(2) {
+            self.links.push(table.link_id(w[0], w[1]));
+        }
+        self.offsets.push(self.nodes.len() as u32);
+        self.index.insert(route.into(), id);
+        id
+    }
+
+    /// Node sequence of route `r`.
+    #[inline]
+    pub fn route_nodes(&self, r: u32) -> &[u32] {
+        &self.nodes[self.offsets[r as usize] as usize..self.offsets[r as usize + 1] as usize]
+    }
+
+    /// Per-hop link ids of route `r` (`route_len(r) - 1` entries; entry
+    /// `h` is the link from node `h` to node `h + 1`).
+    #[inline]
+    pub fn route_links(&self, r: u32) -> &[u32] {
+        let lo = self.offsets[r as usize] as usize - r as usize;
+        let hi = self.offsets[r as usize + 1] as usize - (r as usize + 1);
+        &self.links[lo..hi]
+    }
+
+    /// Node count of route `r`.
+    #[inline]
+    pub fn route_len(&self, r: u32) -> u32 {
+        self.offsets[r as usize + 1] - self.offsets[r as usize]
+    }
+}
+
+impl Default for RouteArena {
+    fn default() -> Self {
+        RouteArena::new()
+    }
+}
+
+/// Bucketed event calendar (timing wheel) over landing cycles. A
+/// transmission started at cycle `c` lands within `[c, c + horizon - 1]`
+/// (the landing delay is at most `packet_len`), so a wheel of `horizon`
+/// slots indexed by `cycle % horizon` never holds two distinct landing
+/// cycles in one slot. Scheduling and draining are O(1) per packet with
+/// no per-cycle allocation — slot buffers are recycled.
+#[derive(Debug)]
+pub struct EventCalendar {
+    slots: Vec<Vec<FlatPacket>>,
+    horizon: u64,
+    scheduled: u64,
+}
+
+impl EventCalendar {
+    /// A calendar able to schedule up to `horizon` (≥ 1 enforced)
+    /// cycles ahead of the drain cursor.
+    pub fn new(horizon: u64) -> Self {
+        let horizon = horizon.max(1);
+        EventCalendar {
+            slots: (0..horizon).map(|_| Vec::new()).collect(),
+            horizon,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `pkt` to land at cycle `land`, which must be less than
+    /// `horizon` cycles past the most recently drained cycle.
+    #[inline]
+    pub fn schedule(&mut self, land: u64, pkt: FlatPacket) {
+        self.slots[(land % self.horizon) as usize].push(pkt);
+        self.scheduled += 1;
+    }
+
+    /// Moves the packets landing at `cycle` into `out` (cleared first),
+    /// in scheduling order. `out`'s previous buffer is recycled as the
+    /// slot's storage.
+    pub fn drain_into(&mut self, cycle: u64, out: &mut Vec<FlatPacket>) {
+        out.clear();
+        std::mem::swap(out, &mut self.slots[(cycle % self.horizon) as usize]);
+        self.scheduled -= out.len() as u64;
+    }
+
+    /// Packets scheduled but not yet drained.
+    pub fn in_flight(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+/// One flat simulation run. Shared by [`crate::Simulator::run`] and
+/// [`crate::Simulator::run_traced`] (the trace differs only in whether
+/// delivery records are collected), and replicated with reseeded
+/// configurations by [`crate::Simulator::run_many`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_flat<N: Network + ?Sized>(
+    net: &N,
+    pattern: Pattern,
+    strategy: Strategy,
+    fault_set: &HashSet<NodeId>,
+    route_cache: CacheConfig,
+    cfg: SimConfig,
+    mut trace: Option<&mut Vec<DeliveryRecord>>,
+) -> SimStats {
+    let busy = cfg.packet_len.max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let arrivals = Bernoulli::new(cfg.inject_rate);
+    let n_nodes = 1usize << net.address_bits();
+    let mut stats = SimStats {
+        nodes: net.num_addresses() as u64,
+        cycles: cfg.cycles,
+        ..Default::default()
+    };
+
+    let table = LinkTable::build(net);
+    let n_links = table.num_links();
+    let mut arena = RouteArena::new();
+    let mut queues: Vec<VecDeque<FlatPacket>> = vec![VecDeque::new(); n_links];
+    // Cycle through which each link is occupied by its last transmission.
+    let mut busy_until = vec![0u64; n_links];
+    // Non-empty-queue links, visited in ascending id order (= legacy
+    // BTreeMap order): `active` is sorted; links becoming non-empty are
+    // appended to `pending` (guarded by `in_active`) and merged in
+    // before each transmission phase.
+    let mut active: Vec<u32> = Vec::new();
+    let mut pending: Vec<u32> = Vec::new();
+    let mut merge_buf: Vec<u32> = Vec::new();
+    let mut in_active = vec![false; n_links];
+    // Queue-occupancy snapshot for backpressure (finite-buffer mode
+    // only); `occ_touched` remembers which entries need zeroing.
+    let mut occupancy: Vec<u64> = if cfg.queue_capacity.is_some() {
+        vec![0; n_links]
+    } else {
+        Vec::new()
+    };
+    let mut occ_touched: Vec<u32> = Vec::new();
+    let mut calendar = EventCalendar::new(busy);
+    let mut landed: Vec<FlatPacket> = Vec::new();
+    let mut route_scratch = RouteScratch::with_route_cache(route_cache);
+    let faults = FaultFlags::from_set(fault_set, n_nodes);
+    let mut route_buf: Vec<NodeId> = Vec::new();
+    let mut idx_buf: Vec<u32> = Vec::new();
+    let mut next_id = 0u64;
+
+    for cycle in 0..cfg.cycles + cfg.drain_cycles {
+        // Phase 1: injection (disabled during drain).
+        if cycle < cfg.cycles {
+            for raw in 0..n_nodes as u32 {
+                let src = NodeId::from_raw(raw as u128);
+                if faults.is_faulty(src) || !arrivals.fires(&mut rng) {
+                    continue;
+                }
+                let Some(dst) = pattern.destination(net, src, &mut rng) else {
+                    stats.self_addressed += 1;
+                    continue;
+                };
+                if faults.is_faulty(dst) {
+                    stats.dropped_dst_faulty += 1;
+                    continue;
+                }
+                if strategy.select_into(
+                    net,
+                    src,
+                    dst,
+                    &faults,
+                    &mut rng,
+                    &mut route_scratch,
+                    &mut route_buf,
+                ) {
+                    idx_buf.clear();
+                    idx_buf.extend(route_buf.iter().map(|v| v.raw() as u32));
+                    let rid = arena.intern(&idx_buf, &table);
+                    // Ids are consumed even by backpressure drops,
+                    // mirroring the legacy engine's numbering.
+                    let id = next_id;
+                    next_id += 1;
+                    let link = arena.route_links(rid)[0] as usize;
+                    let q = &mut queues[link];
+                    if cfg.queue_capacity.is_some_and(|cap| q.len() as u64 >= cap) {
+                        stats.dropped_backpressure += 1;
+                        continue;
+                    }
+                    stats.injected += 1;
+                    q.push_back(FlatPacket {
+                        id,
+                        injected_at: cycle,
+                        route: rid,
+                        hop: 0,
+                    });
+                    stats.max_queue_len = stats.max_queue_len.max(q.len() as u64);
+                    if !in_active[link] {
+                        in_active[link] = true;
+                        pending.push(link as u32);
+                    }
+                } else {
+                    stats.dropped_unroutable += 1;
+                }
+            }
+        }
+
+        // Merge newly non-empty links into the sorted active list.
+        // `pending` and `active` are disjoint (the `in_active` guard),
+        // so a plain two-way merge keeps the list sorted and duplicate-
+        // free.
+        if !pending.is_empty() {
+            pending.sort_unstable();
+            merge_buf.clear();
+            merge_buf.reserve(active.len() + pending.len());
+            let (mut i, mut j) = (0, 0);
+            while i < active.len() && j < pending.len() {
+                if active[i] < pending[j] {
+                    merge_buf.push(active[i]);
+                    i += 1;
+                } else {
+                    merge_buf.push(pending[j]);
+                    j += 1;
+                }
+            }
+            merge_buf.extend_from_slice(&active[i..]);
+            merge_buf.extend_from_slice(&pending[j..]);
+            std::mem::swap(&mut active, &mut merge_buf);
+            pending.clear();
+        }
+
+        // Phase 2: start transmissions on every idle link with a queued
+        // packet, in link-id order. Links whose queue empties are
+        // compacted out of the active list in place.
+        if cfg.queue_capacity.is_some() {
+            for &l in &occ_touched {
+                occupancy[l as usize] = 0;
+            }
+            occ_touched.clear();
+            for &l in &active {
+                occupancy[l as usize] = queues[l as usize].len() as u64;
+                occ_touched.push(l);
+            }
+        }
+        let mut started_this_cycle = 0u64;
+        let mut w = 0usize;
+        for i in 0..active.len() {
+            let l = active[i];
+            let li = l as usize;
+            if busy_until[li] > cycle {
+                active[w] = l;
+                w += 1;
+                continue;
+            }
+            if let Some(cap) = cfg.queue_capacity {
+                // Peek: where would the head go next? The final hop
+                // leaves the network, so only intermediate hops check.
+                let head = queues[li].front().expect("active link has a packet");
+                if head.hop + 2 < arena.route_len(head.route) {
+                    let next_link = arena.route_links(head.route)[head.hop as usize + 1];
+                    if occupancy[next_link as usize] >= cap {
+                        stats.backpressure_stalls += 1;
+                        active[w] = l;
+                        w += 1;
+                        continue;
+                    }
+                }
+            }
+            let pkt = queues[li].pop_front().expect("active link has a packet");
+            busy_until[li] = cycle + busy;
+            let final_hop = pkt.hop + 2 == arena.route_len(pkt.route);
+            let delay = match cfg.switching {
+                Switching::StoreAndForward => busy,
+                Switching::CutThrough => {
+                    if final_hop {
+                        busy
+                    } else {
+                        1
+                    }
+                }
+            };
+            calendar.schedule(cycle + delay - 1, pkt);
+            started_this_cycle += 1;
+            if queues[li].is_empty() {
+                in_active[li] = false;
+            } else {
+                active[w] = l;
+                w += 1;
+            }
+        }
+        active.truncate(w);
+        stats.link_transmissions += started_this_cycle;
+
+        // Phase 3: land packets whose hop completes this cycle.
+        calendar.drain_into(cycle, &mut landed);
+        for mut pkt in landed.drain(..) {
+            pkt.hop += 1;
+            let rlen = arena.route_len(pkt.route);
+            if pkt.hop + 1 == rlen {
+                stats.delivered += 1;
+                let lat = cycle + 1 - pkt.injected_at;
+                stats.latency_sum += lat;
+                stats.latency_max = stats.latency_max.max(lat);
+                stats.latency_hist.record(lat);
+                stats.hops_sum += (rlen - 1) as u64;
+                if let Some(records) = trace.as_deref_mut() {
+                    records.push(DeliveryRecord {
+                        id: pkt.id,
+                        injected_at: pkt.injected_at,
+                        delivered_at: cycle + 1,
+                        route: arena
+                            .route_nodes(pkt.route)
+                            .iter()
+                            .map(|&x| NodeId::from_raw(x as u128))
+                            .collect(),
+                    });
+                }
+            } else {
+                let link = arena.route_links(pkt.route)[pkt.hop as usize] as usize;
+                let q = &mut queues[link];
+                q.push_back(pkt);
+                stats.max_queue_len = stats.max_queue_len.max(q.len() as u64);
+                if !in_active[link] {
+                    in_active[link] = true;
+                    pending.push(link as u32);
+                }
+            }
+        }
+
+        // Time-series sampling: end-of-cycle snapshot. active ∪ pending
+        // covers every non-empty queue (phase 3 lands into pending).
+        if cfg.sample_every > 0 && cycle % cfg.sample_every == 0 {
+            let mut queued_packets = 0u64;
+            let mut max_queue_len = 0u64;
+            for &l in active.iter().chain(pending.iter()) {
+                let len = queues[l as usize].len() as u64;
+                queued_packets += len;
+                max_queue_len = max_queue_len.max(len);
+            }
+            stats.samples.push(CycleSample {
+                cycle,
+                queued_packets,
+                max_queue_len,
+                transmissions: started_this_cycle,
+            });
+        }
+
+        // Drain-phase early exit: with injection over, no queued packet
+        // and nothing on the calendar, the remaining cycles are no-ops.
+        // Skipping them is observationally invisible — unless sampling
+        // is on, which would record the (all-zero) tail samples.
+        if cycle >= cfg.cycles
+            && cfg.sample_every == 0
+            && active.is_empty()
+            && pending.is_empty()
+            && calendar.in_flight() == 0
+        {
+            break;
+        }
+    }
+
+    stats.in_flight_at_end = active
+        .iter()
+        .chain(pending.iter())
+        .map(|&l| queues[l as usize].len() as u64)
+        .sum::<u64>()
+        + calendar.in_flight();
+    let routing = route_scratch.construction_metrics();
+    stats.route_constructions = routing.construction.queries;
+    stats.route_family_hits = routing.construction.family_hits;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhc_core::Hhc;
+
+    fn table() -> (Hhc, LinkTable) {
+        let h = Hhc::new(2).unwrap();
+        let t = LinkTable::build(&h);
+        (h, t)
+    }
+
+    #[test]
+    fn arena_interns_and_dedups() {
+        let (h, t) = table();
+        let mut arena = RouteArena::new();
+        assert!(arena.is_empty());
+        let route: Vec<u32> = h
+            .route(NodeId::from_raw(0), NodeId::from_raw(45))
+            .unwrap()
+            .iter()
+            .map(|v| v.raw() as u32)
+            .collect();
+        let a = arena.intern(&route, &t);
+        let b = arena.intern(&route, &t);
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.route_nodes(a), &route[..]);
+        assert_eq!(arena.route_len(a) as usize, route.len());
+        let links = arena.route_links(a);
+        assert_eq!(links.len(), route.len() - 1);
+        for (i, w) in route.windows(2).enumerate() {
+            assert_eq!(links[i], t.link_id(w[0], w[1]));
+        }
+        // A second, different route gets its own id and slices.
+        let other: Vec<u32> = h
+            .route(NodeId::from_raw(45), NodeId::from_raw(0))
+            .unwrap()
+            .iter()
+            .map(|v| v.raw() as u32)
+            .collect();
+        let c = arena.intern(&other, &t);
+        assert_ne!(a, c);
+        assert_eq!(arena.route_nodes(c), &other[..]);
+        assert_eq!(arena.route_links(c).len(), other.len() - 1);
+    }
+
+    #[test]
+    fn calendar_slots_by_cycle_and_recycles_buffers() {
+        let mut cal = EventCalendar::new(4);
+        let pkt = |id| FlatPacket {
+            id,
+            injected_at: 0,
+            route: 0,
+            hop: 0,
+        };
+        cal.schedule(10, pkt(1));
+        cal.schedule(13, pkt(2));
+        cal.schedule(10, pkt(3));
+        assert_eq!(cal.in_flight(), 3);
+        let mut out = Vec::new();
+        cal.drain_into(10, &mut out);
+        // Scheduling order within a slot is preserved.
+        assert_eq!(out.iter().map(|p| p.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(cal.in_flight(), 1);
+        cal.drain_into(11, &mut out);
+        assert!(out.is_empty());
+        cal.drain_into(13, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(cal.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_horizon_clamps_to_one() {
+        let mut cal = EventCalendar::new(0);
+        cal.schedule(
+            7,
+            FlatPacket {
+                id: 0,
+                injected_at: 0,
+                route: 0,
+                hop: 0,
+            },
+        );
+        let mut out = Vec::new();
+        cal.drain_into(7, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

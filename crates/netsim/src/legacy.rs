@@ -1,0 +1,185 @@
+//! The legacy map-based simulation engine, kept verbatim as the
+//! reference implementation.
+//!
+//! This is the original core: per-link state in
+//! `BTreeMap<(NodeId, NodeId), _>`, in-flight packets in
+//! `BTreeMap<u64, Vec<Packet>>`, and an owned `Vec<NodeId>` route per
+//! packet. The flat core ([`crate::flat`]) replaces every one of those
+//! with dense indexed structures while preserving this engine's exact
+//! observable behaviour; the `flat_equivalence` test suite and the
+//! `profile_sim` bench assert byte-identical [`SimStats`] on shared
+//! configurations. Once the flat core has burned in, this module — and
+//! [`crate::Simulator::run_legacy`] — can be deleted.
+
+use crate::faults::FaultSet;
+use crate::net::{Network, RouteScratch};
+use crate::packet::Packet;
+use crate::sim::{SimConfig, Switching};
+use crate::stats::SimStats;
+use crate::strategy::Strategy;
+use hhc_core::{CacheConfig, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use workloads::{Bernoulli, Pattern};
+
+/// One legacy simulation run; same parameters and observable behaviour
+/// as [`crate::flat::run_flat`] without a trace.
+pub(crate) fn run_legacy<N: Network + ?Sized>(
+    net: &N,
+    pattern: Pattern,
+    strategy: Strategy,
+    fault_set: &HashSet<NodeId>,
+    route_cache: CacheConfig,
+    cfg: SimConfig,
+) -> SimStats {
+    let busy = cfg.packet_len.max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let arrivals = Bernoulli::new(cfg.inject_rate);
+    let mut stats = SimStats {
+        nodes: net.num_addresses() as u64,
+        cycles: cfg.cycles,
+        ..Default::default()
+    };
+    // Per-directed-link FIFO queues, keyed by (from, to).
+    // BTreeMap: deterministic iteration order makes the whole run
+    // reproducible (same-cycle arrivals into one queue keep a fixed order).
+    let mut queues: BTreeMap<(NodeId, NodeId), VecDeque<Packet>> = BTreeMap::new();
+    // A transmission started at cycle c occupies its link through
+    // c + busy − 1; when the packet lands depends on the switching
+    // discipline (full packet vs header cut-through).
+    let mut busy_until: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
+    let mut in_flight: BTreeMap<u64, Vec<Packet>> = BTreeMap::new();
+    let mut next_id = 0u64;
+    let nodes: Vec<NodeId> = net.all_nodes();
+    // One route scratch for the whole run: route selection reuses the
+    // disjoint-path construction buffers — and the symmetry caches —
+    // across every injection.
+    let mut route_scratch = RouteScratch::with_route_cache(route_cache);
+    // Sorted-slice fault set for the per-packet membership probes.
+    let faults = FaultSet::from_set(fault_set);
+
+    for cycle in 0..cfg.cycles + cfg.drain_cycles {
+        // Phase 1: injection (disabled during drain).
+        if cycle < cfg.cycles {
+            for &src in &nodes {
+                if faults.contains(src) || !arrivals.fires(&mut rng) {
+                    continue;
+                }
+                let Some(dst) = pattern.destination(net, src, &mut rng) else {
+                    stats.self_addressed += 1;
+                    continue;
+                };
+                if faults.contains(dst) {
+                    stats.dropped_dst_faulty += 1;
+                    continue;
+                }
+                match strategy.select_with(net, src, dst, &faults, &mut rng, &mut route_scratch) {
+                    Some(route) => {
+                        let pkt = Packet::new(next_id, cycle, route);
+                        next_id += 1;
+                        let key = (pkt.current(), pkt.next().expect("≥1 hop"));
+                        let q = queues.entry(key).or_default();
+                        if cfg.queue_capacity.is_some_and(|cap| q.len() as u64 >= cap) {
+                            stats.dropped_backpressure += 1;
+                            continue;
+                        }
+                        stats.injected += 1;
+                        q.push_back(pkt);
+                        stats.max_queue_len = stats.max_queue_len.max(q.len() as u64);
+                    }
+                    None => stats.dropped_unroutable += 1,
+                }
+            }
+        }
+
+        // Phase 2: start transmissions on every idle link with a
+        // queued packet. The link is busy for `busy` cycles; the
+        // packet lands after the full packet (store-and-forward) or
+        // after one header cycle (cut-through; the tail still pays
+        // `busy` on the final hop so delivery sees the whole packet).
+        let mut started: Vec<(u64, Packet)> = Vec::new();
+        // Snapshot queue lengths for backpressure decisions (a head
+        // may only advance when its next queue has room).
+        let occupancy: BTreeMap<(NodeId, NodeId), u64> = if cfg.queue_capacity.is_some() {
+            queues.iter().map(|(&k, q)| (k, q.len() as u64)).collect()
+        } else {
+            BTreeMap::new()
+        };
+        for (&link, q) in queues.iter_mut() {
+            if q.is_empty() || busy_until.get(&link).copied().unwrap_or(0) > cycle {
+                continue;
+            }
+            if let Some(cap) = cfg.queue_capacity {
+                // Peek: where would the head go next?
+                let head = q.front().expect("non-empty");
+                let mut peek = head.clone();
+                if !peek.advance() {
+                    let next_key = (peek.current(), peek.next().expect("not at dst"));
+                    if occupancy.get(&next_key).copied().unwrap_or(0) >= cap {
+                        stats.backpressure_stalls += 1;
+                        continue;
+                    }
+                }
+            }
+            let pkt = q.pop_front().expect("non-empty");
+            busy_until.insert(link, cycle + busy);
+            let final_hop = pkt.hop + 2 == pkt.route.len();
+            let delay = match cfg.switching {
+                Switching::StoreAndForward => busy,
+                Switching::CutThrough => {
+                    if final_hop {
+                        busy
+                    } else {
+                        1
+                    }
+                }
+            };
+            started.push((cycle + delay - 1, pkt));
+        }
+        let started_this_cycle = started.len() as u64;
+        stats.link_transmissions += started_this_cycle;
+        for (land, pkt) in started {
+            in_flight.entry(land).or_default().push(pkt);
+        }
+
+        // Phase 3: land packets whose hop completes this cycle.
+        for mut pkt in in_flight.remove(&cycle).unwrap_or_default() {
+            let arrived = pkt.advance();
+            if arrived {
+                stats.delivered += 1;
+                let lat = cycle + 1 - pkt.injected_at;
+                stats.latency_sum += lat;
+                stats.latency_max = stats.latency_max.max(lat);
+                stats.latency_hist.record(lat);
+                stats.hops_sum += (pkt.route.len() - 1) as u64;
+            } else {
+                let key = (pkt.current(), pkt.next().expect("not at dst"));
+                let q = queues.entry(key).or_default();
+                q.push_back(pkt);
+                stats.max_queue_len = stats.max_queue_len.max(q.len() as u64);
+            }
+        }
+
+        // Time-series sampling: end-of-cycle snapshot of queue state
+        // and this cycle's link activity. Entirely skipped (no scan,
+        // no allocation) when sampling is disabled.
+        if cfg.sample_every > 0 && cycle % cfg.sample_every == 0 {
+            let queued_packets: u64 = queues.values().map(|q| q.len() as u64).sum();
+            let max_queue_len = queues.values().map(|q| q.len() as u64).max().unwrap_or(0);
+            stats.samples.push(crate::stats::CycleSample {
+                cycle,
+                queued_packets,
+                max_queue_len,
+                transmissions: started_this_cycle,
+            });
+        }
+    }
+
+    stats.in_flight_at_end = queues.values().map(|q| q.len() as u64).sum::<u64>()
+        + in_flight.values().map(|v| v.len() as u64).sum::<u64>();
+    let routing = route_scratch.construction_metrics();
+    stats.route_constructions = routing.construction.queries;
+    stats.route_family_hits = routing.construction.family_hits;
+    stats
+}

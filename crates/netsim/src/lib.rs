@@ -18,15 +18,17 @@
 
 pub mod fault;
 pub mod faults;
+pub mod flat;
+pub mod legacy;
 pub mod net;
 pub mod packet;
 pub mod sim;
 pub mod stats;
 pub mod strategy;
 
-pub use faults::{FaultLookup, FaultSet};
+pub use faults::{FaultFlags, FaultLookup, FaultSet};
 pub use hhc_core::CacheConfig;
-pub use net::{CubeNet, Network, RouteScratch};
+pub use net::{CubeNet, LinkTable, Network, RouteScratch};
 pub use sim::{DeliveryRecord, SimConfig, SimError, Simulator, Switching};
 pub use stats::{CycleSample, SimStats};
 pub use strategy::Strategy;

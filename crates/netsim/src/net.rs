@@ -52,6 +52,78 @@ impl RouteScratch {
     }
 }
 
+/// Dense directed-link index over a materialisable network, built once
+/// per simulation run: CSR adjacency with link ids `0..num_links()`
+/// assigned in ascending `(from, to)` order. That is exactly the order a
+/// `BTreeMap<(NodeId, NodeId), _>` iterates, so a sweep over ascending
+/// link ids reproduces the legacy map-ordered link sweep — the flat core
+/// relies on this for byte-identical statistics.
+#[derive(Debug, Clone)]
+pub struct LinkTable {
+    /// `offsets[u]..offsets[u + 1]` indexes `targets` with `u`'s
+    /// neighbours in ascending order; a link id *is* a `targets` index.
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl LinkTable {
+    /// Materialises the directed-link index of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics above 16 address bits (the table is dense in nodes);
+    /// [`crate::Simulator::try_new`] rejects such networks first.
+    pub fn build<N: Network + ?Sized>(net: &N) -> Self {
+        assert!(net.address_bits() <= 16, "link table on a huge network");
+        let n = 1usize << net.address_bits();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        let mut nbrs: Vec<u32> = Vec::new();
+        for u in 0..n {
+            nbrs.clear();
+            nbrs.extend(
+                net.neighbors_of(NodeId::from_raw(u as u128))
+                    .iter()
+                    .map(|v| v.raw() as u32),
+            );
+            nbrs.sort_unstable();
+            targets.extend_from_slice(&nbrs);
+            offsets.push(targets.len() as u32);
+        }
+        LinkTable { offsets, targets }
+    }
+
+    /// Number of directed links (= valid link ids).
+    pub fn num_links(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Link id of the directed edge `(from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(from, to)` is not an edge of the indexed network —
+    /// routes are validated by construction, so the simulator never asks.
+    #[inline]
+    pub fn link_id(&self, from: u32, to: u32) -> u32 {
+        let lo = self.offsets[from as usize] as usize;
+        let hi = self.offsets[from as usize + 1] as usize;
+        match self.targets[lo..hi].binary_search(&to) {
+            Ok(i) => (lo + i) as u32,
+            Err(_) => panic!("({from}, {to}) is not a directed link"),
+        }
+    }
+
+    /// Endpoints `(from, to)` of a link id (inverse of
+    /// [`LinkTable::link_id`]).
+    pub fn endpoints(&self, link: u32) -> (u32, u32) {
+        debug_assert!((link as usize) < self.targets.len());
+        let from = self.offsets.partition_point(|&o| o <= link) - 1;
+        (from as u32, self.targets[link as usize])
+    }
+}
+
 /// A simulatable network: an address space with routing services.
 pub trait Network: AddressSpace {
     /// Human-readable name for reports.
@@ -281,6 +353,30 @@ mod tests {
             let set = q.disjoint_routes_into(u, v, &mut scratch);
             assert_eq!(set.to_paths(), q.disjoint_routes(u, v));
         }
+    }
+
+    #[test]
+    fn link_table_orders_links_like_a_btreemap() {
+        let h = Hhc::new(2).unwrap();
+        let t = LinkTable::build(&h);
+        assert_eq!(t.num_links(), 64 * 3); // 2^n nodes × (m+1) links
+                                           // Ids enumerate the edge set in ascending (from, to) order and
+                                           // round-trip through endpoints().
+        let mut prev: Option<(u32, u32)> = None;
+        for l in 0..t.num_links() as u32 {
+            let (from, to) = t.endpoints(l);
+            assert!(h.is_edge(NodeId::from_raw(from as u128), NodeId::from_raw(to as u128)));
+            assert_eq!(t.link_id(from, to), l);
+            assert!(prev < Some((from, to)), "ids not in (from, to) order");
+            prev = Some((from, to));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a directed link")]
+    fn link_table_rejects_non_edges() {
+        let h = Hhc::new(2).unwrap();
+        LinkTable::build(&h).link_id(0, 63);
     }
 
     #[test]

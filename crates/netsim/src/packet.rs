@@ -1,6 +1,28 @@
 //! Packets: source-routed, with injection timestamps for latency stats.
+//!
+//! Two representations exist. [`Packet`] owns its route as a
+//! `Vec<NodeId>` and is used by the legacy reference engine and by
+//! delivery traces. [`FlatPacket`] is the flat-core representation: a
+//! `Copy` struct that carries only an id into the run's
+//! [`RouteArena`](crate::flat::RouteArena) plus a hop index, so moving a
+//! packet between queues never allocates.
 
 use hhc_core::NodeId;
+
+/// A packet in the flat simulation core. Routes are interned in the
+/// run's [`RouteArena`](crate::flat::RouteArena); the packet carries the
+/// arena id and its current hop index (node position on the route).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatPacket {
+    /// Unique id (injection order).
+    pub id: u64,
+    /// Cycle the packet entered the network.
+    pub injected_at: u64,
+    /// Arena id of the packet's (interned) route.
+    pub route: u32,
+    /// Index into the route's node sequence of the current position.
+    pub hop: u32,
+}
 
 /// A packet in flight. The route is fixed at injection (source routing);
 /// `hop` indexes the node the packet currently sits at.

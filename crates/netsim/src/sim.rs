@@ -13,17 +13,24 @@
 //!
 //! The engine is fully deterministic under (`SimConfig::seed`, topology,
 //! pattern, strategy).
+//!
+//! Two interchangeable cores implement the model. [`Simulator::run`]
+//! executes the **flat core** ([`crate::flat`]): dense integer-indexed
+//! link queues over a CSR link table, interned routes, and a timing-
+//! wheel event calendar. [`Simulator::run_legacy`] executes the original
+//! `BTreeMap`-based engine ([`crate::legacy`]), retained as the
+//! reference: both cores draw from the RNG in the same order and service
+//! links in the same order, so their [`SimStats`] are byte-identical.
+//! [`Simulator::run_many`] fans independent seeded replications across
+//! rayon workers and merges their statistics.
 
-use crate::faults::FaultSet;
-use crate::net::{Network, RouteScratch};
-use crate::packet::Packet;
+use crate::net::Network;
 use crate::stats::SimStats;
 use crate::strategy::Strategy;
 use hhc_core::{CacheConfig, NodeId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::{BTreeMap, HashSet, VecDeque};
-use workloads::{Bernoulli, Pattern};
+use rayon::prelude::*;
+use std::collections::HashSet;
+use workloads::Pattern;
 
 /// Switching discipline: how a multi-flit packet crosses a link chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -196,189 +203,76 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
         self
     }
 
-    /// Runs the simulation and returns the collected statistics.
+    /// Runs the simulation on the flat core and returns the collected
+    /// statistics.
     pub fn run(&self, cfg: SimConfig) -> SimStats {
-        self.run_inner(cfg, None).0
+        crate::flat::run_flat(
+            self.net,
+            self.pattern,
+            self.strategy,
+            &self.faults,
+            self.route_cache,
+            cfg,
+            None,
+        )
     }
 
     /// Like [`Simulator::run`], but also returns one [`DeliveryRecord`]
     /// per delivered packet (in delivery order) for offline analysis.
+    /// Runs the *same* flat core as `run` — tracing only collects
+    /// records, so the returned statistics are identical to `run`'s.
     pub fn run_traced(&self, cfg: SimConfig) -> (SimStats, Vec<DeliveryRecord>) {
         let mut records = Vec::new();
-        let stats = self.run_inner(cfg, Some(&mut records)).0;
+        let stats = crate::flat::run_flat(
+            self.net,
+            self.pattern,
+            self.strategy,
+            &self.faults,
+            self.route_cache,
+            cfg,
+            Some(&mut records),
+        );
         (stats, records)
     }
 
-    fn run_inner(
-        &self,
-        cfg: SimConfig,
-        mut trace: Option<&mut Vec<DeliveryRecord>>,
-    ) -> (SimStats,) {
-        let busy = cfg.packet_len.max(1);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let arrivals = Bernoulli::new(cfg.inject_rate);
-        let mut stats = SimStats {
-            nodes: self.net.num_addresses() as u64,
-            cycles: cfg.cycles,
-            ..Default::default()
-        };
-        // Per-directed-link FIFO queues, keyed by (from, to).
-        // BTreeMap: deterministic iteration order makes the whole run
-        // reproducible (same-cycle arrivals into one queue keep a fixed order).
-        let mut queues: BTreeMap<(NodeId, NodeId), VecDeque<Packet>> = BTreeMap::new();
-        // A transmission started at cycle c occupies its link through
-        // c + busy − 1; when the packet lands depends on the switching
-        // discipline (full packet vs header cut-through).
-        let mut busy_until: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
-        let mut in_flight: BTreeMap<u64, Vec<Packet>> = BTreeMap::new();
-        let mut next_id = 0u64;
-        let nodes: Vec<NodeId> = self.net.all_nodes();
-        // One route scratch for the whole run: route selection reuses the
-        // disjoint-path construction buffers — and the symmetry caches —
-        // across every injection. Traffic patterns repeat (src, dst)
-        // pairs constantly, so warm injections replay whole families.
-        let mut route_scratch = RouteScratch::with_route_cache(self.route_cache);
-        // Sorted-slice fault set for the per-packet membership probes.
-        let faults = FaultSet::from_set(&self.faults);
+    /// Runs the original `BTreeMap`-based engine ([`crate::legacy`]).
+    /// Produces byte-identical [`SimStats`] to [`Simulator::run`]; kept
+    /// for equivalence testing and the `profile_sim` before/after
+    /// benchmark until the flat core has burned in.
+    pub fn run_legacy(&self, cfg: SimConfig) -> SimStats {
+        crate::legacy::run_legacy(
+            self.net,
+            self.pattern,
+            self.strategy,
+            &self.faults,
+            self.route_cache,
+            cfg,
+        )
+    }
 
-        for cycle in 0..cfg.cycles + cfg.drain_cycles {
-            // Phase 1: injection (disabled during drain).
-            if cycle < cfg.cycles {
-                for &src in &nodes {
-                    if faults.contains(src) || !arrivals.fires(&mut rng) {
-                        continue;
-                    }
-                    let Some(dst) = self.pattern.destination(self.net, src, &mut rng) else {
-                        stats.self_addressed += 1;
-                        continue;
-                    };
-                    if faults.contains(dst) {
-                        stats.dropped_dst_faulty += 1;
-                        continue;
-                    }
-                    match self.strategy.select_with(
-                        self.net,
-                        src,
-                        dst,
-                        &faults,
-                        &mut rng,
-                        &mut route_scratch,
-                    ) {
-                        Some(route) => {
-                            let pkt = Packet::new(next_id, cycle, route);
-                            next_id += 1;
-                            let key = (pkt.current(), pkt.next().expect("≥1 hop"));
-                            let q = queues.entry(key).or_default();
-                            if cfg.queue_capacity.is_some_and(|cap| q.len() as u64 >= cap) {
-                                stats.dropped_backpressure += 1;
-                                continue;
-                            }
-                            stats.injected += 1;
-                            q.push_back(pkt);
-                            stats.max_queue_len = stats.max_queue_len.max(q.len() as u64);
-                        }
-                        None => stats.dropped_unroutable += 1,
-                    }
-                }
-            }
-
-            // Phase 2: start transmissions on every idle link with a
-            // queued packet. The link is busy for `busy` cycles; the
-            // packet lands after the full packet (store-and-forward) or
-            // after one header cycle (cut-through; the tail still pays
-            // `busy` on the final hop so delivery sees the whole packet).
-            let mut started: Vec<(u64, Packet)> = Vec::new();
-            // Snapshot queue lengths for backpressure decisions (a head
-            // may only advance when its next queue has room).
-            let occupancy: BTreeMap<(NodeId, NodeId), u64> = if cfg.queue_capacity.is_some() {
-                queues.iter().map(|(&k, q)| (k, q.len() as u64)).collect()
-            } else {
-                BTreeMap::new()
-            };
-            for (&link, q) in queues.iter_mut() {
-                if q.is_empty() || busy_until.get(&link).copied().unwrap_or(0) > cycle {
-                    continue;
-                }
-                if let Some(cap) = cfg.queue_capacity {
-                    // Peek: where would the head go next?
-                    let head = q.front().expect("non-empty");
-                    let mut peek = head.clone();
-                    if !peek.advance() {
-                        let next_key = (peek.current(), peek.next().expect("not at dst"));
-                        if occupancy.get(&next_key).copied().unwrap_or(0) >= cap {
-                            stats.backpressure_stalls += 1;
-                            continue;
-                        }
-                    }
-                }
-                let pkt = q.pop_front().expect("non-empty");
-                busy_until.insert(link, cycle + busy);
-                let final_hop = pkt.hop + 2 == pkt.route.len();
-                let delay = match cfg.switching {
-                    Switching::StoreAndForward => busy,
-                    Switching::CutThrough => {
-                        if final_hop {
-                            busy
-                        } else {
-                            1
-                        }
-                    }
-                };
-                started.push((cycle + delay - 1, pkt));
-            }
-            let started_this_cycle = started.len() as u64;
-            stats.link_transmissions += started_this_cycle;
-            for (land, pkt) in started {
-                in_flight.entry(land).or_default().push(pkt);
-            }
-
-            // Phase 3: land packets whose hop completes this cycle.
-            for mut pkt in in_flight.remove(&cycle).unwrap_or_default() {
-                let arrived = pkt.advance();
-                if arrived {
-                    stats.delivered += 1;
-                    let lat = cycle + 1 - pkt.injected_at;
-                    stats.latency_sum += lat;
-                    stats.latency_max = stats.latency_max.max(lat);
-                    stats.latency_hist.record(lat);
-                    stats.hops_sum += (pkt.route.len() - 1) as u64;
-                    if let Some(records) = trace.as_deref_mut() {
-                        records.push(DeliveryRecord {
-                            id: pkt.id,
-                            injected_at: pkt.injected_at,
-                            delivered_at: cycle + 1,
-                            route: pkt.route.clone(),
-                        });
-                    }
-                } else {
-                    let key = (pkt.current(), pkt.next().expect("not at dst"));
-                    let q = queues.entry(key).or_default();
-                    q.push_back(pkt);
-                    stats.max_queue_len = stats.max_queue_len.max(q.len() as u64);
-                }
-            }
-
-            // Time-series sampling: end-of-cycle snapshot of queue state
-            // and this cycle's link activity. Entirely skipped (no scan,
-            // no allocation) when sampling is disabled.
-            if cfg.sample_every > 0 && cycle % cfg.sample_every == 0 {
-                let queued_packets: u64 = queues.values().map(|q| q.len() as u64).sum();
-                let max_queue_len = queues.values().map(|q| q.len() as u64).max().unwrap_or(0);
-                stats.samples.push(crate::stats::CycleSample {
-                    cycle,
-                    queued_packets,
-                    max_queue_len,
-                    transmissions: started_this_cycle,
-                });
-            }
+    /// Runs `n_runs` independent replications of `cfg` — run `i` uses
+    /// seed `cfg.seed.wrapping_add(i)` — fanned across rayon workers,
+    /// and merges their statistics with [`SimStats::merge`] in seed
+    /// order. The result is deterministic and independent of the worker
+    /// count: it equals `n_runs` sequential [`Simulator::run`] calls
+    /// folded in the same order. Zero replications yield
+    /// `SimStats::default()`.
+    pub fn run_many(&self, cfg: SimConfig, n_runs: usize) -> SimStats
+    where
+        N: Sync,
+    {
+        let seeds: Vec<u64> = (0..n_runs as u64)
+            .map(|i| cfg.seed.wrapping_add(i))
+            .collect();
+        let runs: Vec<SimStats> = seeds
+            .par_iter()
+            .map(|&seed| self.run(SimConfig { seed, ..cfg }))
+            .collect();
+        let mut merged = SimStats::default();
+        for s in &runs {
+            merged.merge(s);
         }
-
-        stats.in_flight_at_end = queues.values().map(|q| q.len() as u64).sum::<u64>()
-            + in_flight.values().map(|v| v.len() as u64).sum::<u64>();
-        let routing = route_scratch.construction_metrics();
-        stats.route_constructions = routing.construction.queries;
-        stats.route_family_hits = routing.construction.family_hits;
-        (stats,)
+        merged
     }
 }
 
@@ -411,6 +305,8 @@ impl DeliveryRecord {
 mod tests {
     use super::*;
     use hhc_core::Hhc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn net() -> Hhc {
         Hhc::new(2).unwrap()

@@ -138,6 +138,37 @@ impl SimStats {
         })
     }
 
+    /// Merges another run's statistics into `self` — the accumulation
+    /// step of a replication sweep ([`crate::Simulator::run_many`]).
+    /// Counters add; maxima (`latency_max`, `max_queue_len`) take the
+    /// max; `cycles` add, so [`SimStats::throughput`] becomes the
+    /// delivered-per-cycle average over the combined simulated time;
+    /// `nodes` takes the max (replications share one network); the
+    /// latency histogram merges bucket-wise and time-series samples
+    /// concatenate in merge order. Merging is associative, and folding
+    /// runs in a fixed order makes the result reproducible.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.dropped_unroutable += other.dropped_unroutable;
+        self.dropped_dst_faulty += other.dropped_dst_faulty;
+        self.self_addressed += other.self_addressed;
+        self.dropped_backpressure += other.dropped_backpressure;
+        self.backpressure_stalls += other.backpressure_stalls;
+        self.in_flight_at_end += other.in_flight_at_end;
+        self.latency_sum += other.latency_sum;
+        self.latency_max = self.latency_max.max(other.latency_max);
+        self.hops_sum += other.hops_sum;
+        self.link_transmissions += other.link_transmissions;
+        self.max_queue_len = self.max_queue_len.max(other.max_queue_len);
+        self.cycles += other.cycles;
+        self.nodes = self.nodes.max(other.nodes);
+        self.route_constructions += other.route_constructions;
+        self.route_family_hits += other.route_family_hits;
+        self.latency_hist.merge(&other.latency_hist);
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Serialises the full stats — counters, derived rates, the latency
     /// histogram and the sampled time series — as one compact JSON object.
     /// `directed_links` scales the per-sample utilisation series (pass
@@ -271,6 +302,72 @@ mod tests {
         assert!(j.contains("\"queue_max\":[2,3]"));
         assert!(j.contains("\"link_utilization_series\":[0.1,0.2]"));
         assert!(j.contains("\"count\":3"));
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    fn sample_stats(seed: u64) -> SimStats {
+        let mut s = SimStats {
+            injected: 10 + seed,
+            delivered: 8 + seed,
+            dropped_unroutable: 1,
+            self_addressed: 2,
+            in_flight_at_end: 2,
+            latency_sum: 40 * (seed + 1),
+            latency_max: 9 + seed,
+            hops_sum: 24,
+            link_transmissions: 30,
+            max_queue_len: 3 + seed,
+            cycles: 100,
+            nodes: 64,
+            route_constructions: 5,
+            route_family_hits: 3,
+            ..Default::default()
+        };
+        for lat in [2u64, 4, 9 + seed] {
+            s.latency_hist.record(lat);
+        }
+        s.samples.push(CycleSample {
+            cycle: seed,
+            queued_packets: 1,
+            max_queue_len: 1,
+            transmissions: 1,
+        });
+        s
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_extrema() {
+        let (a, b) = (sample_stats(0), sample_stats(5));
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.injected, a.injected + b.injected);
+        assert_eq!(m.delivered, a.delivered + b.delivered);
+        assert_eq!(m.latency_sum, a.latency_sum + b.latency_sum);
+        assert_eq!(m.cycles, a.cycles + b.cycles);
+        assert_eq!(m.latency_max, b.latency_max);
+        assert_eq!(m.max_queue_len, b.max_queue_len);
+        assert_eq!(m.nodes, 64);
+        assert_eq!(m.latency_hist.count(), 6);
+        assert_eq!(
+            m.latency_hist.sum(),
+            a.latency_hist.sum() + b.latency_hist.sum()
+        );
+        assert_eq!(m.samples.len(), 2);
+        // Throughput of equal-weight replications is their average.
+        let avg = (a.throughput() + b.throughput()) / 2.0;
+        assert!((m.throughput() - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_into_default_is_identity() {
+        let a = sample_stats(3);
+        let mut m = SimStats::default();
+        m.merge(&a);
+        assert_eq!(m, a);
     }
 }
 

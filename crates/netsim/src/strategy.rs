@@ -59,34 +59,60 @@ impl Strategy {
         rng: &mut R,
         scratch: &mut RouteScratch,
     ) -> Option<Path> {
+        let mut out = Vec::new();
+        self.select_into(net, src, dst, faults, rng, scratch, &mut out)
+            .then_some(out)
+    }
+
+    /// [`Strategy::select_with`] writing the chosen route into `out`
+    /// (cleared first); returns whether a route was selected. The
+    /// allocation-free form the simulator's injection loop uses — one
+    /// route buffer lives for the whole run. Same routes, same RNG draw
+    /// sequence as the allocating forms (which delegate here).
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_into<N: Network + ?Sized, F: FaultLookup + ?Sized, R: Rng>(
+        &self,
+        net: &N,
+        src: NodeId,
+        dst: NodeId,
+        faults: &F,
+        rng: &mut R,
+        scratch: &mut RouteScratch,
+        out: &mut Vec<NodeId>,
+    ) -> bool {
         debug_assert_ne!(src, dst);
         debug_assert!(!faults.is_faulty(src) && !faults.is_faulty(dst));
+        out.clear();
         match self {
             Strategy::SinglePath => {
                 let p = net.route(src, dst);
                 if path_blocked(&p, faults) {
-                    None
+                    false
                 } else {
-                    Some(p)
+                    out.extend_from_slice(&p);
+                    true
                 }
             }
             Strategy::MultipathRandom => {
                 let paths = net.disjoint_routes_into(src, dst, scratch);
                 let i = rng.gen_range(0..paths.len());
-                Some(paths.path(i).to_vec())
+                out.extend_from_slice(paths.path(i));
+                true
             }
             Strategy::FaultAdaptive => {
                 let paths = net.disjoint_routes_into(src, dst, scratch);
                 let alive = paths.iter().filter(|p| !path_blocked(p, faults)).count();
                 if alive == 0 {
-                    None
+                    false
                 } else {
                     let i = rng.gen_range(0..alive);
-                    paths
+                    let p = paths
                         .iter()
                         .filter(|p| !path_blocked(p, faults))
                         .nth(i)
-                        .map(|p| p.to_vec())
+                        .expect("i < alive");
+                    out.extend_from_slice(p);
+                    true
                 }
             }
             Strategy::Valiant => {
@@ -98,13 +124,14 @@ impl Strategy {
                     if w == src || w == dst || faults.is_faulty(w) {
                         continue;
                     }
-                    let mut walk = net.route(src, w);
-                    walk.extend(net.route(w, dst).into_iter().skip(1));
-                    if !path_blocked(&walk, faults) {
-                        return Some(walk);
+                    out.clear();
+                    out.extend_from_slice(&net.route(src, w));
+                    out.extend(net.route(w, dst).into_iter().skip(1));
+                    if !path_blocked(out, faults) {
+                        return true;
                     }
                 }
-                None
+                false
             }
         }
     }

@@ -1,0 +1,222 @@
+//! Flat-core ≡ legacy-core equivalence, replication determinism, and
+//! trace/stat agreement.
+//!
+//! The flat engine (`Simulator::run`) must be *byte-identical* to the
+//! legacy `BTreeMap` engine (`Simulator::run_legacy`) — not merely
+//! statistically close: same RNG draw order, same link service order,
+//! same queue contents, hence equal `SimStats` including histograms and
+//! time series. The proptest sweeps configurations across strategies,
+//! patterns, switching disciplines, packet lengths, finite buffers,
+//! faults and sampling; deterministic cases pin the larger topologies.
+
+use hhc_core::{Hhc, NodeId};
+use netsim::Strategy as RouteStrategy;
+use netsim::{CacheConfig, CubeNet, SimConfig, Simulator, Switching};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use workloads::Pattern;
+
+fn strategies() -> impl Strategy<Value = RouteStrategy> {
+    (0u32..4).prop_map(|i| {
+        [
+            RouteStrategy::SinglePath,
+            RouteStrategy::MultipathRandom,
+            RouteStrategy::FaultAdaptive,
+            RouteStrategy::Valiant,
+        ][i as usize]
+    })
+}
+
+fn patterns() -> impl Strategy<Value = Pattern> {
+    (0u32..4).prop_map(|i| {
+        [
+            Pattern::UniformRandom,
+            Pattern::BitComplement,
+            Pattern::Transpose,
+            Pattern::Hotspot { hot_fraction: 0.2 },
+        ][i as usize]
+    })
+}
+
+fn configs() -> impl Strategy<Value = SimConfig> {
+    (
+        10u64..120,
+        0u64..300,
+        0u64..1_000_000,
+        1u64..4,
+        // Switching bit, queue capacity (0 = unbounded), sampling bit
+        // packed into one draw to stay within the 6-tuple limit.
+        (0u64..2, 0u64..4, 0u64..2),
+    )
+        .prop_map(|(cycles, drain, seed, len, (sw, cap, sample))| SimConfig {
+            cycles,
+            drain_cycles: drain,
+            inject_rate: 0.08,
+            seed,
+            packet_len: len,
+            switching: if sw == 0 {
+                Switching::StoreAndForward
+            } else {
+                Switching::CutThrough
+            },
+            queue_capacity: (cap > 0).then_some(cap),
+            sample_every: sample * 7,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flat_equals_legacy_on_hhc2(
+        cfg in configs(),
+        strategy in strategies(),
+        pattern in patterns(),
+        n_faults in 0usize..4,
+        fault_seed in 0u64..1000,
+    ) {
+        let h = Hhc::new(2).unwrap();
+        let faults: HashSet<NodeId> = workloads::random_fault_set(
+            &h, n_faults, &[], &mut StdRng::seed_from_u64(fault_seed));
+        let sim = Simulator::new(&h, pattern, strategy).with_faults(faults);
+        prop_assert_eq!(sim.run(cfg), sim.run_legacy(cfg));
+    }
+
+    #[test]
+    fn flat_equals_legacy_on_the_cube(
+        cfg in configs(),
+        strategy in strategies(),
+        pattern in patterns(),
+    ) {
+        let q = CubeNet::matching_hhc(2);
+        let sim = Simulator::new(&q, pattern, strategy);
+        prop_assert_eq!(sim.run(cfg), sim.run_legacy(cfg));
+    }
+
+    #[test]
+    fn run_many_equals_sequential_runs(
+        seed in 0u64..1_000_000,
+        n_runs in 0usize..5,
+        strategy in strategies(),
+    ) {
+        let h = Hhc::new(2).unwrap();
+        let sim = Simulator::new(&h, Pattern::UniformRandom, strategy);
+        let cfg = SimConfig {
+            cycles: 60,
+            drain_cycles: 600,
+            inject_rate: 0.05,
+            seed,
+            ..SimConfig::default()
+        };
+        let merged = sim.run_many(cfg, n_runs);
+        let mut expect = netsim::SimStats::default();
+        for i in 0..n_runs as u64 {
+            expect.merge(&sim.run(SimConfig { seed: seed.wrapping_add(i), ..cfg }));
+        }
+        prop_assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn traced_stats_equal_untraced_stats(
+        cfg in configs(),
+        strategy in strategies(),
+        pattern in patterns(),
+    ) {
+        let h = Hhc::new(2).unwrap();
+        let sim = Simulator::new(&h, pattern, strategy);
+        let (stats, records) = sim.run_traced(cfg);
+        prop_assert_eq!(&stats, &sim.run(cfg));
+        prop_assert_eq!(records.len() as u64, stats.delivered);
+    }
+}
+
+/// The larger topologies the proptest can't afford every case on,
+/// pinned deterministically: HHC(3) (2048 nodes, the largest HHC the
+/// 16-bit engine guard admits) and its matching cube Q_11.
+#[test]
+fn flat_equals_legacy_on_hhc3_and_q11() {
+    let h = Hhc::new(3).unwrap();
+    let cfg = SimConfig {
+        cycles: 40,
+        drain_cycles: 2000,
+        inject_rate: 0.03,
+        seed: 0x5EED,
+        sample_every: 25,
+        ..SimConfig::default()
+    };
+    for strategy in [RouteStrategy::SinglePath, RouteStrategy::MultipathRandom] {
+        let sim = Simulator::new(&h, Pattern::UniformRandom, strategy);
+        let flat = sim.run(cfg);
+        assert!(flat.delivered > 0);
+        assert_eq!(flat, sim.run_legacy(cfg), "HHC(3) diverged ({strategy:?})");
+    }
+    let q = CubeNet::matching_hhc(3);
+    let sim = Simulator::new(&q, Pattern::UniformRandom, RouteStrategy::SinglePath);
+    assert_eq!(sim.run(cfg), sim.run_legacy(cfg), "Q_11 diverged");
+}
+
+/// The backpressure deadlock is the most order-sensitive behaviour the
+/// engine has (a buffer cycle wedges or not depending on exact service
+/// order) — both cores must reproduce it identically.
+#[test]
+fn flat_equals_legacy_under_deadlock() {
+    let h = Hhc::new(2).unwrap();
+    let sim = Simulator::new(&h, Pattern::BitComplement, RouteStrategy::SinglePath);
+    let cfg = SimConfig {
+        cycles: 300,
+        drain_cycles: 4000,
+        inject_rate: 0.4,
+        seed: 1212,
+        queue_capacity: Some(1),
+        ..SimConfig::default()
+    };
+    let flat = sim.run(cfg);
+    assert!(
+        flat.in_flight_at_end > 0,
+        "expected the wedged buffer cycle"
+    );
+    assert_eq!(flat, sim.run_legacy(cfg));
+}
+
+/// Route caching must stay behaviour-invisible in the flat core too.
+#[test]
+fn flat_cache_off_equals_cache_on_modulo_counters() {
+    let h = Hhc::new(2).unwrap();
+    let cfg = SimConfig {
+        cycles: 120,
+        drain_cycles: 2000,
+        inject_rate: 0.1,
+        seed: 77,
+        ..SimConfig::default()
+    };
+    let cached =
+        Simulator::new(&h, Pattern::BitComplement, RouteStrategy::MultipathRandom).run(cfg);
+    let uncached = Simulator::new(&h, Pattern::BitComplement, RouteStrategy::MultipathRandom)
+        .with_route_cache(CacheConfig::disabled())
+        .run(cfg);
+    let mut masked = cached.clone();
+    masked.route_family_hits = uncached.route_family_hits;
+    assert_eq!(masked, uncached);
+}
+
+/// run_many must not depend on the rayon worker count.
+#[test]
+fn run_many_is_thread_count_invariant() {
+    let h = Hhc::new(2).unwrap();
+    let sim = Simulator::new(&h, Pattern::UniformRandom, RouteStrategy::MultipathRandom);
+    let cfg = SimConfig {
+        cycles: 50,
+        drain_cycles: 500,
+        inject_rate: 0.05,
+        seed: 9,
+        ..SimConfig::default()
+    };
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let one = sim.run_many(cfg, 6);
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let four = sim.run_many(cfg, 6);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(one, four);
+}
