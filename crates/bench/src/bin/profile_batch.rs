@@ -14,9 +14,11 @@
 //! `--cache off` restrict to one mode; the default runs both. A
 //! machine-readable summary is written to `results/BENCH_batch.json`.
 //!
-//! `--quick` runs one iteration on a reduced workload: a CI smoke test
-//! that the profiler itself works (including the cached ≡ uncached
-//! assertion), not a measurement.
+//! `--quick` runs one iteration on a reduced workload and writes
+//! `results/BENCH_batch.quick.json` instead (the committed baseline is
+//! only rewritten by full runs): a CI smoke test that the profiler
+//! itself works (including the cached ≡ uncached assertion) and the
+//! input to the `perf_gate` regression check.
 
 use hhc_core::{batch, disjoint, CacheConfig, CrossingOrder, Hhc, NodeId, PathBuilder, PathSet};
 use obs::json;
@@ -332,7 +334,13 @@ fn main() {
         .collect();
     o.raw("cache_workloads", &json::array(&row_objs));
     let payload = o.finish();
-    let path = "results/BENCH_batch.json";
+    // Quick runs feed the perf_gate regression check and must never
+    // overwrite the committed full-run baseline.
+    let path = if quick {
+        "results/BENCH_batch.quick.json"
+    } else {
+        "results/BENCH_batch.json"
+    };
     if let Err(e) =
         std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, payload.as_bytes()))
     {

@@ -1,11 +1,17 @@
 //! F6 — simulated performance: HHC vs hypercube at equal node count.
 //!
 //! Runs the same uniform workload through both topologies (64 nodes:
-//! HHC(2) vs Q_6; 2048 nodes: HHC(3) vs Q_11) and reports mean latency,
-//! mean hops and link utilisation. Shape: the hypercube is faster (its
-//! routes are ~2–3× shorter) but pays for it with `n / (m+1)` times the
-//! links; per-link utilisation on the HHC is accordingly higher at the
-//! same offered load.
+//! HHC(2) vs Q_6; 2048 nodes: HHC(3) vs Q_11; 2^20 ≈ 1M nodes: HHC(4)
+//! vs Q_20) and reports mean latency, mean hops and link utilisation.
+//! Shape: the hypercube is faster (its routes are ~2–3× shorter) but
+//! pays for it with `n / (m+1)` times the links; per-link utilisation
+//! on the HHC is accordingly higher at the same offered load.
+//!
+//! The million-node tier exists because the lazy link store makes it
+//! affordable: the simulator only materialises queue state for links
+//! traffic actually crosses, so the sidecar's
+//! `peak_links_materialised` sits far below `links_total` and
+//! `bytes_per_node` stays in the hundreds. See `EXPERIMENTS.md` §B5.
 
 use crate::table::Table;
 use crate::util;
@@ -26,26 +32,41 @@ pub fn run() {
             "link util",
         ],
     );
-    for m in [2u32, 3] {
+    // One sidecar entry per table row: full SimStats JSON including the
+    // latency histogram and the memory-footprint counters
+    // (peak_links_materialised / links_total / bytes_per_node).
+    let mut sidecar: Vec<String> = Vec::new();
+    for m in [2u32, 3, 4] {
         let h = Hhc::new(m).unwrap();
         let q = CubeNet::matching_hhc(m);
-        let rates: &[f64] = if m == 2 { &[0.05, 0.20] } else { &[0.02, 0.10] };
+        // At 2^20 nodes even a tiny per-node rate is ~10^5 packets per
+        // cycle-window; one low rate keeps the tier affordable.
+        let rates: &[f64] = match m {
+            2 => &[0.05, 0.20],
+            3 => &[0.02, 0.10],
+            _ => &[0.01],
+        };
         for &rate in rates {
             let cfg = SimConfig {
-                cycles: if m == 2 { 600 } else { 200 },
+                cycles: match m {
+                    2 => 600,
+                    3 => 200,
+                    _ => 20,
+                },
                 drain_cycles: 20_000,
                 inject_rate: rate,
                 seed: 0xF6F6,
                 ..SimConfig::default()
             };
-            row(&mut t, &h, rate, cfg);
-            row(&mut t, &q, rate, cfg);
+            row(&mut t, &mut sidecar, &h, rate, cfg);
+            row(&mut t, &mut sidecar, &q, rate, cfg);
         }
     }
     t.emit("f6_topology_sim");
+    util::write_metrics_sidecar("f6_topology_sim", &obs::json::array(&sidecar));
 }
 
-fn row<N: Network>(t: &mut Table, net: &N, rate: f64, cfg: SimConfig) {
+fn row<N: Network>(t: &mut Table, sidecar: &mut Vec<String>, net: &N, rate: f64, cfg: SimConfig) {
     let stats = Simulator::new(net, Pattern::UniformRandom, Strategy::SinglePath).run(cfg);
     assert_eq!(
         stats.delivered,
@@ -54,6 +75,11 @@ fn row<N: Network>(t: &mut Table, net: &N, rate: f64, cfg: SimConfig) {
         net.name()
     );
     let links = stats.nodes * net.degree() as u64;
+    let mut o = obs::json::Obj::new();
+    o.str("topology", &net.name());
+    o.f64("rate", rate);
+    o.raw("stats", &stats.to_json(links));
+    sidecar.push(o.finish());
     t.row(vec![
         net.name(),
         net.num_addresses().to_string(),

@@ -377,6 +377,22 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     "  per-query ns  : min {mn}, mean {mean:.0}, p99 ≤ {p99}, max {mx}"
                 );
             }
+            let des_bits = (1u32 << m) + m;
+            let des_cap = netsim::Simulator::<hhc_core::Hhc>::MAX_ADDRESS_BITS;
+            let des_max_m = (1..)
+                .take_while(|&mm| (1u32 << mm) + mm <= des_cap)
+                .last()
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  DES range     : {des_bits}-bit addresses vs the simulator's {des_cap}-bit cap \
+                 — {} (largest simulatable HHC: m = {des_max_m})",
+                if des_bits <= des_cap {
+                    "packet-level simulation available"
+                } else {
+                    "construction and verification only"
+                }
+            );
             let _ = writeln!(out, "metrics: {}", report.to_json());
         }
         Command::Broadcast { m, root } => {
@@ -587,6 +603,10 @@ mod tests {
         assert!(out.contains("constructed 25 pair families"));
         assert!(out.contains("fan queries"));
         assert!(out.contains("per-query ns"));
+        // HHC(3) is 11-bit: inside the simulator's address range.
+        assert!(out.contains("11-bit addresses"));
+        assert!(out.contains("packet-level simulation available"));
+        assert!(out.contains("largest simulatable HHC: m = 4"));
         assert!(out.contains("metrics: {\"queries\":25"));
         // Identical seeds give identical counters (timing aside, which
         // lives under a separate key).

@@ -412,4 +412,26 @@ mod tests {
         ws.reset_metrics();
         assert_eq!(ws.metrics(), MetricsReport::default());
     }
+
+    #[test]
+    fn million_node_hhc4_constructs_and_verifies() {
+        // HHC(4) addresses are 20-bit (2^20 nodes): the scale the DES
+        // core simulates end-to-end. Construction must handle it too —
+        // a handful of pairs covering same-cube, cross-cube and
+        // complementary-address cases, each fully verified.
+        let h = Hhc::new(4).unwrap();
+        let pairs = vec![
+            (h.node(0x0000, 0).unwrap(), h.node(0x0000, 13).unwrap()),
+            (h.node(0x0000, 0).unwrap(), h.node(0xFFFF, 15).unwrap()),
+            (h.node(0x1234, 7).unwrap(), h.node(0x8765, 2).unwrap()),
+            (h.node(0xBEEF, 9).unwrap(), h.node(0xBEF0, 9).unwrap()),
+        ];
+        let sets = construct_many_serial(&h, &pairs, CrossingOrder::Gray).unwrap();
+        let mut scratch = VerifyScratch::default();
+        for (set, &(u, v)) in sets.iter().zip(&pairs) {
+            verify_disjoint_paths_into(&h, u, v, set, &mut scratch).unwrap();
+            // Fan-out equals the connectivity: m + 1 = 5 paths per pair.
+            assert_eq!(set.to_paths().len() as u32, h.degree());
+        }
+    }
 }

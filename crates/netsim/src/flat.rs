@@ -1,31 +1,41 @@
-//! The flat simulation core: dense integer-indexed data structures.
+//! The flat simulation core: traffic-proportional data structures.
 //!
-//! The legacy engine ([`crate::legacy`]) keyed every per-link structure
-//! by `(NodeId, NodeId)` in `BTreeMap`s and gave every packet an owned
-//! `Vec<NodeId>` route — an O(log links) probe plus an allocation on
-//! each hop. This module replaces all of it with arrays:
+//! Per-cycle cost and resident memory scale with *traffic* (packets in
+//! flight, links actually crossed), not with topology size — that is
+//! what admits HHC(4) (2^20 nodes, ~5M directed links) packet-level:
 //!
 //! * **[`LinkTable`]** — CSR adjacency built once per run; a directed
-//!   link *is* an index, and ids ascend in `(from, to)` order, which is
-//!   exactly the legacy `BTreeMap` iteration order.
-//! * **link queues** — `Vec<VecDeque<FlatPacket>>` indexed by link id; a
-//!   sorted active-link list (plus an unsorted pending list merged each
-//!   cycle) visits only non-empty queues, in id order — identical link
-//!   service order to the legacy map sweep over non-empty queues.
+//!   link *is* a u32 index, and ids ascend in `(from, to)` order, fixing
+//!   the canonical link service order.
+//! * **[`LinkStore`]** — per-link queue/occupancy state, materialised
+//!   lazily on first use (default): a slab of [`LinkState`] plus a paged
+//!   id→slot map, so a run allocates queue state only for the links its
+//!   routes cross. [`LinkStoreMode::Eager`] keeps the dense
+//!   one-slot-per-link layout as the microbenchmark baseline.
 //! * **[`RouteArena`]** — interned, deduplicated routes with
-//!   precomputed per-hop link ids; packets ([`FlatPacket`]) carry
-//!   `(route_id, hop)` and are `Copy`.
-//! * **[`EventCalendar`]** — a timing wheel over delivery cycles
-//!   replacing the in-flight `BTreeMap<u64, Vec<Packet>>`. Every
-//!   scheduled landing is at most `packet_len` cycles out, so a wheel of
-//!   `packet_len` slots never collides, and per-slot insertion order
-//!   matches the map's per-key push order.
+//!   precomputed per-hop link ids, sharded 16 ways by a route-endpoint
+//!   hash so million-node pair sets don't grow one monolithic index;
+//!   packets ([`FlatPacket`]) carry `(route_id, hop)` and are `Copy`.
+//! * **[`EventCalendar`]** — a timing wheel over landing cycles. Every
+//!   entry carries its transmission-start cycle and link id, and slots
+//!   drain in `(start, link)` order — the canonical landing order — so
+//!   engine variants that schedule the same transmissions at different
+//!   moments still land them identically.
+//! * **[`ArrivalSampler`]** — the Bernoulli arrival process evaluated by
+//!   geometric gap-sampling over the (cycle-major) healthy-source index
+//!   space: injection visits only the sources that actually fire, an
+//!   O(arrivals) worklist instead of an O(nodes) per-cycle scan.
+//! * **hybrid link fidelity** ([`Fidelity::Hybrid`], default) — a
+//!   packet arriving at an idle, uncontended link is committed
+//!   analytically (its service is scheduled straight onto the calendar
+//!   at exactly the cycle the queued engine would start it) and the
+//!   link is promoted to full queued simulation on first contention, a
+//!   ghost entry standing in for the analytically committed packet.
 //!
-//! The run loop itself keeps the legacy phase structure (injection →
-//! transmission → landing) and draws from the RNG in exactly the same
-//! order, so a flat run and a legacy run of the same configuration
-//! produce **byte-identical [`SimStats`]** — enforced by the
-//! `flat_equivalence` test suite and the `profile_sim` bench.
+//! All engine variants ([`EngineConfig`]) draw from the RNG in the same
+//! order, service links in the same order and land packets in the same
+//! order, so they produce **byte-identical [`SimStats`]** — enforced by
+//! the `flat_equivalence` test suite and the `profile_sim` bench.
 
 use crate::faults::{FaultFlags, FaultLookup};
 use crate::net::{LinkTable, Network, RouteScratch};
@@ -35,20 +45,75 @@ use crate::stats::{CycleSample, SimStats};
 use crate::strategy::Strategy;
 use hhc_core::{CacheConfig, NodeId};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
-use workloads::{Bernoulli, Pattern};
+use workloads::Pattern;
 
-/// Arena of interned routes. Each distinct node sequence is stored once
-/// (deduplicated via a hash index) together with its precomputed per-hop
-/// link ids; packets refer to routes by arena id. Traffic patterns
-/// repeat (src, dst) pairs constantly, so the arena stays small while
-/// packet hand-off becomes a `Copy` of 24 bytes.
+/// How per-link queue state is materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkStoreMode {
+    /// One dense slot per directed link, allocated up front. Memory is
+    /// O(links) — fine up to mid-size topologies, and the reference
+    /// layout the lazy store is benchmarked against.
+    Eager,
+    /// Queue state allocated on first use (slab + paged id→slot map).
+    /// Memory is O(links actually traversed).
+    #[default]
+    Lazy,
+}
+
+/// Link service fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Every packet goes through its link's queue and is popped by the
+    /// per-cycle transmission phase.
+    Full,
+    /// Packets meeting an idle, uncontended link are committed
+    /// analytically (scheduled straight onto the calendar, no queue
+    /// residency); a link is promoted to full queued simulation the
+    /// moment a second packet wants it. Byte-identical statistics to
+    /// [`Fidelity::Full`]. Falls back to full fidelity automatically
+    /// when backpressure (`queue_capacity`) or time-series sampling
+    /// (`sample_every`) is configured, since both observe queue
+    /// residency directly.
+    #[default]
+    Hybrid,
+}
+
+/// Engine variant: link-store mode × link fidelity. All variants
+/// produce byte-identical [`SimStats`]; the choice trades memory and
+/// speed only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineConfig {
+    /// Link-state materialisation (lazy by default).
+    pub store: LinkStoreMode,
+    /// Link service fidelity (hybrid by default).
+    pub fidelity: Fidelity,
+}
+
+impl EngineConfig {
+    /// The reference engine: eager dense link state, full queueing.
+    pub fn reference() -> Self {
+        EngineConfig {
+            store: LinkStoreMode::Eager,
+            fidelity: Fidelity::Full,
+        }
+    }
+}
+
+/// Route-id sentinel marking a ghost queue entry: the stand-in for a
+/// packet that was committed analytically before its link got promoted
+/// to full queued simulation. Never observable outside the engine.
+const GHOST_ROUTE: u32 = u32::MAX;
+
+const ARENA_SHARDS: usize = 16;
+const ARENA_SHARD_BITS: u32 = 4;
+
 #[derive(Debug)]
-pub struct RouteArena {
+struct ArenaShard {
     /// Concatenated node sequences (raw addresses).
     nodes: Vec<u32>,
-    /// Concatenated per-hop link ids: route `r` with `k` nodes has
+    /// Concatenated per-hop link ids: local route `r` with `k` nodes has
     /// `k - 1` entries starting at `offsets[r] - r`.
     links: Vec<u32>,
     /// CSR offsets into `nodes`; `offsets.len() = routes + 1`.
@@ -56,20 +121,41 @@ pub struct RouteArena {
     index: HashMap<Box<[u32]>, u32>,
 }
 
-impl RouteArena {
-    /// An empty arena.
-    pub fn new() -> Self {
-        RouteArena {
+impl Default for ArenaShard {
+    fn default() -> Self {
+        ArenaShard {
             nodes: Vec::new(),
             links: Vec::new(),
             offsets: vec![0],
             index: HashMap::new(),
         }
     }
+}
+
+/// Arena of interned routes. Each distinct node sequence is stored once
+/// (deduplicated via a hash index) together with its precomputed per-hop
+/// link ids; packets refer to routes by arena id. Traffic patterns
+/// repeat (src, dst) pairs constantly, so the arena stays small while
+/// packet hand-off becomes a `Copy` of 24 bytes. Storage is sharded 16
+/// ways by an endpoint hash — ids encode `(local « 4) | shard` — so a
+/// million-node run's route set spreads across sixteen independent
+/// indexes and backing vectors instead of monopolising one allocation.
+#[derive(Debug)]
+pub struct RouteArena {
+    shards: Vec<ArenaShard>,
+}
+
+impl RouteArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RouteArena {
+            shards: (0..ARENA_SHARDS).map(|_| ArenaShard::default()).collect(),
+        }
+    }
 
     /// Number of distinct routes interned so far.
     pub fn len(&self) -> usize {
-        self.offsets.len() - 1
+        self.shards.iter().map(|s| s.offsets.len() - 1).sum()
     }
 
     /// Whether no route has been interned.
@@ -77,42 +163,68 @@ impl RouteArena {
         self.len() == 0
     }
 
+    fn shard_of(route: &[u32]) -> usize {
+        // FNV-1a over (src, dst, len): routes of one flow co-locate,
+        // different flows spread.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in [route[0], route[route.len() - 1], route.len() as u32] {
+            h ^= w as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h as usize & (ARENA_SHARDS - 1)
+    }
+
     /// Interns `route` (raw node addresses, ≥ 2 nodes), returning its
     /// arena id. A sequence already present is not stored again.
     pub fn intern(&mut self, route: &[u32], table: &LinkTable) -> u32 {
         debug_assert!(route.len() >= 2, "a route needs at least one hop");
-        if let Some(&id) = self.index.get(route) {
-            return id;
+        let si = Self::shard_of(route);
+        let shard = &mut self.shards[si];
+        if let Some(&local) = shard.index.get(route) {
+            return (local << ARENA_SHARD_BITS) | si as u32;
         }
-        let id = (self.offsets.len() - 1) as u32;
-        self.nodes.extend_from_slice(route);
+        let local = (shard.offsets.len() - 1) as u32;
+        shard.nodes.extend_from_slice(route);
         for w in route.windows(2) {
-            self.links.push(table.link_id(w[0], w[1]));
+            shard.links.push(table.link_id(w[0], w[1]));
         }
-        self.offsets.push(self.nodes.len() as u32);
-        self.index.insert(route.into(), id);
+        shard.offsets.push(shard.nodes.len() as u32);
+        shard.index.insert(route.into(), local);
+        let id = (local << ARENA_SHARD_BITS) | si as u32;
+        debug_assert_ne!(id, GHOST_ROUTE, "route id space exhausted");
         id
+    }
+
+    #[inline]
+    fn locate(&self, r: u32) -> (&ArenaShard, usize) {
+        (
+            &self.shards[(r & (ARENA_SHARDS as u32 - 1)) as usize],
+            (r >> ARENA_SHARD_BITS) as usize,
+        )
     }
 
     /// Node sequence of route `r`.
     #[inline]
     pub fn route_nodes(&self, r: u32) -> &[u32] {
-        &self.nodes[self.offsets[r as usize] as usize..self.offsets[r as usize + 1] as usize]
+        let (s, local) = self.locate(r);
+        &s.nodes[s.offsets[local] as usize..s.offsets[local + 1] as usize]
     }
 
     /// Per-hop link ids of route `r` (`route_len(r) - 1` entries; entry
     /// `h` is the link from node `h` to node `h + 1`).
     #[inline]
     pub fn route_links(&self, r: u32) -> &[u32] {
-        let lo = self.offsets[r as usize] as usize - r as usize;
-        let hi = self.offsets[r as usize + 1] as usize - (r as usize + 1);
-        &self.links[lo..hi]
+        let (s, local) = self.locate(r);
+        let lo = s.offsets[local] as usize - local;
+        let hi = s.offsets[local + 1] as usize - (local + 1);
+        &s.links[lo..hi]
     }
 
     /// Node count of route `r`.
     #[inline]
     pub fn route_len(&self, r: u32) -> u32 {
-        self.offsets[r as usize + 1] - self.offsets[r as usize]
+        let (s, local) = self.locate(r);
+        s.offsets[local + 1] - s.offsets[local]
     }
 }
 
@@ -122,15 +234,151 @@ impl Default for RouteArena {
     }
 }
 
+/// Per-link simulation state. Materialised by [`LinkStore`] only when a
+/// link is first used (lazy mode); `VecDeque::new` does not allocate, so
+/// an untouched slot costs its struct size alone.
+#[derive(Debug)]
+pub(crate) struct LinkState {
+    /// FIFO of queued packets (may start with a ghost entry in hybrid
+    /// fidelity — see [`Fidelity::Hybrid`]).
+    pub(crate) queue: VecDeque<FlatPacket>,
+    /// Cycle through which the link is occupied by its last transmission.
+    pub(crate) busy_until: u64,
+    /// Committed service-start cycle of the most recent transmission,
+    /// plus one (0 = never). Lets the hybrid deposit path detect an
+    /// analytically committed packet whose service is still in the
+    /// future and must be re-materialised as a ghost.
+    pub(crate) last_pop1: u64,
+    /// Queue-occupancy snapshot for backpressure, valid iff
+    /// `occ_cycle` equals the current cycle.
+    pub(crate) occ: u64,
+    pub(crate) occ_cycle: u64,
+    /// Whether the link is on the active/pending worklist.
+    pub(crate) in_active: bool,
+}
+
+impl LinkState {
+    fn new() -> Self {
+        LinkState {
+            queue: VecDeque::new(),
+            busy_until: 0,
+            last_pop1: 0,
+            occ: 0,
+            occ_cycle: u64::MAX,
+            in_active: false,
+        }
+    }
+}
+
+const PAGE_BITS: u32 = 10;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+#[derive(Debug)]
+enum Slots {
+    Eager(Vec<LinkState>),
+    Lazy {
+        slab: Vec<LinkState>,
+        /// Page table from link id to slab slot; an entry holds
+        /// `slot + 1`, 0 meaning not materialised, so fresh pages are
+        /// plain zeroed allocations.
+        pages: Vec<Option<Box<[u32; PAGE_SIZE]>>>,
+    },
+}
+
+/// Per-link state storage: dense ([`LinkStoreMode::Eager`]) or
+/// materialised on first touch ([`LinkStoreMode::Lazy`]). In lazy mode a
+/// run's resident link state is proportional to the number of distinct
+/// links its traffic crosses, not to the topology's link count.
+#[derive(Debug)]
+pub(crate) struct LinkStore {
+    slots: Slots,
+}
+
+impl LinkStore {
+    pub(crate) fn new(n_links: usize, mode: LinkStoreMode) -> Self {
+        let slots = match mode {
+            LinkStoreMode::Eager => Slots::Eager((0..n_links).map(|_| LinkState::new()).collect()),
+            LinkStoreMode::Lazy => Slots::Lazy {
+                slab: Vec::new(),
+                pages: (0..n_links.div_ceil(PAGE_SIZE)).map(|_| None).collect(),
+            },
+        };
+        LinkStore { slots }
+    }
+
+    /// Link-state slots materialised so far (eager: all of them).
+    pub(crate) fn materialised(&self) -> u64 {
+        match &self.slots {
+            Slots::Eager(v) => v.len() as u64,
+            Slots::Lazy { slab, .. } => slab.len() as u64,
+        }
+    }
+
+    /// Mutable state of `link`, materialising the slot on first touch.
+    #[inline]
+    pub(crate) fn state_mut(&mut self, link: u32) -> &mut LinkState {
+        match &mut self.slots {
+            Slots::Eager(v) => &mut v[link as usize],
+            Slots::Lazy { slab, pages } => {
+                let page = pages[(link >> PAGE_BITS) as usize]
+                    .get_or_insert_with(|| Box::new([0u32; PAGE_SIZE]));
+                let entry = &mut page[(link & (PAGE_SIZE as u32 - 1)) as usize];
+                if *entry == 0 {
+                    slab.push(LinkState::new());
+                    *entry = slab.len() as u32;
+                }
+                &mut slab[(*entry - 1) as usize]
+            }
+        }
+    }
+
+    /// State of `link` if materialised; never allocates.
+    #[inline]
+    pub(crate) fn peek(&self, link: u32) -> Option<&LinkState> {
+        match &self.slots {
+            Slots::Eager(v) => v.get(link as usize),
+            Slots::Lazy { slab, pages } => {
+                let entry = pages[(link >> PAGE_BITS) as usize].as_ref()?
+                    [(link & (PAGE_SIZE as u32 - 1)) as usize];
+                (entry != 0).then(|| &slab[(entry - 1) as usize])
+            }
+        }
+    }
+
+    /// End-of-cycle queue occupancy of `link` for backpressure checks:
+    /// the snapshot taken this `cycle`, or 0 when the link has no
+    /// snapshot (empty queue). Never materialises.
+    #[inline]
+    fn occupancy_at(&self, link: u32, cycle: u64) -> u64 {
+        self.peek(link)
+            .map_or(0, |st| if st.occ_cycle == cycle { st.occ } else { 0 })
+    }
+}
+
+/// A scheduled landing: the packet, the link it is crossing, and the
+/// cycle its transmission started. `(start, link)` is unique per entry
+/// (a link starts at most one transmission per cycle) and defines the
+/// canonical landing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalEntry {
+    /// Cycle the transmission started.
+    pub start: u64,
+    /// Directed link being crossed.
+    pub link: u32,
+    /// The packet in flight.
+    pub pkt: FlatPacket,
+}
+
 /// Bucketed event calendar (timing wheel) over landing cycles. A
-/// transmission started at cycle `c` lands within `[c, c + horizon - 1]`
-/// (the landing delay is at most `packet_len`), so a wheel of `horizon`
-/// slots indexed by `cycle % horizon` never holds two distinct landing
-/// cycles in one slot. Scheduling and draining are O(1) per packet with
-/// no per-cycle allocation — slot buffers are recycled.
+/// transmission committed at cycle `c` lands within `[c, c + horizon - 1]`,
+/// so a wheel of `horizon` slots indexed by `cycle % horizon` never holds
+/// two distinct landing cycles in one slot. Scheduling is O(1);
+/// draining sorts the slot into canonical `(start, link)` order — a
+/// no-op for the full-fidelity engine (which schedules in that order
+/// already) and the step that makes hybrid fidelity land identically.
 #[derive(Debug)]
 pub struct EventCalendar {
-    slots: Vec<Vec<FlatPacket>>,
+    slots: Vec<Vec<CalEntry>>,
     horizon: u64,
     scheduled: u64,
 }
@@ -147,26 +395,179 @@ impl EventCalendar {
         }
     }
 
-    /// Schedules `pkt` to land at cycle `land`, which must be less than
+    /// Schedules `pkt` (crossing `link`, transmission started at
+    /// `start`) to land at cycle `land`, which must be less than
     /// `horizon` cycles past the most recently drained cycle.
     #[inline]
-    pub fn schedule(&mut self, land: u64, pkt: FlatPacket) {
-        self.slots[(land % self.horizon) as usize].push(pkt);
+    pub fn schedule(&mut self, land: u64, start: u64, link: u32, pkt: FlatPacket) {
+        self.slots[(land % self.horizon) as usize].push(CalEntry { start, link, pkt });
         self.scheduled += 1;
     }
 
-    /// Moves the packets landing at `cycle` into `out` (cleared first),
-    /// in scheduling order. `out`'s previous buffer is recycled as the
-    /// slot's storage.
-    pub fn drain_into(&mut self, cycle: u64, out: &mut Vec<FlatPacket>) {
+    /// Moves the entries landing at `cycle` into `out` (cleared first),
+    /// sorted by `(start, link)`. `out`'s previous buffer is recycled as
+    /// the slot's storage.
+    pub fn drain_into(&mut self, cycle: u64, out: &mut Vec<CalEntry>) {
         out.clear();
         std::mem::swap(out, &mut self.slots[(cycle % self.horizon) as usize]);
+        out.sort_unstable_by_key(|e| (e.start, e.link));
         self.scheduled -= out.len() as u64;
     }
 
     /// Packets scheduled but not yet drained.
     pub fn in_flight(&self) -> u64 {
         self.scheduled
+    }
+}
+
+/// The Bernoulli arrival process, evaluated sparsely. Arrivals over the
+/// cycle-major index space `cycle * n_sources + source_rank` form a
+/// Bernoulli(`rate`) sequence; instead of one RNG draw per index, the
+/// sampler draws geometric gaps between hits, so a cycle's injection
+/// phase visits exactly the sources that fire. Rate 0 never fires and
+/// draws nothing; rate ≥ 1 fires every index and draws nothing for the
+/// gaps.
+#[derive(Debug)]
+pub(crate) struct ArrivalSampler {
+    next: u128,
+    mode: ArrivalMode,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ArrivalMode {
+    Off,
+    Dense,
+    Geometric { ln_q: f64 },
+}
+
+impl ArrivalSampler {
+    pub(crate) fn new(rate: f64, rng: &mut StdRng) -> Self {
+        if rate <= 0.0 {
+            return ArrivalSampler {
+                next: u128::MAX,
+                mode: ArrivalMode::Off,
+            };
+        }
+        if rate >= 1.0 {
+            return ArrivalSampler {
+                next: 0,
+                mode: ArrivalMode::Dense,
+            };
+        }
+        let ln_q = (1.0 - rate).ln();
+        let gap = Self::gap(ln_q, rng);
+        ArrivalSampler {
+            next: gap,
+            mode: ArrivalMode::Geometric { ln_q },
+        }
+    }
+
+    /// Indices skipped before the next hit: `floor(ln(1-U)/ln(1-p))`,
+    /// the standard inversion of the geometric CDF. `1 - U ∈ (0, 1]`, so
+    /// the logarithm is finite and ≤ 0; huge gaps (rate ≈ 0) clamp
+    /// rather than overflow the cast.
+    fn gap(ln_q: f64, rng: &mut StdRng) -> u128 {
+        let u: f64 = rng.gen();
+        let g = (1.0 - u).ln() / ln_q;
+        if g >= 1.0e30 {
+            1u128 << 100
+        } else {
+            g as u128
+        }
+    }
+
+    /// Index of the next firing arrival.
+    #[inline]
+    pub(crate) fn next_index(&self) -> u128 {
+        self.next
+    }
+
+    /// Consumes the current firing and positions on the next one.
+    pub(crate) fn advance(&mut self, rng: &mut StdRng) {
+        match self.mode {
+            ArrivalMode::Off => {}
+            ArrivalMode::Dense => self.next += 1,
+            ArrivalMode::Geometric { ln_q } => {
+                self.next = self.next + 1 + Self::gap(ln_q, rng);
+            }
+        }
+    }
+}
+
+/// Deposits `pkt` onto `link`, becoming serviceable at cycle `ready`.
+/// In hybrid fidelity an idle, uncontended link commits the transmission
+/// analytically (calendar only); contention promotes the link to full
+/// queueing, with a ghost entry standing in for a previously committed
+/// packet whose service is still pending.
+#[allow(clippy::too_many_arguments)]
+fn deposit(
+    pkt: FlatPacket,
+    link: u32,
+    ready: u64,
+    last_cycle: u64,
+    hybrid: bool,
+    busy: u64,
+    switching: Switching,
+    store: &mut LinkStore,
+    arena: &RouteArena,
+    calendar: &mut EventCalendar,
+    stats: &mut SimStats,
+    pending: &mut Vec<u32>,
+    ghosts_outstanding: &mut u64,
+) {
+    let st = store.state_mut(link);
+    if hybrid && st.queue.is_empty() {
+        debug_assert!(!st.in_active, "empty queue must be off the worklist");
+        if st.last_pop1 > ready {
+            // An analytically committed packet is still awaiting service
+            // (it pops at last_pop1 - 1): promote to full queueing. The
+            // ghost reproduces that pending pop — the queued engine
+            // would have the real packet at the head here.
+            let t_pend = st.last_pop1 - 1;
+            st.busy_until = t_pend;
+            st.queue.push_back(FlatPacket {
+                id: 0,
+                injected_at: 0,
+                route: GHOST_ROUTE,
+                hop: 0,
+            });
+            st.queue.push_back(pkt);
+            *ghosts_outstanding += 1;
+            stats.max_queue_len = stats.max_queue_len.max(st.queue.len() as u64);
+            st.in_active = true;
+            pending.push(link);
+            return;
+        }
+        if st.busy_until <= ready && ready <= last_cycle {
+            // Uncontended: the queued engine would pop this packet at
+            // exactly `ready` — commit that transmission now.
+            let rlen = arena.route_len(pkt.route);
+            let final_hop = pkt.hop + 2 == rlen;
+            let delay = match switching {
+                Switching::StoreAndForward => busy,
+                Switching::CutThrough => {
+                    if final_hop {
+                        busy
+                    } else {
+                        1
+                    }
+                }
+            };
+            st.busy_until = ready + busy;
+            st.last_pop1 = ready + 1;
+            calendar.schedule(ready + delay - 1, ready, link, pkt);
+            stats.link_transmissions += 1;
+            stats.max_queue_len = stats.max_queue_len.max(1);
+            return;
+        }
+        // Link busy from an already-serviced transmission (or the run
+        // ends before `ready`): fall through to plain queueing.
+    }
+    st.queue.push_back(pkt);
+    stats.max_queue_len = stats.max_queue_len.max(st.queue.len() as u64);
+    if !st.in_active {
+        st.in_active = true;
+        pending.push(link);
     }
 }
 
@@ -182,12 +583,20 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
     fault_set: &HashSet<NodeId>,
     route_cache: CacheConfig,
     cfg: SimConfig,
+    engine: EngineConfig,
     mut trace: Option<&mut Vec<DeliveryRecord>>,
 ) -> SimStats {
     let busy = cfg.packet_len.max(1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let arrivals = Bernoulli::new(cfg.inject_rate);
     let n_nodes = 1usize << net.address_bits();
+    // Hybrid fidelity is exact only while nothing observes queue
+    // residency mid-service: backpressure reads occupancy and sampling
+    // reads queue depth, so either forces full fidelity.
+    let hybrid = engine.fidelity == Fidelity::Hybrid
+        && cfg.queue_capacity.is_none()
+        && cfg.sample_every == 0;
+    let total_cycles = cfg.cycles + cfg.drain_cycles;
+    let last_cycle = total_cycles.saturating_sub(1);
     let mut stats = SimStats {
         nodes: net.num_addresses() as u64,
         cycles: cfg.cycles,
@@ -197,86 +606,105 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
     let table = LinkTable::build(net);
     let n_links = table.num_links();
     let mut arena = RouteArena::new();
-    let mut queues: Vec<VecDeque<FlatPacket>> = vec![VecDeque::new(); n_links];
-    // Cycle through which each link is occupied by its last transmission.
-    let mut busy_until = vec![0u64; n_links];
-    // Non-empty-queue links, visited in ascending id order (= legacy
-    // BTreeMap order): `active` is sorted; links becoming non-empty are
-    // appended to `pending` (guarded by `in_active`) and merged in
-    // before each transmission phase.
+    let mut store = LinkStore::new(n_links, engine.store);
+    // Non-empty-queue links, visited in ascending id order: `active` is
+    // sorted; links becoming non-empty are appended to `pending`
+    // (guarded by `LinkState::in_active`) and merged in before each
+    // transmission phase.
     let mut active: Vec<u32> = Vec::new();
     let mut pending: Vec<u32> = Vec::new();
     let mut merge_buf: Vec<u32> = Vec::new();
-    let mut in_active = vec![false; n_links];
-    // Queue-occupancy snapshot for backpressure (finite-buffer mode
-    // only); `occ_touched` remembers which entries need zeroing.
-    let mut occupancy: Vec<u64> = if cfg.queue_capacity.is_some() {
-        vec![0; n_links]
-    } else {
-        Vec::new()
-    };
-    let mut occ_touched: Vec<u32> = Vec::new();
-    let mut calendar = EventCalendar::new(busy);
-    let mut landed: Vec<FlatPacket> = Vec::new();
+    // An analytic landing can trail the drain cursor by up to `busy`
+    // cycles (phase-3 deposits commit at `cycle + 1`).
+    let mut calendar = EventCalendar::new(busy + 1);
+    let mut landed: Vec<CalEntry> = Vec::new();
     let mut route_scratch = RouteScratch::with_route_cache(route_cache);
     let faults = FaultFlags::from_set(fault_set, n_nodes);
+    // Injection order is cycle-major over the healthy sources in
+    // ascending address order; with no faults ranks are addresses.
+    let healthy: Option<Vec<u32>> = (!faults.is_empty()).then(|| {
+        (0..n_nodes as u32)
+            .filter(|&raw| !faults.is_faulty(NodeId::from_raw(raw as u128)))
+            .collect()
+    });
+    let n_healthy = healthy.as_ref().map_or(n_nodes, Vec::len);
+    let mut arrivals = ArrivalSampler::new(cfg.inject_rate, &mut rng);
     let mut route_buf: Vec<NodeId> = Vec::new();
     let mut idx_buf: Vec<u32> = Vec::new();
     let mut next_id = 0u64;
+    let mut ghosts_outstanding = 0u64;
 
-    for cycle in 0..cfg.cycles + cfg.drain_cycles {
-        // Phase 1: injection (disabled during drain).
-        if cycle < cfg.cycles {
-            for raw in 0..n_nodes as u32 {
+    for cycle in 0..total_cycles {
+        // Phase 1: injection (disabled during drain). Only the sources
+        // whose arrival fires this cycle are visited.
+        if cycle < cfg.cycles && n_healthy > 0 {
+            let base = cycle as u128 * n_healthy as u128;
+            let limit = base + n_healthy as u128;
+            while arrivals.next_index() < limit {
+                let rank = (arrivals.next_index() - base) as usize;
+                let raw = healthy.as_ref().map_or(rank as u32, |h| h[rank]);
                 let src = NodeId::from_raw(raw as u128);
-                if faults.is_faulty(src) || !arrivals.fires(&mut rng) {
-                    continue;
-                }
-                let Some(dst) = pattern.destination(net, src, &mut rng) else {
-                    stats.self_addressed += 1;
-                    continue;
-                };
-                if faults.is_faulty(dst) {
-                    stats.dropped_dst_faulty += 1;
-                    continue;
-                }
-                if strategy.select_into(
-                    net,
-                    src,
-                    dst,
-                    &faults,
-                    &mut rng,
-                    &mut route_scratch,
-                    &mut route_buf,
-                ) {
+                // The labelled block gives every rejected attempt a
+                // single exit that still advances the sampler.
+                'attempt: {
+                    let Some(dst) = pattern.destination(net, src, &mut rng) else {
+                        stats.self_addressed += 1;
+                        break 'attempt;
+                    };
+                    if faults.is_faulty(dst) {
+                        stats.dropped_dst_faulty += 1;
+                        break 'attempt;
+                    }
+                    if !strategy.select_into(
+                        net,
+                        src,
+                        dst,
+                        &faults,
+                        &mut rng,
+                        &mut route_scratch,
+                        &mut route_buf,
+                    ) {
+                        stats.dropped_unroutable += 1;
+                        break 'attempt;
+                    }
                     idx_buf.clear();
                     idx_buf.extend(route_buf.iter().map(|v| v.raw() as u32));
                     let rid = arena.intern(&idx_buf, &table);
-                    // Ids are consumed even by backpressure drops,
-                    // mirroring the legacy engine's numbering.
+                    // Ids are consumed even by backpressure drops, so
+                    // the numbering is capacity-invariant.
                     let id = next_id;
                     next_id += 1;
-                    let link = arena.route_links(rid)[0] as usize;
-                    let q = &mut queues[link];
-                    if cfg.queue_capacity.is_some_and(|cap| q.len() as u64 >= cap) {
+                    let link = arena.route_links(rid)[0];
+                    if cfg
+                        .queue_capacity
+                        .is_some_and(|cap| store.state_mut(link).queue.len() as u64 >= cap)
+                    {
                         stats.dropped_backpressure += 1;
-                        continue;
+                        break 'attempt;
                     }
                     stats.injected += 1;
-                    q.push_back(FlatPacket {
-                        id,
-                        injected_at: cycle,
-                        route: rid,
-                        hop: 0,
-                    });
-                    stats.max_queue_len = stats.max_queue_len.max(q.len() as u64);
-                    if !in_active[link] {
-                        in_active[link] = true;
-                        pending.push(link as u32);
-                    }
-                } else {
-                    stats.dropped_unroutable += 1;
+                    deposit(
+                        FlatPacket {
+                            id,
+                            injected_at: cycle,
+                            route: rid,
+                            hop: 0,
+                        },
+                        link,
+                        cycle,
+                        last_cycle,
+                        hybrid,
+                        busy,
+                        cfg.switching,
+                        &mut store,
+                        &arena,
+                        &mut calendar,
+                        &mut stats,
+                        &mut pending,
+                        &mut ghosts_outstanding,
+                    );
                 }
+                arrivals.advance(&mut rng);
             }
         }
 
@@ -308,21 +736,40 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
         // packet, in link-id order. Links whose queue empties are
         // compacted out of the active list in place.
         if cfg.queue_capacity.is_some() {
-            for &l in &occ_touched {
-                occupancy[l as usize] = 0;
-            }
-            occ_touched.clear();
             for &l in &active {
-                occupancy[l as usize] = queues[l as usize].len() as u64;
-                occ_touched.push(l);
+                let st = store.state_mut(l);
+                st.occ = st.queue.len() as u64;
+                st.occ_cycle = cycle;
             }
         }
         let mut started_this_cycle = 0u64;
         let mut w = 0usize;
         for i in 0..active.len() {
             let l = active[i];
-            let li = l as usize;
-            if busy_until[li] > cycle {
+            let head = {
+                let st = store.state_mut(l);
+                if st.busy_until > cycle {
+                    None
+                } else {
+                    Some(*st.queue.front().expect("active link has a packet"))
+                }
+            };
+            let Some(head) = head else {
+                active[w] = l;
+                w += 1;
+                continue;
+            };
+            if head.route == GHOST_ROUTE {
+                // The pending analytic transmission starts now; its
+                // packet is already on the calendar.
+                let st = store.state_mut(l);
+                st.queue.pop_front();
+                st.busy_until = cycle + busy;
+                ghosts_outstanding -= 1;
+                debug_assert!(
+                    !st.queue.is_empty(),
+                    "a ghost always has a real packet behind it"
+                );
                 active[w] = l;
                 w += 1;
                 continue;
@@ -330,10 +777,9 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
             if let Some(cap) = cfg.queue_capacity {
                 // Peek: where would the head go next? The final hop
                 // leaves the network, so only intermediate hops check.
-                let head = queues[li].front().expect("active link has a packet");
                 if head.hop + 2 < arena.route_len(head.route) {
                     let next_link = arena.route_links(head.route)[head.hop as usize + 1];
-                    if occupancy[next_link as usize] >= cap {
+                    if store.occupancy_at(next_link, cycle) >= cap {
                         stats.backpressure_stalls += 1;
                         active[w] = l;
                         w += 1;
@@ -341,9 +787,7 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
                     }
                 }
             }
-            let pkt = queues[li].pop_front().expect("active link has a packet");
-            busy_until[li] = cycle + busy;
-            let final_hop = pkt.hop + 2 == arena.route_len(pkt.route);
+            let final_hop = head.hop + 2 == arena.route_len(head.route);
             let delay = match cfg.switching {
                 Switching::StoreAndForward => busy,
                 Switching::CutThrough => {
@@ -354,11 +798,17 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
                     }
                 }
             };
-            calendar.schedule(cycle + delay - 1, pkt);
+            let st = store.state_mut(l);
+            let pkt = st.queue.pop_front().expect("active link has a packet");
+            st.busy_until = cycle + busy;
+            st.last_pop1 = cycle + 1;
+            let emptied = st.queue.is_empty();
+            if emptied {
+                st.in_active = false;
+            }
+            calendar.schedule(cycle + delay - 1, cycle, l, pkt);
             started_this_cycle += 1;
-            if queues[li].is_empty() {
-                in_active[li] = false;
-            } else {
+            if !emptied {
                 active[w] = l;
                 w += 1;
             }
@@ -366,9 +816,11 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
         active.truncate(w);
         stats.link_transmissions += started_this_cycle;
 
-        // Phase 3: land packets whose hop completes this cycle.
+        // Phase 3: land packets whose hop completes this cycle, in
+        // canonical (start, link) order.
         calendar.drain_into(cycle, &mut landed);
-        for mut pkt in landed.drain(..) {
+        for entry in landed.drain(..) {
+            let mut pkt = entry.pkt;
             pkt.hop += 1;
             let rlen = arena.route_len(pkt.route);
             if pkt.hop + 1 == rlen {
@@ -391,24 +843,33 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
                     });
                 }
             } else {
-                let link = arena.route_links(pkt.route)[pkt.hop as usize] as usize;
-                let q = &mut queues[link];
-                q.push_back(pkt);
-                stats.max_queue_len = stats.max_queue_len.max(q.len() as u64);
-                if !in_active[link] {
-                    in_active[link] = true;
-                    pending.push(link as u32);
-                }
+                let link = arena.route_links(pkt.route)[pkt.hop as usize];
+                deposit(
+                    pkt,
+                    link,
+                    cycle + 1,
+                    last_cycle,
+                    hybrid,
+                    busy,
+                    cfg.switching,
+                    &mut store,
+                    &arena,
+                    &mut calendar,
+                    &mut stats,
+                    &mut pending,
+                    &mut ghosts_outstanding,
+                );
             }
         }
 
         // Time-series sampling: end-of-cycle snapshot. active ∪ pending
         // covers every non-empty queue (phase 3 lands into pending).
+        // Sampling forces full fidelity, so queue depths are exact.
         if cfg.sample_every > 0 && cycle % cfg.sample_every == 0 {
             let mut queued_packets = 0u64;
             let mut max_queue_len = 0u64;
             for &l in active.iter().chain(pending.iter()) {
-                let len = queues[l as usize].len() as u64;
+                let len = store.peek(l).map_or(0, |st| st.queue.len() as u64);
                 queued_packets += len;
                 max_queue_len = max_queue_len.max(len);
             }
@@ -434,12 +895,19 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
         }
     }
 
+    // Ghosts pop strictly before the loop can end (their service cycle
+    // is within the run and their link stays active until then), so the
+    // correction below is defensive.
+    debug_assert_eq!(ghosts_outstanding, 0, "ghost survived the run");
     stats.in_flight_at_end = active
         .iter()
         .chain(pending.iter())
-        .map(|&l| queues[l as usize].len() as u64)
+        .map(|&l| store.peek(l).map_or(0, |st| st.queue.len() as u64))
         .sum::<u64>()
-        + calendar.in_flight();
+        + calendar.in_flight()
+        - ghosts_outstanding;
+    stats.peak_links_materialised = store.materialised();
+    stats.links_total = n_links as u64;
     let routing = route_scratch.construction_metrics();
     stats.route_constructions = routing.construction.queries;
     stats.route_family_hits = routing.construction.family_hits;
@@ -490,25 +958,61 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(arena.route_nodes(c), &other[..]);
         assert_eq!(arena.route_links(c).len(), other.len() - 1);
+        assert_eq!(arena.len(), 2);
     }
 
     #[test]
-    fn calendar_slots_by_cycle_and_recycles_buffers() {
-        let mut cal = EventCalendar::new(4);
-        let pkt = |id| FlatPacket {
+    fn arena_shards_spread_and_stay_consistent() {
+        let (h, t) = table();
+        let mut arena = RouteArena::new();
+        let mut routes = Vec::new();
+        for dst in 1u32..40 {
+            if let Ok(r) = h.route(NodeId::from_raw(0), NodeId::from_raw(dst as u128)) {
+                routes.push(r.iter().map(|v| v.raw() as u32).collect::<Vec<u32>>());
+            }
+        }
+        let ids: Vec<u32> = routes.iter().map(|r| arena.intern(r, &t)).collect();
+        assert_eq!(arena.len(), routes.len());
+        let shards: std::collections::HashSet<u32> = ids
+            .iter()
+            .map(|id| id & (ARENA_SHARDS as u32 - 1))
+            .collect();
+        assert!(shards.len() > 1, "all routes landed in one shard");
+        for (r, &id) in routes.iter().zip(&ids) {
+            assert_eq!(arena.route_nodes(id), &r[..]);
+            assert_eq!(arena.route_len(id) as usize, r.len());
+            let links = arena.route_links(id);
+            for (i, w) in r.windows(2).enumerate() {
+                assert_eq!(links[i], t.link_id(w[0], w[1]));
+            }
+        }
+    }
+
+    fn pkt(id: u64) -> FlatPacket {
+        FlatPacket {
             id,
             injected_at: 0,
             route: 0,
             hop: 0,
-        };
-        cal.schedule(10, pkt(1));
-        cal.schedule(13, pkt(2));
-        cal.schedule(10, pkt(3));
-        assert_eq!(cal.in_flight(), 3);
+        }
+    }
+
+    #[test]
+    fn calendar_slots_by_cycle_and_sorts_canonically() {
+        let mut cal = EventCalendar::new(4);
+        // Same landing cycle, scheduled out of canonical order.
+        cal.schedule(10, 9, 7, pkt(1));
+        cal.schedule(13, 13, 0, pkt(2));
+        cal.schedule(10, 8, 3, pkt(3));
+        cal.schedule(10, 9, 2, pkt(4));
+        assert_eq!(cal.in_flight(), 4);
         let mut out = Vec::new();
         cal.drain_into(10, &mut out);
-        // Scheduling order within a slot is preserved.
-        assert_eq!(out.iter().map(|p| p.id).collect::<Vec<_>>(), vec![1, 3]);
+        // Canonical (start, link) order, not insertion order.
+        assert_eq!(
+            out.iter().map(|e| e.pkt.id).collect::<Vec<_>>(),
+            vec![3, 4, 1]
+        );
         assert_eq!(cal.in_flight(), 1);
         cal.drain_into(11, &mut out);
         assert!(out.is_empty());
@@ -520,17 +1024,64 @@ mod tests {
     #[test]
     fn zero_horizon_clamps_to_one() {
         let mut cal = EventCalendar::new(0);
-        cal.schedule(
-            7,
-            FlatPacket {
-                id: 0,
-                injected_at: 0,
-                route: 0,
-                hop: 0,
-            },
-        );
+        cal.schedule(7, 7, 0, pkt(0));
         let mut out = Vec::new();
         cal.drain_into(7, &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn lazy_store_materialises_only_touched_links() {
+        let mut store = LinkStore::new(10_000, LinkStoreMode::Lazy);
+        assert_eq!(store.materialised(), 0);
+        assert!(store.peek(1234).is_none());
+        store.state_mut(1234).busy_until = 7;
+        store.state_mut(9_999).busy_until = 9;
+        store.state_mut(1234).last_pop1 = 3; // re-touch: no new slot
+        assert_eq!(store.materialised(), 2);
+        assert_eq!(store.peek(1234).unwrap().busy_until, 7);
+        assert_eq!(store.peek(9_999).unwrap().busy_until, 9);
+        assert!(store.peek(0).is_none());
+        assert!(store.peek(1235).is_none(), "same page, different link");
+    }
+
+    #[test]
+    fn eager_store_materialises_everything_up_front() {
+        let store = LinkStore::new(48, LinkStoreMode::Eager);
+        assert_eq!(store.materialised(), 48);
+        assert!(store.peek(47).is_some());
+    }
+
+    #[test]
+    fn sampler_rate_one_fires_every_index_and_zero_never() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut dense = ArrivalSampler::new(1.0, &mut rng);
+        for i in 0..100u128 {
+            assert_eq!(dense.next_index(), i);
+            dense.advance(&mut rng);
+        }
+        let mut off = ArrivalSampler::new(0.0, &mut rng);
+        assert_eq!(off.next_index(), u128::MAX);
+        off.advance(&mut rng);
+        assert_eq!(off.next_index(), u128::MAX);
+    }
+
+    #[test]
+    fn sampler_hit_rate_matches_bernoulli_rate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let rate = 0.05;
+        let mut s = ArrivalSampler::new(rate, &mut rng);
+        let horizon: u128 = 400_000;
+        let mut hits = 0u64;
+        while s.next_index() < horizon {
+            hits += 1;
+            s.advance(&mut rng);
+        }
+        let expect = rate * horizon as f64;
+        let sigma = (horizon as f64 * rate * (1.0 - rate)).sqrt();
+        assert!(
+            (hits as f64 - expect).abs() < 5.0 * sigma,
+            "hits {hits} vs expected {expect}"
+        );
     }
 }

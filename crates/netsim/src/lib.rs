@@ -19,7 +19,6 @@
 pub mod fault;
 pub mod faults;
 pub mod flat;
-pub mod legacy;
 pub mod net;
 pub mod packet;
 pub mod sim;
@@ -27,6 +26,7 @@ pub mod stats;
 pub mod strategy;
 
 pub use faults::{FaultFlags, FaultLookup, FaultSet};
+pub use flat::{EngineConfig, Fidelity, LinkStoreMode};
 pub use hhc_core::CacheConfig;
 pub use net::{CubeNet, LinkTable, Network, RouteScratch};
 pub use sim::{DeliveryRecord, SimConfig, SimError, Simulator, Switching};

@@ -71,10 +71,14 @@ impl LinkTable {
     ///
     /// # Panics
     ///
-    /// Panics above 16 address bits (the table is dense in nodes);
-    /// [`crate::Simulator::try_new`] rejects such networks first.
+    /// Panics above [`crate::sim::MAX_ADDRESS_BITS`] address bits (the
+    /// table is dense in nodes); [`crate::Simulator::try_new`] rejects
+    /// such networks first.
     pub fn build<N: Network + ?Sized>(net: &N) -> Self {
-        assert!(net.address_bits() <= 16, "link table on a huge network");
+        assert!(
+            net.address_bits() <= crate::sim::MAX_ADDRESS_BITS,
+            "link table on a huge network"
+        );
         let n = 1usize << net.address_bits();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::new();
@@ -173,10 +177,14 @@ pub trait Network: AddressSpace {
     ///
     /// # Panics
     ///
-    /// Panics above 16 address bits; [`crate::Simulator::try_new`]
-    /// rejects such networks before any sweep can reach this.
+    /// Panics above [`crate::sim::MAX_ADDRESS_BITS`] address bits;
+    /// [`crate::Simulator::try_new`] rejects such networks before any
+    /// sweep can reach this.
     fn all_nodes(&self) -> Vec<NodeId> {
-        assert!(self.address_bits() <= 16, "all_nodes on a huge network");
+        assert!(
+            self.address_bits() <= crate::sim::MAX_ADDRESS_BITS,
+            "all_nodes on a huge network"
+        );
         (0..1u128 << self.address_bits())
             .map(NodeId::from_raw)
             .collect()

@@ -1,13 +1,10 @@
 //! Packets: source-routed, with injection timestamps for latency stats.
 //!
-//! Two representations exist. [`Packet`] owns its route as a
-//! `Vec<NodeId>` and is used by the legacy reference engine and by
-//! delivery traces. [`FlatPacket`] is the flat-core representation: a
-//! `Copy` struct that carries only an id into the run's
-//! [`RouteArena`](crate::flat::RouteArena) plus a hop index, so moving a
-//! packet between queues never allocates.
-
-use hhc_core::NodeId;
+//! The engine's packet is [`FlatPacket`]: a `Copy` struct that carries
+//! only an id into the run's [`RouteArena`](crate::flat::RouteArena)
+//! plus a hop index, so moving a packet between queues never allocates.
+//! Delivery traces ([`crate::DeliveryRecord`]) expand the interned route
+//! back into nodes only for delivered packets.
 
 /// A packet in the flat simulation core. Routes are interned in the
 /// run's [`RouteArena`](crate::flat::RouteArena); the packet carries the
@@ -22,91 +19,4 @@ pub struct FlatPacket {
     pub route: u32,
     /// Index into the route's node sequence of the current position.
     pub hop: u32,
-}
-
-/// A packet in flight. The route is fixed at injection (source routing);
-/// `hop` indexes the node the packet currently sits at.
-#[derive(Debug, Clone)]
-pub struct Packet {
-    /// Unique id (injection order).
-    pub id: u64,
-    /// Cycle the packet entered the network.
-    pub injected_at: u64,
-    /// Full node sequence from source to destination, inclusive.
-    pub route: Vec<NodeId>,
-    /// Index into `route` of the current position.
-    pub hop: usize,
-}
-
-impl Packet {
-    /// Creates a packet at the start of its route.
-    pub fn new(id: u64, injected_at: u64, route: Vec<NodeId>) -> Self {
-        assert!(route.len() >= 2, "a packet needs at least one hop");
-        Packet {
-            id,
-            injected_at,
-            route,
-            hop: 0,
-        }
-    }
-
-    /// Node the packet currently occupies.
-    #[inline]
-    pub fn current(&self) -> NodeId {
-        self.route[self.hop]
-    }
-
-    /// Next node on the route (`None` at the destination).
-    #[inline]
-    pub fn next(&self) -> Option<NodeId> {
-        self.route.get(self.hop + 1).copied()
-    }
-
-    /// Advances one hop; returns `true` if the destination was reached.
-    pub fn advance(&mut self) -> bool {
-        debug_assert!(self.hop + 1 < self.route.len());
-        self.hop += 1;
-        self.hop + 1 == self.route.len()
-    }
-
-    /// Source node.
-    #[inline]
-    pub fn src(&self) -> NodeId {
-        self.route[0]
-    }
-
-    /// Destination node.
-    #[inline]
-    pub fn dst(&self) -> NodeId {
-        *self.route.last().expect("non-empty route")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn nid(x: u128) -> NodeId {
-        NodeId::from_raw(x)
-    }
-
-    #[test]
-    fn lifecycle() {
-        let mut p = Packet::new(1, 10, vec![nid(0), nid(1), nid(3)]);
-        assert_eq!(p.src(), nid(0));
-        assert_eq!(p.dst(), nid(3));
-        assert_eq!(p.current(), nid(0));
-        assert_eq!(p.next(), Some(nid(1)));
-        assert!(!p.advance());
-        assert_eq!(p.current(), nid(1));
-        assert!(p.advance());
-        assert_eq!(p.current(), nid(3));
-        assert_eq!(p.next(), None);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one hop")]
-    fn rejects_trivial_route() {
-        Packet::new(0, 0, vec![nid(5)]);
-    }
 }

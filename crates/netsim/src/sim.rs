@@ -14,16 +14,20 @@
 //! The engine is fully deterministic under (`SimConfig::seed`, topology,
 //! pattern, strategy).
 //!
-//! Two interchangeable cores implement the model. [`Simulator::run`]
-//! executes the **flat core** ([`crate::flat`]): dense integer-indexed
-//! link queues over a CSR link table, interned routes, and a timing-
-//! wheel event calendar. [`Simulator::run_legacy`] executes the original
-//! `BTreeMap`-based engine ([`crate::legacy`]), retained as the
-//! reference: both cores draw from the RNG in the same order and service
-//! links in the same order, so their [`SimStats`] are byte-identical.
-//! [`Simulator::run_many`] fans independent seeded replications across
-//! rayon workers and merges their statistics.
+//! [`Simulator::run`] executes the **flat core** ([`crate::flat`]):
+//! u32 link ids over a CSR link table, link-queue state materialised
+//! lazily on first use, interned routes in a sharded arena, a
+//! skip-sampled arrival stream, and a timing-wheel event calendar. Per
+//! cycle, cost is proportional to *traffic* (active links and landing
+//! packets), not to topology size; together with the engine's hybrid
+//! link fidelity ([`crate::flat::Fidelity`]) this lets HHC(4) — 2^20
+//! nodes — run packet-level end-to-end. All engine variants
+//! ([`crate::flat::EngineConfig`]) are byte-identical in their
+//! [`SimStats`]: same RNG draw order, same link service order, same
+//! landing order. [`Simulator::run_many`] fans independent seeded
+//! replications across rayon workers and merges their statistics.
 
+use crate::flat::EngineConfig;
 use crate::net::Network;
 use crate::stats::SimStats;
 use crate::strategy::Strategy;
@@ -31,6 +35,15 @@ use hhc_core::{CacheConfig, NodeId};
 use rayon::prelude::*;
 use std::collections::HashSet;
 use workloads::Pattern;
+
+/// Largest network (in address bits) the engine accepts. 20 bits admits
+/// HHC(4) (2^20 ≈ 1M nodes) and its matching cube Q_20. The bound is
+/// set by the dense per-node structures that remain after the lazy link
+/// store: the CSR link-table offsets, the fault-flag table, and the
+/// pattern/arrival index space — all linear in node count, ~10 bytes per
+/// node at 20 bits. Raising it further is a memory budget question, not
+/// an algorithmic one.
+pub(crate) const MAX_ADDRESS_BITS: u32 = 20;
 
 /// Switching discipline: how a multi-flit packet crosses a link chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,8 +116,11 @@ impl Default for SimConfig {
 /// Errors from simulator construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimError {
-    /// The network has too many address bits to iterate every node each
-    /// cycle (the slotted engine materialises the node list).
+    /// The network exceeds [`Simulator::MAX_ADDRESS_BITS`] address bits
+    /// (currently 20, i.e. up to HHC(4)/Q_20 at 2^20 nodes). Even with
+    /// the lazy link store the engine keeps a few dense per-node tables
+    /// (CSR link offsets, fault flags), so the address space must stay
+    /// materialisable.
     NetworkTooLarge {
         /// Address bits of the offending network.
         address_bits: u32,
@@ -150,25 +166,30 @@ pub struct Simulator<'a, N: Network + ?Sized> {
     strategy: Strategy,
     faults: HashSet<NodeId>,
     route_cache: CacheConfig,
+    engine: EngineConfig,
 }
 
 impl<'a, N: Network + ?Sized> Simulator<'a, N> {
-    /// Largest network (address bits) the slotted engine will iterate.
-    pub const MAX_ADDRESS_BITS: u32 = 16;
+    /// Largest network (address bits) the engine accepts — 20, which
+    /// admits HHC(4) (2^20 nodes) and Q_20. See
+    /// [`SimError::NetworkTooLarge`] for what still scales with nodes.
+    pub const MAX_ADDRESS_BITS: u32 = MAX_ADDRESS_BITS;
 
-    /// Creates a simulator with no faults.
+    /// Creates a simulator with no faults and the default engine
+    /// (lazy link store, hybrid fidelity — see [`EngineConfig`]).
     ///
     /// # Panics
     ///
     /// Panics when the network exceeds [`Simulator::MAX_ADDRESS_BITS`]
-    /// address bits (the engine iterates every node each cycle); use
+    /// (= 20) address bits — the engine keeps dense per-node tables, so
+    /// the address space must stay materialisable; use
     /// [`Simulator::try_new`] for a typed error instead.
     pub fn new(net: &'a N, pattern: Pattern, strategy: Strategy) -> Self {
         Self::try_new(net, pattern, strategy).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible form of [`Simulator::new`]: rejects networks too large to
-    /// iterate per cycle with [`SimError::NetworkTooLarge`].
+    /// Fallible form of [`Simulator::new`]: rejects networks past the
+    /// 20-bit address bound with [`SimError::NetworkTooLarge`].
     pub fn try_new(net: &'a N, pattern: Pattern, strategy: Strategy) -> Result<Self, SimError> {
         if net.address_bits() > Self::MAX_ADDRESS_BITS {
             return Err(SimError::NetworkTooLarge {
@@ -182,7 +203,17 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
             strategy,
             faults: HashSet::new(),
             route_cache: CacheConfig::default(),
+            engine: EngineConfig::default(),
         })
+    }
+
+    /// Selects the engine variant (link-store mode × link fidelity).
+    /// Every variant produces byte-identical [`SimStats`]; the choice
+    /// only affects memory and speed. The default (lazy + hybrid) is
+    /// right for everything except microbenchmark baselines.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Installs a fault set (faulty nodes inject nothing, carry nothing,
@@ -213,6 +244,7 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
             &self.faults,
             self.route_cache,
             cfg,
+            self.engine,
             None,
         )
     }
@@ -230,24 +262,10 @@ impl<'a, N: Network + ?Sized> Simulator<'a, N> {
             &self.faults,
             self.route_cache,
             cfg,
+            self.engine,
             Some(&mut records),
         );
         (stats, records)
-    }
-
-    /// Runs the original `BTreeMap`-based engine ([`crate::legacy`]).
-    /// Produces byte-identical [`SimStats`] to [`Simulator::run`]; kept
-    /// for equivalence testing and the `profile_sim` before/after
-    /// benchmark until the flat core has burned in.
-    pub fn run_legacy(&self, cfg: SimConfig) -> SimStats {
-        crate::legacy::run_legacy(
-            self.net,
-            self.pattern,
-            self.strategy,
-            &self.faults,
-            self.route_cache,
-            cfg,
-        )
     }
 
     /// Runs `n_runs` independent replications of `cfg` — run `i` uses

@@ -68,6 +68,13 @@ pub struct SimStats {
     /// instead of re-running fans and max-flows. Routes are identical
     /// either way; this only measures construction effort saved.
     pub route_family_hits: u64,
+    /// Link-state slots materialised by the engine's link store — the
+    /// number of distinct directed links the run's traffic actually
+    /// crossed (lazy store), or the full link count (eager store).
+    /// Always ≤ [`links_total`](Self::links_total).
+    pub peak_links_materialised: u64,
+    /// Directed links in the simulated topology.
+    pub links_total: u64,
     /// Latency distribution of delivered packets (power-of-two buckets;
     /// always populated — recording a `u64` into a fixed array is cheap).
     pub latency_hist: Histogram,
@@ -129,6 +136,21 @@ impl SimStats {
             .then(|| self.route_family_hits as f64 / self.route_constructions as f64)
     }
 
+    /// Estimated engine memory per node (bytes): the dense CSR link
+    /// table plus the materialised link-state slots (slab entry + page
+    /// map), amortised over the node count. A derived observability
+    /// figure — it tracks the lazy store's memory win in sidecars, not
+    /// an exact RSS accounting.
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        let link_state = std::mem::size_of::<crate::flat::LinkState>() as u64 + 8;
+        let table = self.links_total * 8;
+        let store = self.peak_links_materialised * link_state;
+        (table + store) as f64 / self.nodes as f64
+    }
+
     /// Mean queued-packet count over the captured time series, or `None`
     /// when sampling was disabled (no samples).
     pub fn mean_sampled_queue_depth(&self) -> Option<f64> {
@@ -165,6 +187,12 @@ impl SimStats {
         self.nodes = self.nodes.max(other.nodes);
         self.route_constructions += other.route_constructions;
         self.route_family_hits += other.route_family_hits;
+        // Replications run sequentially in memory terms: the peak is the
+        // largest single run's footprint, and the topology is shared.
+        self.peak_links_materialised = self
+            .peak_links_materialised
+            .max(other.peak_links_materialised);
+        self.links_total = self.links_total.max(other.links_total);
         self.latency_hist.merge(&other.latency_hist);
         self.samples.extend_from_slice(&other.samples);
     }
@@ -190,6 +218,9 @@ impl SimStats {
         o.u64("nodes", self.nodes);
         o.u64("route_constructions", self.route_constructions);
         o.u64("route_family_hits", self.route_family_hits);
+        o.u64("peak_links_materialised", self.peak_links_materialised);
+        o.u64("links_total", self.links_total);
+        o.f64("bytes_per_node", self.bytes_per_node());
         // NaN degrades to JSON null, keeping the key set stable.
         o.f64("mean_latency", self.mean_latency().unwrap_or(f64::NAN));
         o.f64("mean_hops", self.mean_hops().unwrap_or(f64::NAN));
@@ -374,6 +405,32 @@ mod merge_tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
+
+    #[test]
+    fn memory_estimates_and_merge_take_max() {
+        let a = SimStats {
+            nodes: 64,
+            peak_links_materialised: 10,
+            links_total: 192,
+            ..Default::default()
+        };
+        assert!(a.bytes_per_node() > 0.0);
+        // More materialised slots → strictly more bytes per node.
+        let b = SimStats {
+            peak_links_materialised: 40,
+            ..a.clone()
+        };
+        assert!(b.bytes_per_node() > a.bytes_per_node());
+        assert_eq!(SimStats::default().bytes_per_node(), 0.0);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.peak_links_materialised, 40);
+        assert_eq!(m.links_total, 192);
+        let j = b.to_json(192);
+        assert!(j.contains("\"peak_links_materialised\":40"));
+        assert!(j.contains("\"links_total\":192"));
+        assert!(j.contains("\"bytes_per_node\":"));
+    }
 
     #[test]
     fn link_utilization_edges() {
