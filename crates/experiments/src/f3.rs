@@ -14,7 +14,7 @@
 
 use crate::table::Table;
 use crate::util;
-use hhc_core::{Hhc, NodeId};
+use hhc_core::{CrossingOrder, Hhc, NodeId, Workspace};
 use netsim::fault::analyze_with;
 use netsim::{FaultSet, RouteScratch};
 use rayon::prelude::*;
@@ -126,4 +126,189 @@ pub fn run_adversarial() {
         ]);
     }
     t.emit("f3b_adversarial");
+}
+
+/// F3c — constructive fault avoidance vs selection-time filtering.
+///
+/// F3's "multipath ok" is exactly what `Strategy::FaultAdaptive`
+/// achieves: build the family fault-blind, keep the survivors. This
+/// sweep puts `Strategy::FaultFree`'s engine — the fault-aware
+/// construction `disjoint_paths_avoiding` — next to it at every fault
+/// count: delivery is possible iff the avoiding family is non-empty.
+/// The avoiding family always contains at least the plain survivors
+/// (the constructor falls back to them), so its curve dominates the
+/// filtered curve pointwise; the gap is the delivery the reroute
+/// machinery buys once faults blanket the fault-blind family. The last
+/// columns track the achieved fault diameter — the longest path any
+/// avoiding family used — against the `wide.rs`/`bounds.rs` wide-
+/// diameter upper bound.
+///
+/// Honours `EXPERIMENT_QUICK=1` (CI smoke): fewer trials, sparser sweep.
+pub fn run_constructive() {
+    let m = 3u32;
+    let h = Hhc::new(m).unwrap();
+    let quick = std::env::var("EXPERIMENT_QUICK").is_ok();
+    let trials: u32 = if quick { 150 } else { 1000 };
+    let sweep: &[usize] = if quick {
+        &[0, 2, 4, 9, 32, 128, 512]
+    } else {
+        &[0, 1, 2, 3, 4, 6, 9, 16, 32, 64, 128, 256, 512]
+    };
+    let bound = hhc_core::bounds::wide_diameter_upper_bound(&h) as usize;
+    let mut t = Table::new(
+        &format!(
+            "F3c: fault-aware construction vs selection-time filtering \
+             (HHC(3), {trials} trials/row, wide-diameter bound {bound})"
+        ),
+        &[
+            "f",
+            "filtered ok",
+            "constructive ok",
+            "reroute rate",
+            "avg avoiding paths",
+            "max len",
+        ],
+    );
+    let mut rng = util::rng(0xF3C0);
+    let mut worst_len = 0usize;
+    for &f in sweep {
+        let inputs: Vec<(NodeId, NodeId, FaultSet)> = (0..trials)
+            .map(|_| {
+                let (u, v) = util::random_pair(&h, &mut rng);
+                let faults = FaultSet::from_set(&random_fault_set(&h, f, &[u, v], &mut rng));
+                (u, v, faults)
+            })
+            .collect();
+        let row = constructive_row(&h, &inputs);
+        worst_len = worst_len.max(row.max_len);
+        if f as u32 <= m {
+            assert_eq!(row.constructive, trials, "guarantee violated at f={f}");
+        }
+        t.row(row.cells(f, trials));
+    }
+    assert!(
+        worst_len <= bound,
+        "avoiding path of length {worst_len} exceeds the wide-diameter bound {bound}"
+    );
+    t.emit("f3c_constructive");
+
+    // The adversarial companion: faults placed *on* the pair's plain
+    // family (one interior node per path, round-robin), the placement
+    // that defeats selection-time filtering by design. At f = m + 1
+    // filtering delivers 0; the fault-aware construction reroutes
+    // around the blanket, because the adversary only knows the
+    // fault-blind family.
+    let adv_trials: u32 = if quick { 150 } else { 500 };
+    let mut t = Table::new(
+        &format!(
+            "F3c-adv: constructive delivery under adversarial placement \
+             on the fault-blind family (HHC(3), {adv_trials} trials/row)"
+        ),
+        &[
+            "f",
+            "filtered ok",
+            "constructive ok",
+            "reroute rate",
+            "avg avoiding paths",
+            "max len",
+        ],
+    );
+    let mut rng = util::rng(0xF3C1);
+    for f in 0..=(m as usize + 2) {
+        let inputs: Vec<(NodeId, NodeId, FaultSet)> = (0..adv_trials)
+            .map(|_| {
+                let (u, v) = util::random_pair(&h, &mut rng);
+                let paths = h.disjoint_paths(u, v).unwrap();
+                let faults =
+                    FaultSet::from_set(&workloads::adversarial_fault_set(&paths, f, &mut rng));
+                (u, v, faults)
+            })
+            .collect();
+        let row = constructive_row(&h, &inputs);
+        assert!(
+            row.max_len <= bound,
+            "avoiding path of length {} exceeds the wide-diameter bound {bound}",
+            row.max_len
+        );
+        t.row(row.cells(f, adv_trials));
+    }
+    t.emit("f3c_adversarial");
+}
+
+/// Aggregates of one F3c sweep row.
+struct ConstructiveRow {
+    /// Trials where ≥ 1 plain-family member survived the faults — what
+    /// `Strategy::FaultAdaptive` needs to deliver.
+    filtered: u32,
+    /// Trials where the avoiding family was non-empty — what
+    /// `Strategy::FaultFree` needs to deliver.
+    constructive: u32,
+    /// Trials where the avoiding construction deviated from the plain
+    /// family.
+    rerouted: u32,
+    /// Total avoiding-family sizes (for the mean).
+    paths_sum: u64,
+    /// Longest avoiding path seen (hops) — the achieved fault diameter.
+    max_len: usize,
+}
+
+impl ConstructiveRow {
+    fn cells(&self, f: usize, trials: u32) -> Vec<String> {
+        vec![
+            f.to_string(),
+            util::f4(self.filtered as f64 / trials as f64),
+            util::f4(self.constructive as f64 / trials as f64),
+            util::f4(self.rerouted as f64 / trials as f64),
+            util::f2(self.paths_sum as f64 / trials as f64),
+            self.max_len.to_string(),
+        ]
+    }
+}
+
+/// Analyses one batch of (pair, fault set) trials both ways — plain
+/// family filtered after the fact vs fault-aware construction — in
+/// parallel, each worker holding its own scratch and workspace.
+fn constructive_row(h: &Hhc, inputs: &[(NodeId, NodeId, FaultSet)]) -> ConstructiveRow {
+    let per_trial: Vec<(u32, u32, u32, u64, usize)> = inputs
+        .par_iter()
+        .map_init(
+            || (RouteScratch::new(), Workspace::new()),
+            |(scratch, ws), (u, v, faults)| {
+                let plain = analyze_with(h, *u, *v, faults, scratch);
+                let (outcome, set) = ws
+                    .construct_avoiding(h, *u, *v, CrossingOrder::Gray, faults)
+                    .expect("valid pair, healthy endpoints");
+                // The avoiding family can never do worse than filtering:
+                // the constructor keeps the plain survivors when the
+                // rebuild recovers fewer.
+                assert!(
+                    outcome.paths as u32 >= plain.surviving_paths,
+                    "avoiding family smaller than the survivor set"
+                );
+                let longest = set.iter().map(|p| p.len() - 1).max().unwrap_or(0);
+                (
+                    plain.multipath_ok as u32,
+                    (outcome.paths > 0) as u32,
+                    outcome.rerouted as u32,
+                    outcome.paths as u64,
+                    longest,
+                )
+            },
+        )
+        .collect();
+    let mut row = ConstructiveRow {
+        filtered: 0,
+        constructive: 0,
+        rerouted: 0,
+        paths_sum: 0,
+        max_len: 0,
+    };
+    for (f, c, r, p, l) in per_trial {
+        row.filtered += f;
+        row.constructive += c;
+        row.rerouted += r;
+        row.paths_sum += p;
+        row.max_len = row.max_len.max(l);
+    }
+    row
 }

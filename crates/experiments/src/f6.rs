@@ -87,6 +87,6 @@ fn row<N: Network>(t: &mut Table, sidecar: &mut Vec<String>, net: &N, rate: f64,
         util::f2(rate),
         util::f2(stats.mean_latency().unwrap_or(0.0)),
         util::f2(stats.mean_hops().unwrap_or(0.0)),
-        util::f4(stats.link_utilization(links)),
+        util::f4(stats.link_utilization()),
     ]);
 }

@@ -41,6 +41,7 @@ fn main() {
         ("f1", f1::run),
         ("f2", f2::run),
         ("f3", f3::run),
+        ("f3c", f3::run_constructive),
         ("f4", f4::run),
         ("f5", f5::run),
         ("f6", f6::run),
@@ -60,7 +61,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown experiment {which:?}; expected one of \
-                     t1 t2 t3 t4 t5 t6 t7 f1 f2 f3 f4 f5 f6 f7 f8 f9 all"
+                     t1 t2 t3 t4 t5 t6 t7 f1 f2 f3 f3c f4 f5 f6 f7 f8 f9 all"
                 );
                 std::process::exit(2);
             }

@@ -43,6 +43,8 @@ pub enum Command {
         v: (u128, u32),
         sorted: bool,
         metrics: bool,
+        /// Faulty nodes the family must avoid (empty = plain construction).
+        avoid: Vec<(u128, u32)>,
     },
     Wide {
         m: u32,
@@ -79,8 +81,9 @@ impl std::fmt::Display for CliError {
 pub const USAGE: &str = "usage:
   hhc info <m>                         topology facts for HHC(m)
   hhc route <m> <X:Y> <X:Y>            single Gray route between two nodes
-  hhc disjoint <m> <X:Y> <X:Y> [--sorted] [--metrics]
-                                       the m+1 node-disjoint paths (verified)
+  hhc disjoint <m> <X:Y> <X:Y> [--sorted] [--metrics] [--avoid X:Y,X:Y,...]
+                                       the m+1 node-disjoint paths (verified);
+                                       --avoid builds a family around faults
   hhc wide <m> [--samples N] [--metrics]
                                        wide-diameter estimate
   hhc stats <m> [--pairs N] [--seed S] construction metrics over random pairs
@@ -145,10 +148,29 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
         "disjoint" => {
             let (mut sorted, mut metrics) = (false, false);
-            for a in &args[4.min(args.len())..] {
-                match a.as_str() {
-                    "--sorted" if !sorted => sorted = true,
-                    "--metrics" if !metrics => metrics = true,
+            let mut avoid: Option<Vec<(u128, u32)>> = None;
+            let mut i = 4.min(args.len());
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--sorted" if !sorted => {
+                        sorted = true;
+                        i += 1;
+                    }
+                    "--metrics" if !metrics => {
+                        metrics = true;
+                        i += 1;
+                    }
+                    "--avoid" if avoid.is_none() => {
+                        let list = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError("--avoid needs a node list".into()))?;
+                        avoid = Some(
+                            list.split(',')
+                                .map(parse_node)
+                                .collect::<Result<Vec<_>, _>>()?,
+                        );
+                        i += 2;
+                    }
                     other => return Err(CliError(format!("unexpected argument {other:?}"))),
                 }
             }
@@ -158,6 +180,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 v: node(3)?,
                 sorted,
                 metrics,
+                avoid: avoid.unwrap_or_default(),
             })
         }
         "wide" => {
@@ -277,6 +300,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             v,
             sorted,
             metrics,
+            ref avoid,
         } => {
             let h = net(m)?;
             let (u, v) = (mk(&h, u)?, mk(&h, v)?);
@@ -287,17 +311,49 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             };
             let mut ws = Workspace::new();
             ws.enable_timing(metrics);
-            let paths = ws
-                .construct(&h, u, v, order)
-                .map_err(|e| CliError(e.to_string()))?
-                .to_paths();
+            let paths = if avoid.is_empty() {
+                let paths = ws
+                    .construct(&h, u, v, order)
+                    .map_err(|e| CliError(e.to_string()))?
+                    .to_paths();
+                let bound = bounds::length_bound(&h, u, v);
+                let _ = writeln!(
+                    out,
+                    "{} node-disjoint paths (verified; bound {bound}):",
+                    paths.len()
+                );
+                paths
+            } else {
+                let faults = avoid
+                    .iter()
+                    .map(|&a| mk(&h, a))
+                    .collect::<Result<std::collections::HashSet<NodeId>, _>>()?;
+                let (outcome, set) = ws
+                    .construct_avoiding(&h, u, v, order, &faults)
+                    .map_err(|e| CliError(e.to_string()))?;
+                let paths = set.to_paths();
+                for p in &paths {
+                    if let Some(w) = p.iter().find(|w| faults.contains(w)) {
+                        return Err(CliError(format!(
+                            "internal error: path visits avoided node {}",
+                            h.format_node(*w)
+                        )));
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "{} node-disjoint paths avoiding {} faults (verified; {}):",
+                    paths.len(),
+                    faults.len(),
+                    if outcome.rerouted {
+                        "rerouted around faults"
+                    } else {
+                        "plain family already fault-free"
+                    }
+                );
+                paths
+            };
             verify::verify_disjoint_paths(&h, u, v, &paths).map_err(CliError)?;
-            let bound = bounds::length_bound(&h, u, v);
-            let _ = writeln!(
-                out,
-                "{} node-disjoint paths (verified; bound {bound}):",
-                paths.len()
-            );
             for (i, p) in paths.iter().enumerate() {
                 let hops: Vec<String> = p.iter().map(|x| h.format_node(*x)).collect();
                 let _ = writeln!(out, "  P{i} len {:2}: {}", p.len() - 1, hops.join(" -> "));
@@ -480,7 +536,8 @@ mod tests {
                 u: (0, 1),
                 v: (0xF, 2),
                 sorted: true,
-                metrics: false
+                metrics: false,
+                avoid: vec![]
             })
         );
         assert_eq!(
@@ -490,7 +547,8 @@ mod tests {
                 u: (0, 1),
                 v: (0xF, 2),
                 sorted: true,
-                metrics: true
+                metrics: true,
+                avoid: vec![]
             })
         );
         assert_eq!(
@@ -525,6 +583,17 @@ mod tests {
                 v: (0x2B, 4)
             })
         );
+        assert_eq!(
+            parse(&argv("disjoint 2 0:1 f:2 --avoid a:0,b:1 --sorted")),
+            Ok(Command::Disjoint {
+                m: 2,
+                u: (0, 1),
+                v: (0xF, 2),
+                sorted: true,
+                metrics: false,
+                avoid: vec![(0xA, 0), (0xB, 1)]
+            })
+        );
         assert!(parse(&argv("bogus")).is_err());
         assert!(parse(&argv("")).is_err());
     }
@@ -551,6 +620,7 @@ mod tests {
             v: (0xA, 3),
             sorted: false,
             metrics: false,
+            avoid: vec![],
         })
         .unwrap();
         assert!(out.contains("3 node-disjoint paths (verified"));
@@ -578,6 +648,7 @@ mod tests {
             v: (0x2B, 5),
             sorted: false,
             metrics: true,
+            avoid: vec![],
         })
         .unwrap();
         assert!(out.contains("metrics: {\"queries\":1"));
@@ -622,6 +693,54 @@ mod tests {
         );
     }
 
+    /// `--avoid` routes the construction through the fault-aware entry
+    /// point: the printed family must dodge the avoided nodes, and an
+    /// avoided endpoint is a user-facing error.
+    #[test]
+    fn execute_disjoint_avoiding() {
+        // 0:1 is an interior node of one plain path for this pair.
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0, 0).unwrap();
+        let v = h.node(0xA, 3).unwrap();
+        let plain = h.disjoint_paths(u, v).unwrap();
+        let fault = plain[0][plain[0].len() / 2];
+        let (fx, fy) = (h.cube_field(fault), h.node_field(fault));
+        let out = execute(&Command::Disjoint {
+            m: 2,
+            u: (0, 0),
+            v: (0xA, 3),
+            sorted: false,
+            metrics: false,
+            avoid: vec![(fx, fy)],
+        })
+        .unwrap();
+        assert!(out.contains("avoiding 1 faults"));
+        assert!(out.contains("rerouted around faults"));
+        assert!(!out.contains(&h.format_node(fault)));
+        // A fault missing the family reports the plain-family fast path.
+        let out = execute(&Command::Disjoint {
+            m: 2,
+            u: (0, 0),
+            v: (0xA, 3),
+            sorted: false,
+            metrics: false,
+            avoid: vec![(0x5, 0)],
+        })
+        .unwrap();
+        assert!(out.contains("plain family already fault-free"));
+        // Avoiding an endpoint is an error, not a panic.
+        let err = execute(&Command::Disjoint {
+            m: 2,
+            u: (0, 0),
+            v: (0xA, 3),
+            sorted: false,
+            metrics: false,
+            avoid: vec![(0, 0)],
+        })
+        .unwrap_err();
+        assert!(err.0.contains("faulty"));
+    }
+
     #[test]
     fn strict_parsing_rejects_stray_arguments() {
         for bad in [
@@ -629,6 +748,9 @@ mod tests {
             "route 2 0:1 f:2 junk",
             "disjoint 2 0:1 f:2 --bogus",
             "disjoint 2 0:1 f:2 --sorted --sorted",
+            "disjoint 2 0:1 f:2 --avoid",
+            "disjoint 2 0:1 f:2 --avoid zz:1",
+            "disjoint 2 0:1 f:2 --avoid 1:0 --avoid 2:0",
             "wide 4 --samples",
             "wide 4 --samples 10 trailing",
             "stats 3 --pairs",
@@ -701,7 +823,8 @@ mod tests {
             u: (0, 0),
             v: (0, 0),
             sorted: false,
-            metrics: false
+            metrics: false,
+            avoid: vec![]
         })
         .is_err());
     }

@@ -20,8 +20,11 @@
 //! `tests/batch_equivalence.rs`).
 
 use crate::disjoint::family_cache::CacheConfig;
-use crate::disjoint::{disjoint_paths_into, CrossingOrder, PathBuilder};
+use crate::disjoint::{
+    disjoint_paths_avoiding_into, disjoint_paths_into, AvoidOutcome, CrossingOrder, PathBuilder,
+};
 use crate::error::HhcError;
+use crate::fault::FaultOracle;
 use crate::metrics::MetricsReport;
 use crate::node::NodeId;
 use crate::pathset::PathSet;
@@ -70,6 +73,29 @@ impl Workspace {
     ) -> Result<&PathSet, HhcError> {
         disjoint_paths_into(hhc, u, v, order, &mut self.set, &mut self.builder)?;
         Ok(&self.set)
+    }
+
+    /// Constructs a fault-avoiding family for one pair into the owned
+    /// [`PathSet`]; see [`crate::disjoint_paths_avoiding`]. With an
+    /// empty fault set this is exactly [`Workspace::construct`].
+    pub fn construct_avoiding(
+        &mut self,
+        hhc: &Hhc,
+        u: NodeId,
+        v: NodeId,
+        order: CrossingOrder,
+        faults: &dyn FaultOracle,
+    ) -> Result<(AvoidOutcome, &PathSet), HhcError> {
+        let outcome = disjoint_paths_avoiding_into(
+            hhc,
+            u,
+            v,
+            order,
+            faults,
+            &mut self.set,
+            &mut self.builder,
+        )?;
+        Ok((outcome, &self.set))
     }
 
     /// Constructs, verifies (count, disjointness, length bound) and
@@ -151,6 +177,28 @@ pub fn construct_many_with(
                 // Cloning the warm arena sizes the output exactly; building
                 // into a cold PathSet would pay growth reallocations per pair.
                 Ok(tmp.clone())
+            },
+        )
+        .collect()
+}
+
+/// Constructs a fault-avoiding family for every pair against one shared
+/// fault oracle, fanning out over rayon like [`construct_many`].
+/// Per-pair results (paths and outcome) are identical to calling
+/// [`crate::disjoint_paths_avoiding`] per pair.
+pub fn construct_many_avoiding(
+    hhc: &Hhc,
+    pairs: &[(NodeId, NodeId)],
+    order: CrossingOrder,
+    faults: &(dyn FaultOracle + Sync),
+) -> Result<Vec<(PathSet, AvoidOutcome)>, HhcError> {
+    pairs
+        .par_iter()
+        .map_init(
+            || (PathBuilder::new(), PathSet::new()),
+            |(scratch, tmp), &(u, v)| {
+                let outcome = disjoint_paths_avoiding_into(hhc, u, v, order, faults, tmp, scratch)?;
+                Ok((tmp.clone(), outcome))
             },
         )
         .collect()

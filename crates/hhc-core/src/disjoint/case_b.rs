@@ -47,7 +47,7 @@ const SELF: u32 = u32::MAX;
 /// `order`, anchored at `anchor` (Gray order starts at the first position
 /// the Gray cycle visits at-or-after the anchor). Scratch-buffer
 /// equivalent of `hypercube::gray::sort_along_gray_cycle`.
-fn order_positions_into(
+pub(super) fn order_positions_into(
     d: &[u32],
     m: u32,
     anchor: u32,

@@ -21,11 +21,15 @@
 //! [`crate::verify::verify_disjoint_paths`]; the test suite does so
 //! exhaustively for m ∈ {1, 2} and on large samples for m ∈ {3..6}.
 
+mod avoid;
 mod case_b;
 pub mod family_cache;
 pub mod plan;
 
+pub use avoid::AvoidOutcome;
+
 use crate::error::HhcError;
+use crate::fault::FaultOracle;
 use crate::metrics::{ConstructionMetrics, MetricsReport};
 use crate::node::NodeId;
 use crate::pathset::PathSet;
@@ -111,6 +115,16 @@ pub struct PathBuilder {
     seg_tgt: Vec<u32>,
     src_fan: FanScratch,
     tgt_fan: FanScratch,
+    // Fault-avoiding rebuild scratch (see `avoid`): survivor snapshot,
+    // per-path blocked flags, the full candidate-plan arena with its
+    // selection state, priority order and current selection.
+    avoid_tmp: PathSet,
+    avoid_blocked: Vec<bool>,
+    avoid_cand_pos: Vec<u32>,
+    avoid_cand_off: Vec<u32>,
+    avoid_priority: Vec<u32>,
+    avoid_state: Vec<u8>,
+    avoid_sel: Vec<u32>,
     // Symmetry caches (see `family_cache` and `hypercube::fancache`):
     // canonical fan solutions shared by both terminal engines, and whole
     // canonical families. Owned per builder — batch workers never lock.
@@ -246,6 +260,52 @@ pub fn disjoint_paths_into(
     scratch: &mut PathBuilder,
 ) -> Result<(), HhcError> {
     construct_into(hhc, u, v, order, out, scratch, false).map(|_| ())
+}
+
+/// Constructs internally vertex-disjoint paths from `u` to `v` that
+/// avoid every node the oracle reports faulty.
+///
+/// With an empty fault set (or one that misses the plain family) the
+/// result is byte-identical to [`disjoint_paths`] and `rerouted` is
+/// `false`. Otherwise the family is rebuilt from the spare crossing
+/// plans of the candidate pool (see the [`avoid`] module docs); with
+/// `f ≤ m - 1` faults a non-empty fault-free family always exists and
+/// the rebuild usually recovers all `m + 1` paths. As faults grow the
+/// family degrades gracefully — fewer paths, eventually zero — but
+/// never panics and never returns a path through a faulty node.
+///
+/// # Errors
+/// [`HhcError::EqualNodes`] if `u == v`; [`HhcError::FaultyEndpoint`] if
+/// either endpoint is itself faulty; address validation errors if a node
+/// does not belong to `hhc`.
+pub fn disjoint_paths_avoiding(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    order: CrossingOrder,
+    faults: &dyn FaultOracle,
+) -> Result<(Vec<Path>, AvoidOutcome), HhcError> {
+    let mut out = PathSet::new();
+    let mut scratch = PathBuilder::new();
+    let outcome = avoid::avoid_into(hhc, u, v, order, faults, &mut out, &mut scratch)?;
+    Ok((out.to_paths(), outcome))
+}
+
+/// [`disjoint_paths_avoiding`] writing into caller-owned buffers, the
+/// scratch-reusing twin of [`disjoint_paths_into`]. `out` is cleared and
+/// receives the fault-free family; the returned [`AvoidOutcome`] reports
+/// its size and whether construction had to deviate from the plain
+/// family.
+pub fn disjoint_paths_avoiding_into(
+    hhc: &Hhc,
+    u: NodeId,
+    v: NodeId,
+    order: CrossingOrder,
+    faults: &dyn FaultOracle,
+    out: &mut PathSet,
+    scratch: &mut PathBuilder,
+) -> Result<AvoidOutcome, HhcError> {
+    avoid::avoid_into(hhc, u, v, order, faults, out, scratch)
 }
 
 /// The single construction core behind every public entry point.

@@ -16,6 +16,9 @@ pub enum HhcError {
     NodeOutOfRange(NodeId),
     /// Operation requires two distinct nodes.
     EqualNodes,
+    /// A fault-avoiding query named a faulty node as an endpoint — no
+    /// fault-free path can start or end there.
+    FaultyEndpoint(NodeId),
     /// Materialisation requested above the explicit-graph guard (`m ≤ 4`).
     TooLargeToMaterialize(u32),
     /// The operation is valid in principle but not supported at this
@@ -32,6 +35,7 @@ impl std::fmt::Display for HhcError {
             HhcError::NodeFieldOutOfRange(y) => write!(f, "node field {y:#x} out of range"),
             HhcError::NodeOutOfRange(v) => write!(f, "node {v:?} outside this network"),
             HhcError::EqualNodes => write!(f, "operation requires distinct nodes"),
+            HhcError::FaultyEndpoint(v) => write!(f, "endpoint {v:?} is itself faulty"),
             HhcError::TooLargeToMaterialize(m) => {
                 write!(f, "refusing to materialise HHC(m={m}) (> 2^20 nodes)")
             }

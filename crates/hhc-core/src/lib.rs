@@ -55,6 +55,7 @@ pub mod bounds;
 pub mod collectives;
 pub mod disjoint;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod node;
 pub mod pathset;
@@ -64,16 +65,20 @@ pub mod verify;
 pub mod wide;
 
 pub use batch::{
-    construct_many, construct_many_metered, construct_many_metered_with, construct_many_serial,
-    construct_many_serial_metered, construct_many_serial_metered_with, construct_many_with,
-    Workspace,
+    construct_many, construct_many_avoiding, construct_many_metered, construct_many_metered_with,
+    construct_many_serial, construct_many_serial_metered, construct_many_serial_metered_with,
+    construct_many_with, Workspace,
 };
 pub use disjoint::family_cache::{
     CacheConfig, FamilyCache, BYPASS_CONSEC_MISSES, BYPASS_HIT_FLOOR, BYPASS_MIN_PROBES,
     DEFAULT_FAMILY_CACHE_CAPACITY,
 };
-pub use disjoint::{disjoint_paths_into, CrossingOrder, PathBuilder};
+pub use disjoint::{
+    disjoint_paths_avoiding, disjoint_paths_avoiding_into, disjoint_paths_into, AvoidOutcome,
+    CrossingOrder, PathBuilder,
+};
 pub use error::HhcError;
+pub use fault::{FaultOracle, NoFaults};
 pub use metrics::{ConstructionMetrics, MetricsReport};
 pub use node::NodeId;
 pub use pathset::PathSet;

@@ -48,6 +48,12 @@ pub struct ConstructionMetrics {
     /// [`PathBuilder::reset_metrics`](crate::PathBuilder::reset_metrics)
     /// and resets only when the cache itself is replaced.
     pub family_bypass_events: u64,
+    /// Fault-avoiding constructions that had to deviate from the plain
+    /// family (at least one plain path intersected the fault set).
+    pub fault_reroutes: u64,
+    /// Candidate crossing plans rejected during fault-avoiding rebuilds
+    /// because a fault blocked their trajectory or terminal stub.
+    pub fault_avoided_plans: u64,
     /// Per-query wall-clock nanoseconds; empty unless timing was enabled.
     pub timing: TimingStats,
 }
@@ -62,6 +68,8 @@ impl ConstructionMetrics {
         self.family_hits += other.family_hits;
         self.family_hits_cross += other.family_hits_cross;
         self.family_bypass_events += other.family_bypass_events;
+        self.fault_reroutes += other.fault_reroutes;
+        self.fault_avoided_plans += other.fault_avoided_plans;
         self.timing.merge(&other.timing);
     }
 
@@ -93,7 +101,10 @@ impl MetricsReport {
     /// Total fan queries across both terminal engines. Case B issues
     /// exactly two (one per side) unless the whole family was replayed
     /// from the family cache, case A none, so this always equals
-    /// `2 * (construction.cross_cube - construction.family_hits_cross)`.
+    /// `2 * (construction.cross_cube - construction.family_hits_cross)`
+    /// for plain constructions. Fault-avoiding rebuilds issue additional
+    /// (uncached) fan queries, so the law holds only while
+    /// `construction.fault_reroutes == 0`.
     pub fn fan_queries(&self) -> u64 {
         self.src_fan.queries + self.tgt_fan.queries
     }
@@ -127,6 +138,8 @@ impl MetricsReport {
         o.u64("family_hits", c.family_hits);
         o.u64("family_hits_cross", c.family_hits_cross);
         o.u64("family_bypass_events", c.family_bypass_events);
+        o.u64("fault_reroutes", c.fault_reroutes);
+        o.u64("fault_avoided_plans", c.fault_avoided_plans);
         if c.timing.count() > 0 {
             o.raw("timing_ns", &c.timing.to_json());
         }

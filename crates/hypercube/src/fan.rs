@@ -191,6 +191,16 @@ impl FanScratch {
         self.path_of_target.len()
     }
 
+    /// Whether `targets[i]` was served by the last [`fan_paths_avoiding`]
+    /// call. Plain fan entry points always serve every target (the fan
+    /// lemma guarantees it), so this is only informative after an
+    /// avoiding query, where forbidden nodes may make some targets
+    /// unreachable. Reading [`FanScratch::path`] for an unserved target
+    /// is a logic error (it panics).
+    pub fn target_served(&self, i: usize) -> bool {
+        self.path_of_target[i] != UNSET
+    }
+
     /// The fan path to `targets[i]` from the last call (`s → targets[i]`).
     pub fn path(&self, i: usize) -> &[Node] {
         let p = self.path_of_target[i] as usize;
@@ -301,6 +311,57 @@ pub fn fan_paths_into(
     }
     solve_dinic(n, s, targets, scratch);
     Ok(())
+}
+
+/// [`fan_paths_into`] restricted to the fault-free subcube: nodes whose
+/// bit is set in `forbidden` are excluded from the flow network (their
+/// vertex capacity is zeroed), so no returned path visits them.
+///
+/// Unlike the plain entry points this is *best-effort*: forbidden nodes
+/// can disconnect targets from the source, so instead of asserting the
+/// fan-lemma value this returns the number of targets actually served.
+/// Check [`FanScratch::target_served`] per target before reading its
+/// path. With `forbidden == 0` this is exactly [`fan_paths_into`] and
+/// serves every target.
+///
+/// Never consults or populates the [`FanCache`] — cached entries are
+/// keyed on `(s, targets)` only and would be unsound to replay against
+/// an arbitrary fault set. The HHC fault-avoiding construction calls
+/// this rarely (only on queries whose plain family is actually blocked),
+/// so the uncached solve is not a hot path.
+///
+/// `forbidden` is a bitmask over node labels, so this entry point is
+/// limited to `n ≤ 6` (64 nodes) — every HHC son-cube qualifies.
+pub fn fan_paths_avoiding(
+    cube: &Cube,
+    s: Node,
+    targets: &[Node],
+    forbidden: u64,
+    scratch: &mut FanScratch,
+) -> Result<usize, FanError> {
+    if cube.dim() > 6 {
+        return Err(FanError::CubeTooLarge(cube.dim()));
+    }
+    let n = validate_and_index(cube, s, targets, scratch)?;
+    debug_assert_eq!(forbidden >> s & 1, 0, "source itself forbidden");
+    if targets.is_empty() {
+        return Ok(0);
+    }
+    if forbidden == 0 {
+        if all_adjacent(s, targets) {
+            write_direct_fan(s, targets, scratch);
+        } else {
+            solve_dinic(n, s, targets, scratch);
+        }
+        return Ok(targets.len());
+    }
+    if all_adjacent(s, targets) && targets.iter().all(|&t| forbidden >> t & 1 == 0) {
+        // Direct edges bypass every interior node, so faults elsewhere in
+        // the cube cannot invalidate the star fan.
+        write_direct_fan(s, targets, scratch);
+        return Ok(targets.len());
+    }
+    Ok(solve_dinic_avoiding(n, s, targets, forbidden, scratch) as usize)
 }
 
 /// Input validation shared by every fan entry point. On success the
@@ -463,6 +524,112 @@ fn solve_dinic(n: u32, s: Node, targets: &[Node], scratch: &mut FanScratch) {
         }
     }
     debug_assert!(scratch.path_of_target.iter().all(|&p| p != UNSET));
+}
+
+/// [`solve_dinic`] over the fault-free subcube: forbidden nodes get
+/// vertex capacity 0, forbidden targets get no terminal arc, and only
+/// non-forbidden adjacent targets are seeded. Returns the max-flow value
+/// (= targets served); unserved targets keep `path_of_target == UNSET`.
+fn solve_dinic_avoiding(
+    n: u32,
+    s: Node,
+    targets: &[Node],
+    forbidden: u64,
+    scratch: &mut FanScratch,
+) -> u32 {
+    scratch.ensure_network(n);
+    let num = 1u32 << n;
+    let sink = 2 * num;
+    let s32 = s as u32;
+    let d = scratch.dinic.as_mut().expect("network built");
+    d.rewind(&scratch.default_caps);
+    d.set_cap(scratch.vertex_arc[s as usize], u32::MAX / 2);
+    // Remove every forbidden node from the network by zeroing its
+    // vertex-split arc: no flow (hence no fan path) can pass through it.
+    let mut f = forbidden;
+    while f != 0 {
+        let v = f.trailing_zeros();
+        f &= f - 1;
+        if v < num {
+            d.set_cap(scratch.vertex_arc[v as usize], 0);
+        }
+    }
+    let mut want = 0u32;
+    for &t in targets {
+        if forbidden >> t & 1 == 0 {
+            d.set_cap(scratch.terminal_arc[t as usize], 1);
+            want += 1;
+        }
+    }
+
+    // Seed direct edges exactly as in the plain solver, but only for
+    // reachable (non-forbidden) targets: forcing a unit through a zeroed
+    // vertex arc would corrupt the flow. The seeding argument from
+    // `solve_dinic` carries over to the fault-free subcube — a served
+    // target is never interior to another path, so its direct edge is
+    // compatible with some maximum fan of the restricted network.
+    let mut seeded = 0u32;
+    for &t in targets {
+        let t32 = t as u32;
+        let diff = t32 ^ s32;
+        if diff.count_ones() == 1 && forbidden >> t & 1 == 0 {
+            let dim = diff.trailing_zeros();
+            d.force_unit(scratch.vertex_arc[s as usize]);
+            d.force_unit(scratch.edge_arc[(s32 * n + dim) as usize]);
+            d.force_unit(scratch.vertex_arc[t as usize]);
+            d.force_unit(scratch.terminal_arc[t as usize]);
+            seeded += 1;
+        }
+    }
+    scratch.metrics.seeded_direct += seeded as u64;
+
+    // No fan-lemma assertion here: faults may legitimately cut targets
+    // off, so the flow value is the answer, not an invariant.
+    let flow = if want > seeded {
+        seeded + d.max_flow_unit(v_in(s32), sink, want - seeded)
+    } else {
+        seeded
+    };
+
+    scratch.rem.clear();
+    scratch.rem.resize(scratch.default_caps.len(), 0);
+    for &slot in d.touched_slots() {
+        scratch.rem[slot as usize] = d.flow_on(2 * slot);
+    }
+    scratch.path_of_target.resize(targets.len(), UNSET);
+    let take = |rem: &mut Vec<u32>, aid: ArcId| -> bool {
+        let slot = &mut rem[(aid / 2) as usize];
+        if *slot > 0 {
+            *slot -= 1;
+            true
+        } else {
+            false
+        }
+    };
+    for p in 0..flow {
+        scratch.tmp_nodes.push(s);
+        let mut cur = s32;
+        loop {
+            let _ = take(&mut scratch.rem, scratch.vertex_arc[cur as usize]);
+            let t_idx = scratch.target_idx[cur as usize];
+            if t_idx != UNSET && take(&mut scratch.rem, scratch.terminal_arc[cur as usize]) {
+                assert_eq!(
+                    scratch.path_of_target[t_idx as usize], UNSET,
+                    "target reached twice"
+                );
+                scratch.path_of_target[t_idx as usize] = p;
+                scratch.tmp_offsets.push(scratch.tmp_nodes.len() as u32);
+                break;
+            }
+            let next = (0..n)
+                .find(|&dim| take(&mut scratch.rem, scratch.edge_arc[(cur * n + dim) as usize]))
+                .map(|dim| cur ^ (1u32 << dim))
+                .expect("flow decomposition stuck (bug)");
+            scratch.tmp_nodes.push(next as Node);
+            cur = next;
+        }
+    }
+    flow
 }
 
 /// Whether a canonical fan query in `Q_n` with `k` targets fits the
@@ -853,6 +1020,114 @@ mod tests {
         }
         assert!(tiny.sweeps() > 0, "capacity 1 must sweep under this load");
         assert!(tiny.len() <= 2);
+    }
+
+    #[test]
+    fn avoiding_with_no_forbidden_matches_plain() {
+        // forbidden == 0 must be byte-identical to the plain entry point.
+        let q = Cube::new(3).unwrap();
+        let nodes: Vec<Node> = (0..8).collect();
+        let mut plain = FanScratch::new();
+        let mut avoid = FanScratch::new();
+        for &s in &nodes {
+            let others: Vec<Node> = nodes.iter().copied().filter(|&x| x != s).collect();
+            for mask in 1u32..(1 << others.len()) {
+                if mask.count_ones() > 3 {
+                    continue;
+                }
+                let targets: Vec<Node> = others
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &t)| t)
+                    .collect();
+                fan_paths_into(&q, s, &targets, &mut plain).unwrap();
+                let served = fan_paths_avoiding(&q, s, &targets, 0, &mut avoid).unwrap();
+                assert_eq!(served, targets.len());
+                for i in 0..targets.len() {
+                    assert!(avoid.target_served(i));
+                    assert_eq!(plain.path(i), avoid.path(i), "s={s} targets={targets:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_respects_forbidden_nodes() {
+        // Random queries with random fault masks: every served path must
+        // be a valid fan path that visits no forbidden node, and when the
+        // remaining connectivity permits, all targets must be served.
+        let q = Cube::new(5).unwrap();
+        let mut sc = FanScratch::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let s = (next() % 32) as Node;
+            let k = (next() % 5 + 1) as usize;
+            let mut targets = Vec::new();
+            while targets.len() < k {
+                let t = (next() % 32) as Node;
+                if t != s && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            // Up to 4 faults, never on the source.
+            let mut forbidden = 0u64;
+            for _ in 0..(next() % 5) {
+                let v = next() % 32;
+                if v != s as u64 {
+                    forbidden |= 1 << v;
+                }
+            }
+            let served = fan_paths_avoiding(&q, s, &targets, forbidden, &mut sc).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            let mut n_served = 0;
+            for (i, &t) in targets.iter().enumerate() {
+                if !sc.target_served(i) {
+                    continue;
+                }
+                n_served += 1;
+                let p = sc.path(i);
+                assert_eq!(p.first(), Some(&s));
+                assert_eq!(p.last(), Some(&t));
+                for w in p.windows(2) {
+                    assert_eq!(q.distance(w[0], w[1]), 1);
+                }
+                for &x in p {
+                    assert_eq!(forbidden >> x & 1, 0, "path visits forbidden node {x:#x}");
+                }
+                for &x in &p[1..] {
+                    assert!(seen.insert(x), "paths share node {x:#x}");
+                }
+            }
+            assert_eq!(served, n_served);
+            // With ≤ 4 faults in a 5-connected cube and no faulty
+            // endpoints, Menger still guarantees min(k, 5 - f) paths.
+            let f = forbidden.count_ones() as usize;
+            let fault_free_targets = targets.iter().filter(|&&t| forbidden >> t & 1 == 0).count();
+            assert!(
+                served >= fault_free_targets.min(5 - f),
+                "served {served} < guaranteed {} (s={s} targets={targets:?} forbidden={forbidden:#x})",
+                fault_free_targets.min(5 - f)
+            );
+        }
+    }
+
+    #[test]
+    fn avoiding_forbidden_target_is_unserved() {
+        let q = Cube::new(3).unwrap();
+        let mut sc = FanScratch::new();
+        let targets = vec![0b001u128, 0b110];
+        let served = fan_paths_avoiding(&q, 0, &targets, 1 << 0b110, &mut sc).unwrap();
+        assert_eq!(served, 1);
+        assert!(sc.target_served(0));
+        assert!(!sc.target_served(1));
+        assert_eq!(sc.path(0), &[0, 0b001]);
     }
 
     #[test]

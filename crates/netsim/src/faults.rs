@@ -13,19 +13,14 @@
 use hhc_core::NodeId;
 use std::collections::HashSet;
 
-/// Membership oracle for faulty nodes. Implemented by
-/// `HashSet<NodeId>` (the ergonomic builder representation) and
-/// [`FaultSet`] (the hot-path representation).
-pub trait FaultLookup {
-    /// Whether `v` is faulty.
-    fn is_faulty(&self, v: NodeId) -> bool;
-}
-
-impl FaultLookup for HashSet<NodeId> {
-    fn is_faulty(&self, v: NodeId) -> bool {
-        self.contains(&v)
-    }
-}
+/// Membership oracle for faulty nodes — the construction-layer
+/// [`hhc_core::FaultOracle`] re-exported under the simulator's
+/// historical name. One trait serves both layers: `HashSet<NodeId>`
+/// (the ergonomic builder representation, implemented in `hhc-core`),
+/// [`FaultSet`] and [`FaultFlags`] (the hot-path representations,
+/// implemented here) all plug directly into both the selection
+/// strategies and the fault-avoiding construction.
+pub use hhc_core::FaultOracle as FaultLookup;
 
 /// A fault set stored as a sorted, deduplicated vector and probed by
 /// binary search.
@@ -79,6 +74,10 @@ impl FaultLookup for FaultSet {
     fn is_faulty(&self, v: NodeId) -> bool {
         self.contains(v)
     }
+
+    fn fault_count(&self) -> usize {
+        self.len()
+    }
 }
 
 /// Dense per-node fault flags for materialised networks: one `bool` per
@@ -124,6 +123,10 @@ impl FaultLookup for FaultFlags {
     #[inline]
     fn is_faulty(&self, v: NodeId) -> bool {
         *self.flags.get(v.raw() as usize).unwrap_or(&false)
+    }
+
+    fn fault_count(&self) -> usize {
+        self.faulty
     }
 }
 

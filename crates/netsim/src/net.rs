@@ -7,6 +7,7 @@
 //! services the strategies need — a deterministic single route and the
 //! family of internally node-disjoint routes.
 
+use crate::faults::FaultLookup;
 use hhc_core::{
     CacheConfig, CrossingOrder, Hhc, MetricsReport, NodeId, Path, PathBuilder, PathSet,
 };
@@ -23,6 +24,12 @@ pub struct RouteScratch {
     /// The route family of the most recent query, as a flat [`PathSet`].
     pub(crate) set: PathSet,
     pub(crate) builder: PathBuilder,
+    /// Fault-free family of the most recent avoiding query (kept apart
+    /// from `set` so the default filter can read one while writing the
+    /// other).
+    pub(crate) avoid_set: PathSet,
+    /// Indices of fault-free family members, for single-pass selection.
+    pub(crate) alive_idx: Vec<u32>,
     qdims: Vec<u32>,
     qnodes: Vec<u128>,
     qoffsets: Vec<u32>,
@@ -172,6 +179,36 @@ pub trait Network: AddressSpace {
         &scratch.set
     }
 
+    /// A family of internally node-disjoint routes that avoids every
+    /// node the oracle reports faulty — possibly fewer than `degree()`
+    /// routes, possibly none. The default builds the plain family and
+    /// keeps the fault-free survivors; fault-aware topologies (the HHC)
+    /// override this to *construct around* the faults instead, which
+    /// keeps families alive at fault counts where filtering collapses.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Network::route`], plus both endpoints must be
+    /// healthy.
+    fn disjoint_routes_avoiding_into<'s>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        faults: &dyn FaultLookup,
+        scratch: &'s mut RouteScratch,
+    ) -> &'s PathSet {
+        let mut avoid = std::mem::take(&mut scratch.avoid_set);
+        avoid.clear();
+        let set = self.disjoint_routes_into(src, dst, scratch);
+        for p in set.iter() {
+            if !crate::strategy::path_blocked(p, faults) {
+                avoid.push_path(p);
+            }
+        }
+        scratch.avoid_set = avoid;
+        &scratch.avoid_set
+    }
+
     /// All nodes, for per-cycle injection sweeps.
     /// Only meaningful for materialisable sizes; guarded by the caller.
     ///
@@ -228,6 +265,26 @@ impl Network for Hhc {
         )
         .expect("valid pair");
         &scratch.set
+    }
+
+    fn disjoint_routes_avoiding_into<'s>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        faults: &dyn FaultLookup,
+        scratch: &'s mut RouteScratch,
+    ) -> &'s PathSet {
+        hhc_core::disjoint_paths_avoiding_into(
+            self,
+            src,
+            dst,
+            CrossingOrder::Gray,
+            faults,
+            &mut scratch.avoid_set,
+            &mut scratch.builder,
+        )
+        .expect("valid pair, healthy endpoints");
+        &scratch.avoid_set
     }
 }
 

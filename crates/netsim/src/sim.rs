@@ -617,7 +617,6 @@ mod instrumentation_tests {
     #[test]
     fn utilization_grows_with_load() {
         let h = Hhc::new(2).unwrap();
-        let links = 64 * 3; // 2^n nodes × (m+1) directed links
         let run = |rate| {
             Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath)
                 .run(SimConfig {
@@ -627,7 +626,7 @@ mod instrumentation_tests {
                     seed: 3,
                     ..SimConfig::default()
                 })
-                .link_utilization(links)
+                .link_utilization()
         };
         let lo = run(0.02);
         let hi = run(0.20);

@@ -94,9 +94,24 @@ impl SimStats {
         (self.delivered > 0).then(|| self.hops_sum as f64 / self.delivered as f64)
     }
 
-    /// Mean link utilisation: transmissions per link per cycle
-    /// (an HHC has `2^n · (m+1)` directed links).
-    pub fn link_utilization(&self, directed_links: u64) -> f64 {
+    /// Mean link utilisation: transmissions per link per cycle, over the
+    /// [`links_total`](Self::links_total) directed links the engine
+    /// recorded for the simulated topology (an HHC has `2^n · (m+1)`).
+    pub fn link_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.links_total == 0 {
+            0.0
+        } else {
+            self.link_transmissions as f64 / (self.cycles as f64 * self.links_total as f64)
+        }
+    }
+
+    /// Mean link utilisation over a caller-supplied link count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "a caller-supplied count can silently drift from the engine-recorded \
+                `links_total`; use `link_utilization()`"
+    )]
+    pub fn link_utilization_with(&self, directed_links: u64) -> f64 {
         if self.cycles == 0 || directed_links == 0 {
             0.0
         } else {
@@ -199,8 +214,10 @@ impl SimStats {
 
     /// Serialises the full stats — counters, derived rates, the latency
     /// histogram and the sampled time series — as one compact JSON object.
-    /// `directed_links` scales the per-sample utilisation series (pass
-    /// the network's directed-link count; 0 yields zero utilisation).
+    /// The headline `link_utilization` uses the engine-recorded
+    /// [`links_total`](Self::links_total); `directed_links` only scales
+    /// the per-sample utilisation series (pass the network's
+    /// directed-link count; 0 yields zero utilisation).
     pub fn to_json(&self, directed_links: u64) -> String {
         let mut o = json::Obj::new();
         o.u64("injected", self.injected);
@@ -234,7 +251,7 @@ impl SimStats {
             "route_cache_hit_rate",
             self.route_cache_hit_rate().unwrap_or(f64::NAN),
         );
-        o.f64("link_utilization", self.link_utilization(directed_links));
+        o.f64("link_utilization", self.link_utilization());
         o.raw("latency_hist", &self.latency_hist.to_json());
         let cycles: Vec<u64> = self.samples.iter().map(|s| s.cycle).collect();
         let depth: Vec<u64> = self.samples.iter().map(|s| s.queued_packets).collect();
@@ -434,15 +451,24 @@ mod more_tests {
 
     #[test]
     fn link_utilization_edges() {
-        let s = SimStats {
+        let mut s = SimStats {
             link_transmissions: 50,
             cycles: 100,
             nodes: 4,
+            links_total: 10,
             ..Default::default()
         };
-        assert!((s.link_utilization(10) - 0.05).abs() < 1e-12);
-        assert_eq!(s.link_utilization(0), 0.0);
+        assert!((s.link_utilization() - 0.05).abs() < 1e-12);
+        s.links_total = 0;
+        assert_eq!(s.link_utilization(), 0.0);
         let z = SimStats::default();
-        assert_eq!(z.link_utilization(10), 0.0);
+        assert_eq!(z.link_utilization(), 0.0);
+        // The deprecated caller-supplied-count shim keeps the old maths.
+        #[allow(deprecated)]
+        {
+            assert!((s.link_utilization_with(10) - 0.05).abs() < 1e-12);
+            assert_eq!(s.link_utilization_with(0), 0.0);
+            assert_eq!(z.link_utilization_with(10), 0.0);
+        }
     }
 }

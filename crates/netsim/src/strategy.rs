@@ -22,6 +22,14 @@ pub enum Strategy {
     /// disjoint paths; fails only if all of them are blocked (impossible
     /// for `f ≤ m` faults when the endpoints are alive).
     FaultAdaptive,
+    /// Requests a fault-free disjoint family directly from the network
+    /// ([`Network::disjoint_routes_avoiding_into`]) and picks uniformly
+    /// among its members. Where [`Strategy::FaultAdaptive`] filters a
+    /// fault-blind family — and collapses once the faults blanket most
+    /// of it — this *constructs around* the faults, so on fault-aware
+    /// topologies (the HHC) it sustains delivery at fault counts where
+    /// selection-time filtering fails.
+    FaultFree,
     /// Valiant's two-phase randomised routing: route deterministically to
     /// a uniformly random intermediate node, then on to the destination.
     /// The classic fix for adversarial permutation traffic — it converts
@@ -100,18 +108,38 @@ impl Strategy {
                 true
             }
             Strategy::FaultAdaptive => {
+                // Single pass over the family: collect the indices of the
+                // fault-free members, then index the draw directly. (The
+                // previous count-then-`nth` form walked the filter twice,
+                // re-probing the fault set for every node of every path.)
+                let mut alive = std::mem::take(&mut scratch.alive_idx);
+                alive.clear();
                 let paths = net.disjoint_routes_into(src, dst, scratch);
-                let alive = paths.iter().filter(|p| !path_blocked(p, faults)).count();
-                if alive == 0 {
+                alive.extend(
+                    paths
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| !path_blocked(p, faults))
+                        .map(|(i, _)| i as u32),
+                );
+                let routed = if alive.is_empty() {
                     false
                 } else {
-                    let i = rng.gen_range(0..alive);
-                    let p = paths
-                        .iter()
-                        .filter(|p| !path_blocked(p, faults))
-                        .nth(i)
-                        .expect("i < alive");
-                    out.extend_from_slice(p);
+                    let i = rng.gen_range(0..alive.len());
+                    out.extend_from_slice(paths.path(alive[i] as usize));
+                    true
+                };
+                scratch.alive_idx = alive;
+                routed
+            }
+            Strategy::FaultFree => {
+                let shim = OracleShim(faults);
+                let paths = net.disjoint_routes_avoiding_into(src, dst, &shim, scratch);
+                if paths.is_empty() {
+                    false
+                } else {
+                    let i = rng.gen_range(0..paths.len());
+                    out.extend_from_slice(paths.path(i));
                     true
                 }
             }
@@ -131,9 +159,28 @@ impl Strategy {
                         return true;
                     }
                 }
+                // Every redraw was blocked: honour the "cleared first"
+                // contract rather than leaking the last blocked walk.
+                out.clear();
                 false
             }
         }
+    }
+}
+
+/// Adapts a generic `F: FaultLookup + ?Sized` borrow into a sized value
+/// that coerces to `&dyn FaultLookup` — the form
+/// [`Network::disjoint_routes_avoiding_into`] (and through it the
+/// construction layer) accepts.
+struct OracleShim<'a, F: ?Sized>(&'a F);
+
+impl<F: FaultLookup + ?Sized> FaultLookup for OracleShim<'_, F> {
+    fn is_faulty(&self, v: NodeId) -> bool {
+        self.0.is_faulty(v)
+    }
+
+    fn fault_count(&self) -> usize {
+        self.0.fault_count()
     }
 }
 
@@ -254,5 +301,152 @@ mod tests {
         assert!(Strategy::FaultAdaptive
             .select(&h, u, v, &faults, &mut rng)
             .is_none());
+    }
+
+    /// Regression: a failed Valiant selection must leave `out` empty —
+    /// the old code fell out of the redraw loop with the last *blocked*
+    /// walk still in the buffer.
+    #[test]
+    fn valiant_failure_leaves_out_cleared() {
+        let (h, u, v, mut rng) = setup();
+        // Every node except the endpoints is faulty: any healthy redraw
+        // target is impossible, and to be thorough some draws will hit
+        // the intermediate-faulty `continue` path too.
+        let faults: HashSet<NodeId> = h
+            .all_nodes()
+            .into_iter()
+            .filter(|&w| w != u && w != v)
+            .collect();
+        let mut scratch = RouteScratch::new();
+        let mut out = vec![u, v, u]; // stale garbage from a previous call
+        assert!(!Strategy::Valiant.select_into(
+            &h,
+            u,
+            v,
+            &faults,
+            &mut rng,
+            &mut scratch,
+            &mut out
+        ));
+        assert!(out.is_empty(), "failed selection must clear out");
+
+        // Same property when a redraw finds a healthy intermediate but
+        // the walk through it is blocked: only `w` (adjacent to neither
+        // endpoint) is healthy, so any walk that *is* attempted leaks
+        // into `out` under the old code. Enough calls that the fixed
+        // seed is guaranteed to draw `w` at least once.
+        let w = h.node(0b0101, 0b01).unwrap();
+        let faults: HashSet<NodeId> = h
+            .all_nodes()
+            .into_iter()
+            .filter(|&x| x != u && x != v && x != w)
+            .collect();
+        let mut attempted = false;
+        for _ in 0..64 {
+            let mut out = vec![u];
+            let probe = rng.clone();
+            assert!(!Strategy::Valiant.select_into(
+                &h,
+                u,
+                v,
+                &faults,
+                &mut rng,
+                &mut scratch,
+                &mut out
+            ));
+            assert!(out.is_empty(), "blocked-walk failure must clear out");
+            // Did this call actually draw the healthy intermediate?
+            let mask = workloads::AddressSpace::address_mask(&h);
+            let mut probe = probe;
+            for _ in 0..8 {
+                let cand = NodeId::from_raw(
+                    ((probe.gen::<u64>() as u128) << 64 | probe.gen::<u64>() as u128) & mask,
+                );
+                attempted |= cand == w;
+            }
+        }
+        assert!(attempted, "seed never exercised the blocked-walk path");
+    }
+
+    /// Regression: the single-pass FaultAdaptive selection must pick the
+    /// same routes with the same RNG draw sequence as the two-pass
+    /// (count, then re-filter + `nth`) form it replaced.
+    #[test]
+    fn fault_adaptive_single_pass_matches_two_pass_reference() {
+        let (h, u, v, mut rng) = setup();
+        let mut ref_rng = StdRng::seed_from_u64(1);
+        let paths = h.disjoint_paths(u, v).unwrap();
+        let mut scratch = RouteScratch::new();
+        let mut out = Vec::new();
+        // Sweep fault sets from empty to fully blocking.
+        for blocked in 0..=paths.len() {
+            let faults: HashSet<_> = paths[..blocked].iter().map(|p| p[1]).collect();
+            for _ in 0..32 {
+                // Reference: the historical double-pass selection.
+                let alive = paths.iter().filter(|p| !path_blocked(p, &faults)).count();
+                let expect = if alive == 0 {
+                    None
+                } else {
+                    let i = ref_rng.gen_range(0..alive);
+                    Some(
+                        paths
+                            .iter()
+                            .filter(|p| !path_blocked(p, &faults))
+                            .nth(i)
+                            .unwrap()
+                            .clone(),
+                    )
+                };
+                let got = Strategy::FaultAdaptive
+                    .select_into(&h, u, v, &faults, &mut rng, &mut scratch, &mut out)
+                    .then(|| out.clone());
+                assert_eq!(got, expect);
+            }
+            // RNG streams must stay in lockstep (same number of draws).
+            assert_eq!(rng.gen::<u64>(), ref_rng.gen::<u64>());
+        }
+    }
+
+    /// FaultFree sustains delivery where FaultAdaptive collapses: block
+    /// the midpoint of every member of the fault-blind family. (Not the
+    /// first hops — those are all of `u`'s neighbours, which would
+    /// disconnect `u` outright.)
+    #[test]
+    fn fault_free_routes_where_fault_adaptive_fails() {
+        let (h, u, v, mut rng) = setup();
+        let paths = h.disjoint_paths(u, v).unwrap();
+        let faults: HashSet<_> = paths.iter().map(|p| p[p.len() / 2]).collect();
+        assert!(Strategy::FaultAdaptive
+            .select(&h, u, v, &faults, &mut rng)
+            .is_none());
+        let p = Strategy::FaultFree
+            .select(&h, u, v, &faults, &mut rng)
+            .expect("avoiding construction routes around the blanket");
+        assert_eq!(*p.first().unwrap(), u);
+        assert_eq!(*p.last().unwrap(), v);
+        assert!(!path_blocked(&p, &faults));
+        for pair in p.windows(2) {
+            assert!(crate::net::Network::is_edge(&h, pair[0], pair[1]));
+        }
+    }
+
+    /// On a fault-oblivious network (the plain cube) FaultFree degrades
+    /// to survivor filtering — same behaviour as FaultAdaptive.
+    #[test]
+    fn fault_free_default_filters_on_the_cube() {
+        let q = crate::net::CubeNet::matching_hhc(2);
+        let u = NodeId::from_raw(0);
+        let v = NodeId::from_raw(63);
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = crate::net::Network::disjoint_routes(&q, u, v);
+        let faults: HashSet<_> = d[..3].iter().map(|p| p[1]).collect();
+        let mut scratch = RouteScratch::new();
+        for _ in 0..20 {
+            let p = Strategy::FaultFree
+                .select_with(&q, u, v, &faults, &mut rng, &mut scratch)
+                .expect("three of six survivors remain");
+            assert!(!path_blocked(&p, &faults));
+            assert!(d.contains(&p), "default impl must return family members");
+        }
     }
 }
