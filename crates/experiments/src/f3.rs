@@ -14,7 +14,7 @@
 
 use crate::table::Table;
 use crate::util;
-use hhc_core::{CrossingOrder, Hhc, NodeId, Workspace};
+use hhc_core::{Hhc, NodeId};
 use netsim::fault::analyze_with;
 use netsim::{FaultSet, RouteScratch};
 use rayon::prelude::*;
@@ -144,7 +144,15 @@ pub fn run_adversarial() {
 /// diameter upper bound.
 ///
 /// Honours `EXPERIMENT_QUICK=1` (CI smoke): fewer trials, sparser sweep.
+///
+/// Both halves run on [`netsim::scenario::analysis::constructive_sweep`]
+/// — the engine scenario files with `kind = "fault-analysis"` use — so
+/// the driver and the scenario layer agree by construction. Note the
+/// engine's determinism contract: each row draws from its own
+/// `seed + row_index` stream (not one stream threaded across rows), so
+/// rows are positionally reproducible in shrunk sweeps.
 pub fn run_constructive() {
+    use netsim::scenario::{constructive_sweep, Placement};
     let m = 3u32;
     let h = Hhc::new(m).unwrap();
     let quick = std::env::var("EXPERIMENT_QUICK").is_ok();
@@ -169,22 +177,17 @@ pub fn run_constructive() {
             "max len",
         ],
     );
-    let mut rng = util::rng(0xF3C0);
     let mut worst_len = 0usize;
-    for &f in sweep {
-        let inputs: Vec<(NodeId, NodeId, FaultSet)> = (0..trials)
-            .map(|_| {
-                let (u, v) = util::random_pair(&h, &mut rng);
-                let faults = FaultSet::from_set(&random_fault_set(&h, f, &[u, v], &mut rng));
-                (u, v, faults)
-            })
-            .collect();
-        let row = constructive_row(&h, &inputs);
+    for row in constructive_sweep(&h, Placement::Random, sweep, trials, 0xF3C0) {
         worst_len = worst_len.max(row.max_len);
-        if f as u32 <= m {
-            assert_eq!(row.constructive, trials, "guarantee violated at f={f}");
+        if row.fault_count as u32 <= m {
+            assert_eq!(
+                row.constructive, trials,
+                "guarantee violated at f={}",
+                row.fault_count
+            );
         }
-        t.row(row.cells(f, trials));
+        t.row(row_cells(&row));
     }
     assert!(
         worst_len <= bound,
@@ -213,102 +216,27 @@ pub fn run_constructive() {
             "max len",
         ],
     );
-    let mut rng = util::rng(0xF3C1);
-    for f in 0..=(m as usize + 2) {
-        let inputs: Vec<(NodeId, NodeId, FaultSet)> = (0..adv_trials)
-            .map(|_| {
-                let (u, v) = util::random_pair(&h, &mut rng);
-                let paths = h.disjoint_paths(u, v).unwrap();
-                let faults =
-                    FaultSet::from_set(&workloads::adversarial_fault_set(&paths, f, &mut rng));
-                (u, v, faults)
-            })
-            .collect();
-        let row = constructive_row(&h, &inputs);
+    let adv_sweep: Vec<usize> = (0..=(m as usize + 2)).collect();
+    for row in constructive_sweep(&h, Placement::Adversarial, &adv_sweep, adv_trials, 0xF3C1) {
         assert!(
             row.max_len <= bound,
             "avoiding path of length {} exceeds the wide-diameter bound {bound}",
             row.max_len
         );
-        t.row(row.cells(f, adv_trials));
+        t.row(row_cells(&row));
     }
     t.emit("f3c_adversarial");
 }
 
-/// Aggregates of one F3c sweep row.
-struct ConstructiveRow {
-    /// Trials where ≥ 1 plain-family member survived the faults — what
-    /// `Strategy::FaultAdaptive` needs to deliver.
-    filtered: u32,
-    /// Trials where the avoiding family was non-empty — what
-    /// `Strategy::FaultFree` needs to deliver.
-    constructive: u32,
-    /// Trials where the avoiding construction deviated from the plain
-    /// family.
-    rerouted: u32,
-    /// Total avoiding-family sizes (for the mean).
-    paths_sum: u64,
-    /// Longest avoiding path seen (hops) — the achieved fault diameter.
-    max_len: usize,
-}
-
-impl ConstructiveRow {
-    fn cells(&self, f: usize, trials: u32) -> Vec<String> {
-        vec![
-            f.to_string(),
-            util::f4(self.filtered as f64 / trials as f64),
-            util::f4(self.constructive as f64 / trials as f64),
-            util::f4(self.rerouted as f64 / trials as f64),
-            util::f2(self.paths_sum as f64 / trials as f64),
-            self.max_len.to_string(),
-        ]
-    }
-}
-
-/// Analyses one batch of (pair, fault set) trials both ways — plain
-/// family filtered after the fact vs fault-aware construction — in
-/// parallel, each worker holding its own scratch and workspace.
-fn constructive_row(h: &Hhc, inputs: &[(NodeId, NodeId, FaultSet)]) -> ConstructiveRow {
-    let per_trial: Vec<(u32, u32, u32, u64, usize)> = inputs
-        .par_iter()
-        .map_init(
-            || (RouteScratch::new(), Workspace::new()),
-            |(scratch, ws), (u, v, faults)| {
-                let plain = analyze_with(h, *u, *v, faults, scratch);
-                let (outcome, set) = ws
-                    .construct_avoiding(h, *u, *v, CrossingOrder::Gray, faults)
-                    .expect("valid pair, healthy endpoints");
-                // The avoiding family can never do worse than filtering:
-                // the constructor keeps the plain survivors when the
-                // rebuild recovers fewer.
-                assert!(
-                    outcome.paths as u32 >= plain.surviving_paths,
-                    "avoiding family smaller than the survivor set"
-                );
-                let longest = set.iter().map(|p| p.len() - 1).max().unwrap_or(0);
-                (
-                    plain.multipath_ok as u32,
-                    (outcome.paths > 0) as u32,
-                    outcome.rerouted as u32,
-                    outcome.paths as u64,
-                    longest,
-                )
-            },
-        )
-        .collect();
-    let mut row = ConstructiveRow {
-        filtered: 0,
-        constructive: 0,
-        rerouted: 0,
-        paths_sum: 0,
-        max_len: 0,
-    };
-    for (f, c, r, p, l) in per_trial {
-        row.filtered += f;
-        row.constructive += c;
-        row.rerouted += r;
-        row.paths_sum += p;
-        row.max_len = row.max_len.max(l);
-    }
-    row
+/// Formats one [`netsim::scenario::AnalysisRow`] as an F3c table row.
+fn row_cells(row: &netsim::scenario::AnalysisRow) -> Vec<String> {
+    let trials = row.trials as f64;
+    vec![
+        row.fault_count.to_string(),
+        util::f4(row.filtered as f64 / trials),
+        util::f4(row.constructive as f64 / trials),
+        util::f4(row.rerouted as f64 / trials),
+        util::f2(row.paths_sum as f64 / trials),
+        row.max_len.to_string(),
+    ]
 }

@@ -65,6 +65,30 @@ pub enum Command {
         u: (u128, u32),
         v: (u128, u32),
     },
+    Sim {
+        /// Path of the scenario TOML file.
+        scenario: String,
+        /// What to do with it (run, record, replay, shrink).
+        mode: SimMode,
+        /// Golden trace path override (default:
+        /// `results/scenarios/<name>.trace`).
+        golden: Option<String>,
+    },
+}
+
+/// What `hhc sim` does with a parsed scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Execute and print the report; expectation violations are errors.
+    #[default]
+    Run,
+    /// Execute and (over)write the golden trace file.
+    Record,
+    /// Execute and byte-compare against the golden trace file.
+    Replay,
+    /// Delta-debug a failing scenario to a minimal reproducer and
+    /// print its canonical TOML.
+    Shrink,
 }
 
 /// A CLI error with a user-facing message.
@@ -89,6 +113,12 @@ pub const USAGE: &str = "usage:
   hhc stats <m> [--pairs N] [--seed S] construction metrics over random pairs
   hhc broadcast <m> <X:Y>              one-port broadcast schedule (m ≤ 3)
   hhc trace <m> <X:Y> <X:Y>            dissect the construction (plans, fans)
+  hhc sim --scenario <file> [--record|--replay|--shrink] [--golden <path>]
+                                       run a declarative scenario (see
+                                       SCENARIOS.md); --record writes the
+                                       golden trace, --replay byte-compares
+                                       against it, --shrink minimises a
+                                       failing scenario
 node syntax: X:Y, both fields hexadecimal (e.g. a5:3)
 --metrics appends a JSON line with solver/fan/timing counters";
 
@@ -258,6 +288,46 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 m: m(1)?,
                 u: node(2)?,
                 v: node(3)?,
+            })
+        }
+        "sim" => {
+            let mut scenario: Option<String> = None;
+            let mut mode: Option<SimMode> = None;
+            let mut golden: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--scenario" if scenario.is_none() => {
+                        scenario = Some(
+                            args.get(i + 1)
+                                .ok_or_else(|| CliError("--scenario needs a file path".into()))?
+                                .clone(),
+                        );
+                        i += 2;
+                    }
+                    "--golden" if golden.is_none() => {
+                        golden = Some(
+                            args.get(i + 1)
+                                .ok_or_else(|| CliError("--golden needs a file path".into()))?
+                                .clone(),
+                        );
+                        i += 2;
+                    }
+                    flag @ ("--record" | "--replay" | "--shrink") if mode.is_none() => {
+                        mode = Some(match flag {
+                            "--record" => SimMode::Record,
+                            "--replay" => SimMode::Replay,
+                            _ => SimMode::Shrink,
+                        });
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            Ok(Command::Sim {
+                scenario: scenario.ok_or_else(|| CliError("sim needs --scenario <file>".into()))?,
+                mode: mode.unwrap_or_default(),
+                golden,
             })
         }
         other => Err(CliError(format!("unknown command {other:?}\n{USAGE}"))),
@@ -495,6 +565,86 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     None => {
                         let _ = writeln!(out, "  P{i}: len {:2}, in-cube", path.len() - 1);
                     }
+                }
+            }
+        }
+        Command::Sim {
+            ref scenario,
+            mode,
+            ref golden,
+        } => {
+            use netsim::scenario as sc;
+            let src = std::fs::read_to_string(scenario)
+                .map_err(|e| CliError(format!("cannot read {scenario}: {e}")))?;
+            let spec = sc::Scenario::from_toml(&src).map_err(|e| CliError(e.to_string()))?;
+            let golden_path = golden
+                .clone()
+                .unwrap_or_else(|| format!("results/scenarios/{}.trace", spec.name));
+            match mode {
+                SimMode::Run => {
+                    let report = sc::execute(&spec);
+                    let _ = write!(out, "{report}");
+                    if !report.passes() {
+                        return Err(CliError(format!(
+                            "scenario {} violated {} expectation(s):\n  {}",
+                            spec.name,
+                            report.violations.len(),
+                            report.violations.join("\n  ")
+                        )));
+                    }
+                }
+                SimMode::Record => {
+                    let trace = sc::render(&spec, &sc::execute(&spec));
+                    if let Some(dir) = std::path::Path::new(&golden_path).parent() {
+                        std::fs::create_dir_all(dir)
+                            .map_err(|e| CliError(format!("cannot create {dir:?}: {e}")))?;
+                    }
+                    std::fs::write(&golden_path, &trace)
+                        .map_err(|e| CliError(format!("cannot write {golden_path}: {e}")))?;
+                    let _ = writeln!(
+                        out,
+                        "recorded scenario {} -> {golden_path} ({} lines)",
+                        spec.name,
+                        trace.lines().count()
+                    );
+                }
+                SimMode::Replay => {
+                    let recorded = std::fs::read_to_string(&golden_path)
+                        .map_err(|e| CliError(format!("cannot read {golden_path}: {e}")))?;
+                    let current = sc::render(&spec, &sc::execute(&spec));
+                    match sc::diff_lines(&current, &recorded) {
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "replay OK: scenario {} matches {golden_path} byte for byte",
+                                spec.name
+                            );
+                        }
+                        Some(diff) => {
+                            return Err(CliError(format!(
+                                "replay of scenario {} diverged from {golden_path}:\n{diff}",
+                                spec.name
+                            )))
+                        }
+                    }
+                }
+                SimMode::Shrink => {
+                    let mut failing = |s: &sc::Scenario| !sc::execute(s).passes();
+                    if !failing(&spec) {
+                        return Err(CliError(format!(
+                            "scenario {} passes all expectations; nothing to shrink",
+                            spec.name
+                        )));
+                    }
+                    let minimal = sc::shrink(&spec, &mut failing);
+                    let _ = writeln!(
+                        out,
+                        "shrunk scenario {} (size {} -> {}); minimal reproducer:\n",
+                        spec.name,
+                        sc::shrink::size(&spec),
+                        sc::shrink::size(&minimal)
+                    );
+                    let _ = write!(out, "{}", minimal.to_toml());
                 }
             }
         }
@@ -742,7 +892,102 @@ mod tests {
     }
 
     #[test]
+    fn parse_sim() {
+        assert_eq!(
+            parse(&argv("sim --scenario a.toml")),
+            Ok(Command::Sim {
+                scenario: "a.toml".into(),
+                mode: SimMode::Run,
+                golden: None
+            })
+        );
+        assert_eq!(
+            parse(&argv("sim --scenario a.toml --replay --golden g.trace")),
+            Ok(Command::Sim {
+                scenario: "a.toml".into(),
+                mode: SimMode::Replay,
+                golden: Some("g.trace".into())
+            })
+        );
+        assert_eq!(
+            parse(&argv("sim --shrink --scenario a.toml")),
+            Ok(Command::Sim {
+                scenario: "a.toml".into(),
+                mode: SimMode::Shrink,
+                golden: None
+            })
+        );
+    }
+
+    /// End-to-end through the CLI surface: record a golden, replay it
+    /// byte-identically, detect drift, and shrink a failing scenario.
+    #[test]
+    fn execute_sim_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("hhc_cli_sim_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let scn = dir.join("tiny.toml");
+        std::fs::write(
+            &scn,
+            "name = \"tiny\"\nseed = 0x5EED\n[topology]\nkind = \"hhc\"\nm = 2\n\
+             [traffic]\nrate = 0.03\n[sim]\ncycles = 40\ndrain_cycles = 2000\n\
+             [expect]\ndelivered_all = true\n",
+        )
+        .unwrap();
+        let golden = dir.join("tiny.trace").to_string_lossy().into_owned();
+        let sim = |mode: SimMode| Command::Sim {
+            scenario: scn.to_string_lossy().into_owned(),
+            mode,
+            golden: Some(golden.clone()),
+        };
+        // Run: passes, prints the report.
+        let out = execute(&sim(SimMode::Run)).unwrap();
+        assert!(out.contains("scenario tiny"));
+        // Replay before recording: user-facing error.
+        assert!(execute(&sim(SimMode::Replay)).is_err());
+        // Record, then replay byte-identically.
+        let out = execute(&sim(SimMode::Record)).unwrap();
+        assert!(out.contains("recorded scenario tiny"));
+        let out = execute(&sim(SimMode::Replay)).unwrap();
+        assert!(out.contains("replay OK"));
+        // Drift (a different seed) is caught with a line-level diff.
+        std::fs::write(
+            &scn,
+            "name = \"tiny\"\nseed = 1\n[topology]\nkind = \"hhc\"\nm = 2\n\
+             [traffic]\nrate = 0.03\n[sim]\ncycles = 40\ndrain_cycles = 2000\n",
+        )
+        .unwrap();
+        let err = execute(&sim(SimMode::Replay)).unwrap_err();
+        assert!(err.0.contains("diverged"), "{err}");
+        // Shrinking a passing scenario is refused; a wedged one shrinks.
+        std::fs::write(
+            &scn,
+            "name = \"wedge\"\nseed = 1212\n[topology]\nkind = \"hhc\"\nm = 2\n\
+             [traffic]\npattern = \"bit-complement\"\nrate = 0.4\n\
+             [sim]\ncycles = 300\ndrain_cycles = 4000\nqueue_capacity = 1\n\
+             [expect]\ndelivered_all = true\n",
+        )
+        .unwrap();
+        let out = execute(&sim(SimMode::Shrink)).unwrap();
+        assert!(out.contains("minimal reproducer"), "{out}");
+        assert!(out.contains("name = \"wedge\""));
+        // A run with violations exits with an error naming them.
+        let err = execute(&sim(SimMode::Run)).unwrap_err();
+        assert!(err.0.contains("violated"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn strict_parsing_rejects_stray_arguments() {
+        for bad in [
+            "sim",
+            "sim --scenario",
+            "sim --scenario a --scenario b",
+            "sim --scenario a --record --replay",
+            "sim --scenario a --golden",
+            "sim stray",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "{bad:?} should not parse");
+        }
         for bad in [
             "info 3 extra",
             "route 2 0:1 f:2 junk",

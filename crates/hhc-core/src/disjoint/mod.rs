@@ -268,7 +268,7 @@ pub fn disjoint_paths_into(
 /// With an empty fault set (or one that misses the plain family) the
 /// result is byte-identical to [`disjoint_paths`] and `rerouted` is
 /// `false`. Otherwise the family is rebuilt from the spare crossing
-/// plans of the candidate pool (see the [`avoid`] module docs); with
+/// plans of the candidate pool (see the `avoid` module docs); with
 /// `f ≤ m - 1` faults a non-empty fault-free family always exists and
 /// the rebuild usually recovers all `m + 1` paths. As faults grow the
 /// family degrades gracefully — fewer paths, eventually zero — but

@@ -9,6 +9,16 @@
 //! both: the public APIs keep accepting `HashSet<NodeId>` unchanged,
 //! while [`Simulator`](crate::Simulator) converts its set into a
 //! [`FaultSet`] once per run.
+//!
+//! ```
+//! use hhc_core::NodeId;
+//! use netsim::{FaultLookup, FaultSet};
+//!
+//! let set = FaultSet::new(vec![5u128, 5, 9].into_iter().map(NodeId::from_raw).collect());
+//! assert_eq!(set.fault_count(), 2); // deduplicated
+//! assert!(set.is_faulty(NodeId::from_raw(9)));
+//! assert!(!set.is_faulty(NodeId::from_raw(4)));
+//! ```
 
 use hhc_core::NodeId;
 use std::collections::HashSet;
@@ -113,10 +123,54 @@ impl FaultFlags {
         self.faulty
     }
 
+    /// Sets the fault flag of `node`, returning whether the flag
+    /// changed. Nodes outside the table are ignored (they read as
+    /// healthy and stay that way).
+    pub fn set(&mut self, node: NodeId, faulty: bool) -> bool {
+        let Some(slot) = self.flags.get_mut(node.raw() as usize) else {
+            return false;
+        };
+        if *slot == faulty {
+            return false;
+        }
+        *slot = faulty;
+        if faulty {
+            self.faulty += 1;
+        } else {
+            self.faulty -= 1;
+        }
+        true
+    }
+
     /// Whether no node is faulty.
     pub fn is_empty(&self) -> bool {
         self.faulty == 0
     }
+}
+
+/// What a timed [`FaultEvent`] does to its node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The node becomes faulty.
+    Fail,
+    /// The node becomes healthy again.
+    Recover,
+}
+
+/// A scheduled change to the fault set, applied by the engine at the
+/// *start* of `cycle`, before that cycle's injection phase. Faults act
+/// at injection time only: a faulty node injects nothing, is never
+/// selected as a destination, and is avoided by fault-aware strategies —
+/// but packets already in flight are not rerouted or dropped
+/// (the "fail-at-injection" model; see `DESIGN.md` §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at whose start the change takes effect.
+    pub cycle: u64,
+    /// The node changing state.
+    pub node: NodeId,
+    /// Fail or recover.
+    pub action: FaultAction,
 }
 
 impl FaultLookup for FaultFlags {
@@ -172,6 +226,25 @@ mod tests {
         // Out-of-table probes read healthy rather than panicking.
         assert!(!ff.is_faulty(n(200)));
         assert!(FaultFlags::default().is_empty());
+    }
+
+    #[test]
+    fn flags_set_tracks_count_and_ignores_out_of_table() {
+        let mut ff = FaultFlags::from_set(&HashSet::new(), 8);
+        assert!(ff.is_empty());
+        assert!(ff.set(n(3), true));
+        assert!(!ff.set(n(3), true), "no-op re-fail");
+        assert!(ff.set(n(5), true));
+        assert_eq!(ff.len(), 2);
+        assert!(ff.is_faulty(n(3)) && ff.is_faulty(n(5)));
+        assert!(ff.set(n(3), false));
+        assert!(!ff.set(n(3), false), "no-op re-recover");
+        assert_eq!(ff.len(), 1);
+        assert!(!ff.is_faulty(n(3)));
+        // Out-of-table nodes never mutate the table.
+        assert!(!ff.set(n(100), true));
+        assert_eq!(ff.len(), 1);
+        assert!(!ff.is_faulty(n(100)));
     }
 
     #[test]

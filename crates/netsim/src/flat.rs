@@ -7,8 +7,8 @@
 //! * **[`LinkTable`]** — CSR adjacency built once per run; a directed
 //!   link *is* a u32 index, and ids ascend in `(from, to)` order, fixing
 //!   the canonical link service order.
-//! * **[`LinkStore`]** — per-link queue/occupancy state, materialised
-//!   lazily on first use (default): a slab of [`LinkState`] plus a paged
+//! * **`LinkStore`** — per-link queue/occupancy state, materialised
+//!   lazily on first use (default): a slab of `LinkState` plus a paged
 //!   id→slot map, so a run allocates queue state only for the links its
 //!   routes cross. [`LinkStoreMode::Eager`] keeps the dense
 //!   one-slot-per-link layout as the microbenchmark baseline.
@@ -21,7 +21,7 @@
 //!   drain in `(start, link)` order — the canonical landing order — so
 //!   engine variants that schedule the same transmissions at different
 //!   moments still land them identically.
-//! * **[`ArrivalSampler`]** — the Bernoulli arrival process evaluated by
+//! * **`ArrivalSampler`** — the Bernoulli arrival process evaluated by
 //!   geometric gap-sampling over the (cycle-major) healthy-source index
 //!   space: injection visits only the sources that actually fire, an
 //!   O(arrivals) worklist instead of an O(nodes) per-cycle scan.
@@ -37,7 +37,7 @@
 //! order, so they produce **byte-identical [`SimStats`]** — enforced by
 //! the `flat_equivalence` test suite and the `profile_sim` bench.
 
-use crate::faults::{FaultFlags, FaultLookup};
+use crate::faults::{FaultAction, FaultEvent, FaultFlags, FaultLookup};
 use crate::net::{LinkTable, Network, RouteScratch};
 use crate::packet::FlatPacket;
 use crate::sim::{DeliveryRecord, SimConfig, Switching};
@@ -581,6 +581,7 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
     pattern: Pattern,
     strategy: Strategy,
     fault_set: &HashSet<NodeId>,
+    fault_events: &[FaultEvent],
     route_cache: CacheConfig,
     cfg: SimConfig,
     engine: EngineConfig,
@@ -619,10 +620,20 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
     let mut calendar = EventCalendar::new(busy + 1);
     let mut landed: Vec<CalEntry> = Vec::new();
     let mut route_scratch = RouteScratch::with_route_cache(route_cache);
-    let faults = FaultFlags::from_set(fault_set, n_nodes);
+    let mut faults = FaultFlags::from_set(fault_set, n_nodes);
+    // Timed fault events switch the run into dynamic mode: the arrival
+    // index space covers *all* addresses (so the sampler's index stream
+    // is invariant under churn) and arrivals at currently-faulty
+    // sources are suppressed inside the attempt block. With no events
+    // the static fast path below is untouched — byte-identical to every
+    // recorded golden.
+    let dynamic = !fault_events.is_empty();
+    let mut events: Vec<FaultEvent> = fault_events.to_vec();
+    events.sort_by_key(|e| e.cycle); // stable: same-cycle events keep order
+    let mut next_event = 0usize;
     // Injection order is cycle-major over the healthy sources in
     // ascending address order; with no faults ranks are addresses.
-    let healthy: Option<Vec<u32>> = (!faults.is_empty()).then(|| {
+    let healthy: Option<Vec<u32>> = (!dynamic && !faults.is_empty()).then(|| {
         (0..n_nodes as u32)
             .filter(|&raw| !faults.is_faulty(NodeId::from_raw(raw as u128)))
             .collect()
@@ -635,6 +646,13 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
     let mut ghosts_outstanding = 0u64;
 
     for cycle in 0..total_cycles {
+        // Phase 0: apply fault events due at the start of this cycle.
+        while next_event < events.len() && events[next_event].cycle <= cycle {
+            let ev = events[next_event];
+            next_event += 1;
+            faults.set(ev.node, ev.action == FaultAction::Fail);
+        }
+
         // Phase 1: injection (disabled during drain). Only the sources
         // whose arrival fires this cycle are visited.
         if cycle < cfg.cycles && n_healthy > 0 {
@@ -647,6 +665,13 @@ pub(crate) fn run_flat<N: Network + ?Sized>(
                 // The labelled block gives every rejected attempt a
                 // single exit that still advances the sampler.
                 'attempt: {
+                    if dynamic && faults.is_faulty(src) {
+                        // The source is down right now: its arrival is
+                        // suppressed (no RNG draws beyond the sampler
+                        // advance, so the arrival stream stays invariant
+                        // under churn).
+                        break 'attempt;
+                    }
                     let Some(dst) = pattern.destination(net, src, &mut rng) else {
                         stats.self_addressed += 1;
                         break 'attempt;

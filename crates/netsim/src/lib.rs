@@ -15,17 +15,23 @@
 //!
 //! [`fault`] additionally provides the *static* (queue-free) delivery
 //! analysis used by experiment F3, where only connectivity matters.
+//! [`scenario`] layers declarative TOML scenarios — spec, compile, run,
+//! golden-trace record/replay, delta-debug shrinking — on top of
+//! [`sim::Simulator`].
+
+#![warn(missing_docs)]
 
 pub mod fault;
 pub mod faults;
 pub mod flat;
 pub mod net;
 pub mod packet;
+pub mod scenario;
 pub mod sim;
 pub mod stats;
 pub mod strategy;
 
-pub use faults::{FaultFlags, FaultLookup, FaultSet};
+pub use faults::{FaultAction, FaultEvent, FaultFlags, FaultLookup, FaultSet};
 pub use flat::{EngineConfig, Fidelity, LinkStoreMode};
 pub use hhc_core::CacheConfig;
 pub use net::{CubeNet, LinkTable, Network, RouteScratch};

@@ -36,6 +36,7 @@ pub struct RouteScratch {
 }
 
 impl RouteScratch {
+    /// A fresh scratch with default-capacity symmetry caches.
     pub fn new() -> Self {
         RouteScratch::default()
     }
@@ -78,7 +79,7 @@ impl LinkTable {
     ///
     /// # Panics
     ///
-    /// Panics above [`crate::sim::MAX_ADDRESS_BITS`] address bits (the
+    /// Panics above `MAX_ADDRESS_BITS` address bits (the
     /// table is dense in nodes); [`crate::Simulator::try_new`] rejects
     /// such networks first.
     pub fn build<N: Network + ?Sized>(net: &N) -> Self {
@@ -214,7 +215,7 @@ pub trait Network: AddressSpace {
     ///
     /// # Panics
     ///
-    /// Panics above [`crate::sim::MAX_ADDRESS_BITS`] address bits;
+    /// Panics above `MAX_ADDRESS_BITS` address bits;
     /// [`crate::Simulator::try_new`] rejects such networks before any
     /// sweep can reach this.
     fn all_nodes(&self) -> Vec<NodeId> {

@@ -1,0 +1,61 @@
+//! Declarative scenarios: spec → validate → compile → run →
+//! record/replay/shrink.
+//!
+//! A *scenario* is a TOML file describing one complete, reproducible
+//! experiment: topology, traffic, strategy, fault schedule (build-time
+//! faults and timed runtime events), engine variant, sweep axes,
+//! replication count, seed, and the expectations the run must satisfy.
+//! The pipeline:
+//!
+//! 1. **[`spec`]** — parse + validate into the typed [`Scenario`]
+//!    (typed [`ScenarioError`]s, strict unknown-key rejection) and
+//!    serialise back to a canonical normal form.
+//! 2. **[`run`]** — [`compile`] the sweep into [`CompiledCell`]s and
+//!    [`execute`] them on [`crate::sim::Simulator`] (or, for
+//!    `kind = "fault-analysis"`, run the [`analysis`] sweep), yielding
+//!    a [`ScenarioReport`] with per-cell stats and expectation
+//!    violations.
+//! 3. **[`trace`]** — [`render`] the report into a
+//!    golden trace; *replay* re-executes and byte-compares against the
+//!    committed file.
+//! 4. **[`shrink()`]** — delta-debug a failing scenario to a 1-minimal
+//!    reproducer preserving the failure predicate.
+//!
+//! The determinism contract making 3 and 4 sound — same spec, same
+//! bytes, on any machine and worker count — is documented in
+//! `SCENARIOS.md` and `DESIGN.md` §13.
+//!
+//! ```
+//! use netsim::scenario::{execute, Scenario};
+//!
+//! let s = Scenario::from_toml(r#"
+//!     name = "smoke"
+//!     [topology]
+//!     kind = "hhc"
+//!     m = 2
+//!     [traffic]
+//!     rate = 0.03
+//!     [sim]
+//!     cycles = 40
+//!     drain_cycles = 2000
+//!     [expect]
+//!     delivered_all = true
+//! "#).unwrap();
+//! let report = execute(&s);
+//! assert!(report.passes());
+//! ```
+
+pub mod analysis;
+pub mod run;
+pub mod shrink;
+pub mod spec;
+pub mod trace;
+
+pub use analysis::{constructive_sweep, AnalysisRow};
+pub use run::{compile, execute, run_cell, CellResult, CompiledCell, ScenarioReport};
+pub use shrink::shrink;
+pub use spec::{
+    Analysis, CellOverride, Expect, Faults, Kind, Placement, Scenario, ScenarioError, Sweep,
+    Topology, Traffic,
+};
+pub use trace::{diff_lines, fnv64, render};

@@ -1,0 +1,384 @@
+//! Compiling a [`Scenario`] into runnable cells and executing it.
+//!
+//! Compilation expands the sweep into the cross product
+//! `cells × rates × strategies` (strategy innermost, matching the
+//! experiment drivers' row order), stamps each combination into a
+//! [`CompiledCell`] — a fully resolved `(topology, traffic, SimConfig,
+//! EngineConfig, fault schedule, replications)` tuple — and execution
+//! runs each cell through [`crate::sim::Simulator::run_many`]. The
+//! resulting [`ScenarioReport`] carries per-cell merged statistics,
+//! the analysis rows (for `fault-analysis` scenarios), and the list of
+//! [`Expect`](super::spec::Expect) violations; `passes()` is the
+//! shrinker's failure predicate.
+
+use super::analysis::{constructive_sweep, AnalysisRow};
+use super::spec::{Kind, Scenario, Topology};
+use crate::faults::FaultEvent;
+use crate::flat::EngineConfig;
+use crate::net::CubeNet;
+use crate::sim::{SimConfig, Simulator};
+use crate::stats::SimStats;
+use crate::strategy::Strategy;
+use hhc_core::{Hhc, NodeId};
+use hypercube::Cube;
+use std::collections::HashSet;
+use std::fmt;
+use workloads::Pattern;
+
+/// One fully resolved run: everything [`execute`] needs, with every
+/// sweep override already applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCell {
+    /// Human-readable cell label, e.g. `hhc(2) rate=0.02 strategy=single`.
+    pub label: String,
+    /// The cell's (possibly overridden) topology.
+    pub topology: Topology,
+    /// Traffic pattern.
+    pub pattern: Pattern,
+    /// Routing strategy after overrides.
+    pub strategy: Strategy,
+    /// Fully resolved simulation parameters.
+    pub cfg: SimConfig,
+    /// Engine variant.
+    pub engine: EngineConfig,
+    /// Build-time faulty nodes.
+    pub faults: HashSet<NodeId>,
+    /// Runtime fault timeline.
+    pub events: Vec<FaultEvent>,
+    /// Replications merged into the cell's statistics.
+    pub replications: u32,
+}
+
+/// One executed cell: its label and merged statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The compiled cell's label.
+    pub label: String,
+    /// Merged statistics over the cell's replications.
+    pub stats: SimStats,
+}
+
+/// The outcome of executing a scenario.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioReport {
+    /// The scenario's name.
+    pub name: String,
+    /// Per-cell results, in compiled order (sim scenarios).
+    pub cells: Vec<CellResult>,
+    /// Per-fault-count rows (`fault-analysis` scenarios).
+    pub rows: Vec<AnalysisRow>,
+    /// Every violated expectation, as `"<cell label>: <violation>"`.
+    pub violations: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// Whether every expectation held. This is the failure predicate
+    /// the shrinker preserves: a scenario "fails" when this is false.
+    pub fn passes(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario {}", self.name)?;
+        for cell in &self.cells {
+            writeln!(
+                f,
+                "  {}: injected {} delivered {} p99 {:?}",
+                cell.label,
+                cell.stats.injected,
+                cell.stats.delivered,
+                cell.stats.latency_p99()
+            )?;
+        }
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  f={}: filtered {}/{} constructive {}/{} max_len {}",
+                row.fault_count,
+                row.filtered,
+                row.trials,
+                row.constructive,
+                row.trials,
+                row.max_len
+            )?;
+        }
+        for v in &self.violations {
+            writeln!(f, "  VIOLATED: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Expands the sweep into the ordered list of compiled cells.
+///
+/// Order: explicit `[[sweep.cells]]` outermost (an implicit base cell
+/// when none are given), then the rate axis, then the strategy axis
+/// innermost. Every combination inherits the base scenario and applies
+/// overrides on top; fault schedules and the engine are shared by all
+/// cells.
+pub fn compile(s: &Scenario) -> Vec<CompiledCell> {
+    let base_cell = super::spec::CellOverride::default();
+    let cells: &[super::spec::CellOverride] = if s.sweep.cells.is_empty() {
+        std::slice::from_ref(&base_cell)
+    } else {
+        &s.sweep.cells
+    };
+    let rates: Vec<Option<f64>> = if s.sweep.rates.is_empty() {
+        vec![None]
+    } else {
+        s.sweep.rates.iter().map(|&r| Some(r)).collect()
+    };
+    let strategies: Vec<Option<Strategy>> = if s.sweep.strategies.is_empty() {
+        vec![None]
+    } else {
+        s.sweep.strategies.iter().map(|&st| Some(st)).collect()
+    };
+
+    let mut out = Vec::new();
+    for cell in cells {
+        for &rate_axis in &rates {
+            for &strategy_axis in &strategies {
+                let topology = match (s.topology, cell.size) {
+                    (Topology::Hhc { .. }, Some(m)) => Topology::Hhc { m },
+                    (Topology::Cube { .. }, Some(n)) => Topology::Cube { n },
+                    (base, None) => base,
+                };
+                // Axis values override the base; an explicit per-cell
+                // override beats the axis (cells are the escape hatch).
+                let rate = cell.rate.or(rate_axis).unwrap_or(s.traffic.rate);
+                let strategy = cell
+                    .strategy
+                    .or(strategy_axis)
+                    .unwrap_or(s.traffic.strategy);
+                let cfg = SimConfig {
+                    cycles: cell.cycles.unwrap_or(s.sim.cycles),
+                    inject_rate: rate,
+                    ..s.sim
+                };
+                out.push(CompiledCell {
+                    label: cell_label(topology, rate, strategy),
+                    topology,
+                    pattern: s.traffic.pattern,
+                    strategy,
+                    cfg,
+                    engine: s.engine,
+                    faults: s
+                        .faults
+                        .initial
+                        .iter()
+                        .map(|&raw| NodeId::from_raw(raw as u128))
+                        .collect(),
+                    events: s.faults.events.clone(),
+                    replications: s.replications,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn cell_label(topology: Topology, rate: f64, strategy: Strategy) -> String {
+    let strategy = match strategy {
+        Strategy::SinglePath => "single",
+        Strategy::MultipathRandom => "multipath",
+        Strategy::FaultAdaptive => "fault-adaptive",
+        Strategy::FaultFree => "fault-free",
+        Strategy::Valiant => "valiant",
+    };
+    format!("{} rate={rate:?} strategy={strategy}", topology.label())
+}
+
+/// Runs one compiled cell and returns its merged statistics.
+pub fn run_cell(cell: &CompiledCell) -> SimStats {
+    match cell.topology {
+        Topology::Hhc { m } => {
+            let h = Hhc::new(m).expect("validated topology");
+            run_on(&h, cell)
+        }
+        Topology::Cube { n } => {
+            let net = CubeNet(Cube::new(n).expect("validated topology"));
+            run_on(&net, cell)
+        }
+    }
+}
+
+fn run_on<N: crate::net::Network + Sync + ?Sized>(net: &N, cell: &CompiledCell) -> SimStats {
+    Simulator::new(net, cell.pattern, cell.strategy)
+        .with_engine(cell.engine)
+        .with_faults(cell.faults.clone())
+        .with_fault_events(cell.events.clone())
+        .run_many(cell.cfg, cell.replications as usize)
+}
+
+/// Executes a scenario end to end: compile, run every cell (or the
+/// analysis sweep), evaluate expectations.
+pub fn execute(s: &Scenario) -> ScenarioReport {
+    let mut report = ScenarioReport {
+        name: s.name.clone(),
+        ..ScenarioReport::default()
+    };
+    match s.kind {
+        Kind::Sim => {
+            for cell in compile(s) {
+                let stats = run_cell(&cell);
+                check_expectations(&s.expect, &cell.label, &stats, &mut report.violations);
+                report.cells.push(CellResult {
+                    label: cell.label,
+                    stats,
+                });
+            }
+        }
+        Kind::FaultAnalysis => {
+            let a = s.analysis.as_ref().expect("validated fault-analysis kind");
+            let Topology::Hhc { m } = s.topology else {
+                unreachable!("validation rejects non-hhc analysis scenarios")
+            };
+            let h = Hhc::new(m).expect("validated topology");
+            report.rows = constructive_sweep(&h, a.placement, &a.fault_counts, a.trials, s.seed);
+        }
+    }
+    report
+}
+
+fn check_expectations(
+    expect: &super::spec::Expect,
+    label: &str,
+    stats: &SimStats,
+    violations: &mut Vec<String>,
+) {
+    if expect.delivered_all && stats.delivered != stats.injected {
+        violations.push(format!(
+            "{label}: expected delivered_all, got {} of {} delivered",
+            stats.delivered, stats.injected
+        ));
+    }
+    if let Some(min) = expect.min_delivery_ratio {
+        let ratio = stats.delivery_ratio();
+        if ratio < min {
+            violations.push(format!(
+                "{label}: delivery ratio {ratio:.4} below required {min:?}"
+            ));
+        }
+    }
+    if let Some(max) = expect.max_latency_p99 {
+        if let Some(p99) = stats.latency_p99() {
+            if p99 > max {
+                violations.push(format!("{label}: latency p99 {p99} above allowed {max}"));
+            }
+        }
+    }
+    if expect.no_drops {
+        let drops =
+            stats.dropped_unroutable + stats.dropped_dst_faulty + stats.dropped_backpressure;
+        if drops > 0 {
+            violations.push(format!("{label}: expected no drops, got {drops}"));
+        }
+    }
+    if let Some(max) = expect.max_in_flight_at_end {
+        if stats.in_flight_at_end > max {
+            violations.push(format!(
+                "{label}: {} packets in flight at end, allowed {max}",
+                stats.in_flight_at_end
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(extra: &str) -> Scenario {
+        let src = format!(
+            "name = \"t\"\nseed = 0x5EED\n[topology]\nkind = \"hhc\"\nm = 2\n\
+             [sim]\ncycles = 40\ndrain_cycles = 2000\n{extra}"
+        );
+        Scenario::from_toml(&src).unwrap()
+    }
+
+    #[test]
+    fn compile_expands_the_grid_in_driver_order() {
+        let s = base(
+            "[sweep]\nrates = [0.02, 0.05]\nstrategies = [\"single\", \"multipath\"]\n\
+             [[sweep.cells]]\nm = 2\n[[sweep.cells]]\nm = 3\ncycles = 7\n",
+        );
+        let cells = compile(&s);
+        assert_eq!(cells.len(), 8, "2 cells x 2 rates x 2 strategies");
+        // Strategy varies fastest, then rate, then the explicit cell.
+        assert_eq!(cells[0].strategy, Strategy::SinglePath);
+        assert_eq!(cells[1].strategy, Strategy::MultipathRandom);
+        assert_eq!(cells[0].cfg.inject_rate, 0.02);
+        assert_eq!(cells[2].cfg.inject_rate, 0.05);
+        assert_eq!(cells[0].topology, Topology::Hhc { m: 2 });
+        assert_eq!(cells[4].topology, Topology::Hhc { m: 3 });
+        assert_eq!(cells[4].cfg.cycles, 7, "per-cell cycles override");
+        assert_eq!(cells[0].cfg.cycles, 40, "base cycles everywhere else");
+        assert_eq!(cells[0].cfg.seed, 0x5EED, "seed flows into every cell");
+    }
+
+    #[test]
+    fn sweepless_scenario_compiles_to_one_base_cell() {
+        let s = base("[traffic]\nrate = 0.03\nstrategy = \"multipath\"\n");
+        let cells = compile(&s);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].cfg.inject_rate, 0.03);
+        assert_eq!(cells[0].strategy, Strategy::MultipathRandom);
+        assert_eq!(cells[0].label, "hhc(2) rate=0.03 strategy=multipath");
+    }
+
+    #[test]
+    fn execute_matches_a_hand_rolled_simulator_run() {
+        let s = base("[traffic]\nrate = 0.03\n");
+        let report = execute(&s);
+        assert_eq!(report.cells.len(), 1);
+        let h = Hhc::new(2).unwrap();
+        let direct = Simulator::new(&h, Pattern::UniformRandom, Strategy::SinglePath).run_many(
+            SimConfig {
+                cycles: 40,
+                drain_cycles: 2000,
+                inject_rate: 0.03,
+                seed: 0x5EED,
+                ..SimConfig::default()
+            },
+            1,
+        );
+        assert_eq!(report.cells[0].stats, direct);
+        assert!(report.passes());
+    }
+
+    #[test]
+    fn expectations_catch_violations() {
+        // The deadlock scenario: queue capacity 1 + bit-complement at
+        // high load wedges the network, so delivered < injected.
+        let s = Scenario::from_toml(
+            "name = \"wedge\"\nseed = 1212\n[topology]\nkind = \"hhc\"\nm = 2\n\
+             [traffic]\npattern = \"bit-complement\"\nrate = 0.4\n\
+             [sim]\ncycles = 300\ndrain_cycles = 4000\nqueue_capacity = 1\n\
+             [expect]\ndelivered_all = true\n",
+        )
+        .unwrap();
+        let report = execute(&s);
+        assert!(
+            !report.passes(),
+            "the wedged run must violate delivered_all"
+        );
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn analysis_scenario_executes_rows() {
+        let s = Scenario::from_toml(
+            "name = \"a\"\nkind = \"fault-analysis\"\nseed = 7\n\
+             [topology]\nkind = \"hhc\"\nm = 2\n\
+             [analysis]\ntrials = 25\nplacement = \"random\"\nfault_counts = [0, 2]\n",
+        )
+        .unwrap();
+        let report = execute(&s);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.cells.is_empty());
+        assert_eq!(report.rows[0].constructive, 25, "f=0 always delivers");
+        assert!(report.passes());
+    }
+}

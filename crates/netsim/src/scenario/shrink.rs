@@ -1,0 +1,216 @@
+//! Delta-debugging a failing scenario down to a minimal reproducer.
+//!
+//! [`shrink`] takes a scenario and a *failure predicate* (typically
+//! `|s| !execute(s).passes()`, but any property works) and greedily
+//! applies size-reducing moves — dropping fault events and initial
+//! faults, collapsing the sweep, halving durations and load, shrinking
+//! the topology — keeping a move only when the shrunk scenario still
+//! fails. Every accepted move strictly decreases an integer size
+//! metric, so the loop terminates; the result is a local minimum: no
+//! single remaining move preserves the failure.
+//!
+//! The predicate is re-run from scratch on every candidate, which is
+//! what makes this sound for a DES: cell runs are fully determined by
+//! the spec (see the determinism contract in `SCENARIOS.md`), so "still
+//! fails" means "will still fail every time".
+
+use super::spec::{Scenario, Sweep, Topology};
+
+/// The integer size metric the shrinker strictly decreases. Structural
+/// items (fault events, sweep axes, replications, address bits) weigh
+/// far more than duration knobs, so the shrinker prefers removing
+/// moving parts over merely shortening the run.
+pub fn size(s: &Scenario) -> u64 {
+    let structural = s.faults.events.len() as u64
+        + s.faults.initial.len() as u64
+        + s.sweep.cells.len() as u64
+        + s.sweep.rates.len() as u64
+        + s.sweep.strategies.len() as u64
+        + s.replications as u64
+        + s.analysis
+            .as_ref()
+            .map_or(0, |a| a.fault_counts.len() as u64 + a.trials as u64);
+    let duration = s.sim.cycles
+        + s.sim.drain_cycles
+        + s.sim.packet_len
+        + s.sim.sample_every
+        + (s.traffic.rate * 1000.0) as u64;
+    (s.topology.address_bits() as u64) * 1_000_000 + structural * 10_000 + duration
+}
+
+/// Candidate single-step shrinks of `s`, most aggressive first. Every
+/// candidate is a valid scenario; not every candidate is smaller (the
+/// caller filters by [`size`]).
+fn moves(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut with = |f: &dyn Fn(&mut Scenario)| {
+        let mut c = s.clone();
+        f(&mut c);
+        out.push(c);
+    };
+
+    // Structure first: fewer moving parts beats a shorter run.
+    if !s.faults.events.is_empty() {
+        with(&|c| c.faults.events.clear());
+        for i in 0..s.faults.events.len() {
+            with(&move |c| {
+                c.faults.events.remove(i);
+            });
+        }
+    }
+    for i in 0..s.faults.initial.len() {
+        with(&move |c| {
+            c.faults.initial.remove(i);
+        });
+    }
+    if !s.sweep.is_empty() {
+        with(&|c| c.sweep = Sweep::default());
+        for i in 0..s.sweep.cells.len() {
+            with(&move |c| {
+                c.sweep.cells.remove(i);
+            });
+        }
+        for i in 0..s.sweep.rates.len() {
+            with(&move |c| {
+                c.sweep.rates.remove(i);
+            });
+        }
+        for i in 0..s.sweep.strategies.len() {
+            with(&move |c| {
+                c.sweep.strategies.remove(i);
+            });
+        }
+    }
+    if s.replications > 1 {
+        with(&|c| c.replications = 1);
+        with(&|c| c.replications /= 2);
+    }
+    if let Some(a) = &s.analysis {
+        for i in 0..a.fault_counts.len() {
+            if a.fault_counts.len() > 1 {
+                with(&move |c| {
+                    c.analysis.as_mut().unwrap().fault_counts.remove(i);
+                });
+            }
+        }
+        if a.trials > 1 {
+            with(&|c| {
+                let a = c.analysis.as_mut().unwrap();
+                a.trials = (a.trials / 2).max(1);
+            });
+        }
+    }
+
+    // Topology: one size down, discarding faults that fall outside the
+    // smaller address space (the predicate decides if that matters).
+    let shrunk_topology = match s.topology {
+        Topology::Hhc { m } if m > 1 => Some(Topology::Hhc { m: m - 1 }),
+        Topology::Cube { n } if n > 1 => Some(Topology::Cube { n: n - 1 }),
+        _ => None,
+    };
+    if let Some(topology) = shrunk_topology {
+        with(&move |c| {
+            c.topology = topology;
+            let max = 1u64 << topology.address_bits();
+            c.faults.initial.retain(|&node| node < max);
+            c.faults.events.retain(|ev| ev.node.raw() < max as u128);
+            // Per-cell size overrides would resurrect the old size.
+            for cell in &mut c.sweep.cells {
+                cell.size = None;
+            }
+        });
+    }
+
+    // Duration knobs last.
+    if s.sim.cycles > 1 {
+        with(&|c| c.sim.cycles = (c.sim.cycles / 2).max(1));
+        for i in 0..s.sweep.cells.len() {
+            if s.sweep.cells[i].cycles.is_some() {
+                with(&move |c| {
+                    let cy = c.sweep.cells[i].cycles.unwrap();
+                    c.sweep.cells[i].cycles = Some((cy / 2).max(1));
+                });
+            }
+        }
+    }
+    if s.sim.drain_cycles > 0 {
+        with(&|c| c.sim.drain_cycles /= 2);
+    }
+    with(&|c| c.traffic.rate /= 2.0);
+    if s.sim.packet_len > 1 {
+        with(&|c| c.sim.packet_len = 1);
+    }
+    if s.sim.sample_every > 0 {
+        with(&|c| c.sim.sample_every = 0);
+    }
+    out
+}
+
+/// Greedily minimises a failing scenario: returns the smallest
+/// scenario reachable by accepted moves on which `failing` still
+/// returns `true`. When the input itself does not fail, it is returned
+/// unchanged. The result is a 1-minimal local optimum — re-running
+/// [`shrink`] on it is a no-op.
+pub fn shrink(orig: &Scenario, failing: &mut dyn FnMut(&Scenario) -> bool) -> Scenario {
+    if !failing(orig) {
+        return orig.clone();
+    }
+    let mut best = orig.clone();
+    loop {
+        let before = size(&best);
+        let Some(next) = moves(&best)
+            .into_iter()
+            .find(|cand| size(cand) < before && failing(cand))
+        else {
+            return best;
+        };
+        best = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run::execute;
+    use super::*;
+
+    /// The wedge reproducer: HHC(2), bit-complement at high load with
+    /// single-slot queues deadlocks, violating `delivered_all`.
+    fn wedge() -> Scenario {
+        Scenario::from_toml(
+            "name = \"wedge\"\nseed = 1212\nreplications = 2\n\
+             [topology]\nkind = \"hhc\"\nm = 2\n\
+             [traffic]\npattern = \"bit-complement\"\nrate = 0.4\n\
+             [sim]\ncycles = 300\ndrain_cycles = 4000\nqueue_capacity = 1\nsample_every = 25\n\
+             [faults]\n[[faults.events]]\ncycle = 100000\nnode = 1\naction = \"fail\"\n\
+             [expect]\ndelivered_all = true\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shrinks_to_a_strictly_smaller_still_failing_scenario() {
+        let orig = wedge();
+        let mut predicate = |s: &Scenario| !execute(s).passes();
+        assert!(predicate(&orig), "seed scenario must fail to begin with");
+        let small = shrink(&orig, &mut predicate);
+        assert!(size(&small) < size(&orig), "must strictly shrink");
+        assert!(predicate(&small), "must still fail");
+        // The irrelevant fault event and the replication count are
+        // noise: a minimal wedge has neither.
+        assert!(small.faults.events.is_empty());
+        assert_eq!(small.replications, 1);
+        assert_eq!(small.sim.sample_every, 0);
+        // Fixpoint: shrinking the minimum changes nothing.
+        let again = shrink(&small, &mut predicate);
+        assert_eq!(small, again);
+    }
+
+    #[test]
+    fn passing_scenario_is_returned_unchanged() {
+        let mut orig = wedge();
+        orig.expect.delivered_all = false;
+        let mut predicate = |s: &Scenario| !execute(s).passes();
+        let out = shrink(&orig, &mut predicate);
+        assert_eq!(out, orig);
+    }
+}

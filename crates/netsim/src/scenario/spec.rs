@@ -1,0 +1,1324 @@
+//! The typed scenario spec: parse, validate, and re-serialise.
+//!
+//! A scenario file is TOML (the subset implemented by the
+//! `scenario-spec` crate); [`Scenario::from_toml`] parses and validates
+//! it into the typed [`Scenario`], rejecting unknown keys, wrong types
+//! and out-of-range values with a [`ScenarioError`] that names the
+//! offending field. [`Scenario::to_toml`] emits the *canonical normal
+//! form* — every applicable field spelled out in a fixed order — which
+//! round-trips exactly (`parse(to_toml(s)) == s`) and is what the spec
+//! hash in a recorded trace covers. The full field reference lives in
+//! `SCENARIOS.md` at the repository root.
+
+use crate::faults::{FaultAction, FaultEvent};
+use crate::flat::{EngineConfig, Fidelity, LinkStoreMode};
+use crate::sim::{SimConfig, Switching};
+use crate::strategy::Strategy;
+use hhc_core::NodeId;
+use scenario_spec::{LookupError, Table, Value};
+use std::fmt;
+use workloads::Pattern;
+
+/// What a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A packet-level DES run (possibly a sweep of cells).
+    Sim,
+    /// A static fault-tolerance analysis sweep (the F3c engine): no
+    /// queues, just route survival and fault-aware reconstruction over
+    /// sampled (pair, fault set) trials.
+    FaultAnalysis,
+}
+
+/// The simulated topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// The hierarchical hypercube `HHC(m)` — `2^(2^m + m)` nodes.
+    Hhc {
+        /// The HHC parameter (1 ≤ m ≤ 4 for the DES).
+        m: u32,
+    },
+    /// The plain hypercube `Q_n`.
+    Cube {
+        /// The dimension (1 ≤ n ≤ 20 for the DES).
+        n: u32,
+    },
+}
+
+impl Topology {
+    /// Address bits of the topology.
+    pub fn address_bits(&self) -> u32 {
+        match self {
+            Topology::Hhc { m } => (1 << m) + m,
+            Topology::Cube { n } => *n,
+        }
+    }
+
+    /// Display label, e.g. `hhc(2)` or `q(6)`.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::Hhc { m } => format!("hhc({m})"),
+            Topology::Cube { n } => format!("q({n})"),
+        }
+    }
+}
+
+/// Traffic: pattern, offered load and routing strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Traffic {
+    /// Destination-selection pattern.
+    pub pattern: Pattern,
+    /// Injection probability per node per cycle, in `[0, 1]`.
+    pub rate: f64,
+    /// Route-selection strategy.
+    pub strategy: Strategy,
+}
+
+/// The fault schedule: build-time faults plus timed runtime events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Faults {
+    /// Nodes faulty from cycle 0 (raw addresses, sorted, deduplicated).
+    pub initial: Vec<u64>,
+    /// Timed fail/recover events, in file order (the engine sorts by
+    /// cycle, same-cycle events applying in this order).
+    pub events: Vec<FaultEvent>,
+}
+
+/// One explicit sweep cell: overrides applied on top of the base
+/// scenario before the grid axes multiply in.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CellOverride {
+    /// Topology size override (`m` for HHC scenarios, `n` for cube).
+    pub size: Option<u32>,
+    /// Injection-rate override.
+    pub rate: Option<f64>,
+    /// Cycle-count override.
+    pub cycles: Option<u64>,
+    /// Strategy override.
+    pub strategy: Option<Strategy>,
+}
+
+/// A sweep: the scenario expands into the cross product
+/// `cells × rates × strategies` (each axis defaulting to the base
+/// value when absent).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sweep {
+    /// Injection-rate axis (empty = base rate only).
+    pub rates: Vec<f64>,
+    /// Strategy axis (empty = base strategy only).
+    pub strategies: Vec<Strategy>,
+    /// Explicit cell overrides (empty = one implicit base cell).
+    pub cells: Vec<CellOverride>,
+}
+
+impl Sweep {
+    /// Whether the sweep adds nothing over the base scenario.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty() && self.strategies.is_empty() && self.cells.is_empty()
+    }
+}
+
+/// The failure predicate: expectations every cell's merged statistics
+/// must satisfy. A scenario *fails* when any cell violates any
+/// expectation — that is what the shrinker preserves.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Expect {
+    /// Every injected packet must be delivered.
+    pub delivered_all: bool,
+    /// Lower bound on `delivered / injected`.
+    pub min_delivery_ratio: Option<f64>,
+    /// Upper bound on the p99 delivered latency.
+    pub max_latency_p99: Option<u64>,
+    /// No packet may be dropped (unroutable, faulty destination, or
+    /// backpressure).
+    pub no_drops: bool,
+    /// Upper bound on packets still in flight after the drain phase.
+    pub max_in_flight_at_end: Option<u64>,
+}
+
+impl Expect {
+    /// Whether any expectation is configured.
+    pub fn is_empty(&self) -> bool {
+        *self == Expect::default()
+    }
+}
+
+/// Fault-placement mode for `kind = "fault-analysis"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Faults drawn uniformly at random, endpoints excluded.
+    Random,
+    /// Faults placed on the pair's fault-blind disjoint family (one
+    /// interior node per path, round-robin) — the placement that
+    /// defeats selection-time filtering by design.
+    Adversarial,
+}
+
+/// Parameters of a `fault-analysis` scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Sampled (pair, fault set) trials per fault count.
+    pub trials: u32,
+    /// How fault sets are placed.
+    pub placement: Placement,
+    /// The fault counts to sweep.
+    pub fault_counts: Vec<usize>,
+}
+
+/// A validated scenario: the typed form of a scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (also the default trace filename stem).
+    pub name: String,
+    /// Sim or fault-analysis.
+    pub kind: Kind,
+    /// Base RNG seed (every cell runs with this seed; replications use
+    /// consecutive seeds, analysis rows use `seed + row_index`).
+    pub seed: u64,
+    /// Replications per cell, merged via `SimStats::merge`.
+    pub replications: u32,
+    /// The simulated topology.
+    pub topology: Topology,
+    /// Traffic configuration (sim kind).
+    pub traffic: Traffic,
+    /// Base simulation parameters (sim kind; `seed` mirrors the
+    /// top-level seed).
+    pub sim: SimConfig,
+    /// Engine variant (sim kind).
+    pub engine: EngineConfig,
+    /// Fault schedule (sim kind).
+    pub faults: Faults,
+    /// Optional sweep expansion (sim kind).
+    pub sweep: Sweep,
+    /// Failure predicate (sim kind).
+    pub expect: Expect,
+    /// Analysis parameters (`fault-analysis` kind only).
+    pub analysis: Option<Analysis>,
+}
+
+/// A parse or validation failure, naming the offending field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The TOML subset did not parse.
+    Parse(scenario_spec::ParseError),
+    /// A required key is missing or has the wrong type.
+    Schema {
+        /// Section the lookup happened in (empty = top level).
+        section: String,
+        /// The underlying lookup failure.
+        error: LookupError,
+    },
+    /// A key no section defines (typo protection).
+    UnknownKey {
+        /// Section holding the stray key (empty = top level).
+        section: String,
+        /// The stray key.
+        key: String,
+    },
+    /// A value outside its legal range or an illegal combination.
+    Invalid {
+        /// Dotted field path.
+        field: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(e) => write!(f, "scenario parse error: {e}"),
+            ScenarioError::Schema { section, error } => {
+                if section.is_empty() {
+                    write!(f, "scenario schema error: {error}")
+                } else {
+                    write!(f, "scenario schema error in [{section}]: {error}")
+                }
+            }
+            ScenarioError::UnknownKey { section, key } => {
+                if section.is_empty() {
+                    write!(f, "unknown scenario key `{key}`")
+                } else {
+                    write!(f, "unknown scenario key `{key}` in [{section}]")
+                }
+            }
+            ScenarioError::Invalid { field, reason } => {
+                write!(f, "invalid scenario field `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<scenario_spec::ParseError> for ScenarioError {
+    fn from(e: scenario_spec::ParseError) -> Self {
+        ScenarioError::Parse(e)
+    }
+}
+
+fn schema(section: &str) -> impl Fn(LookupError) -> ScenarioError + '_ {
+    move |error| ScenarioError::Schema {
+        section: section.to_string(),
+        error,
+    }
+}
+
+fn invalid(field: &str, reason: impl Into<String>) -> ScenarioError {
+    ScenarioError::Invalid {
+        field: field.to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn check_keys(t: &Table, section: &str, allowed: &[&str]) -> Result<(), ScenarioError> {
+    for key in t.keys() {
+        if !allowed.contains(&key) {
+            return Err(ScenarioError::UnknownKey {
+                section: section.to_string(),
+                key: key.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Optional typed lookups: absent keys yield the default.
+fn opt_int(t: &Table, section: &str, key: &str) -> Result<Option<i64>, ScenarioError> {
+    match t.get_int(key) {
+        Ok(v) => Ok(Some(v)),
+        Err(LookupError::Missing(_)) => Ok(None),
+        Err(e) => Err(schema(section)(e)),
+    }
+}
+
+fn opt_float(t: &Table, section: &str, key: &str) -> Result<Option<f64>, ScenarioError> {
+    match t.get_float(key) {
+        Ok(v) => Ok(Some(v)),
+        Err(LookupError::Missing(_)) => Ok(None),
+        Err(e) => Err(schema(section)(e)),
+    }
+}
+
+fn opt_str<'a>(t: &'a Table, section: &str, key: &str) -> Result<Option<&'a str>, ScenarioError> {
+    match t.get_str(key) {
+        Ok(v) => Ok(Some(v)),
+        Err(LookupError::Missing(_)) => Ok(None),
+        Err(e) => Err(schema(section)(e)),
+    }
+}
+
+fn opt_bool(t: &Table, section: &str, key: &str) -> Result<Option<bool>, ScenarioError> {
+    match t.get_bool(key) {
+        Ok(v) => Ok(Some(v)),
+        Err(LookupError::Missing(_)) => Ok(None),
+        Err(e) => Err(schema(section)(e)),
+    }
+}
+
+fn non_negative(v: i64, field: &str) -> Result<u64, ScenarioError> {
+    u64::try_from(v).map_err(|_| invalid(field, "must be non-negative"))
+}
+
+fn parse_strategy(s: &str, field: &str) -> Result<Strategy, ScenarioError> {
+    match s {
+        "single" => Ok(Strategy::SinglePath),
+        "multipath" => Ok(Strategy::MultipathRandom),
+        "fault-adaptive" => Ok(Strategy::FaultAdaptive),
+        "fault-free" => Ok(Strategy::FaultFree),
+        "valiant" => Ok(Strategy::Valiant),
+        other => Err(invalid(
+            field,
+            format!(
+                "unknown strategy `{other}` (expected single, multipath, \
+                 fault-adaptive, fault-free or valiant)"
+            ),
+        )),
+    }
+}
+
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::SinglePath => "single",
+        Strategy::MultipathRandom => "multipath",
+        Strategy::FaultAdaptive => "fault-adaptive",
+        Strategy::FaultFree => "fault-free",
+        Strategy::Valiant => "valiant",
+    }
+}
+
+impl Scenario {
+    /// Parses and validates a scenario from TOML-subset source.
+    pub fn from_toml(src: &str) -> Result<Scenario, ScenarioError> {
+        let doc = scenario_spec::parse(src)?;
+        let root = &doc.root;
+        check_keys(
+            root,
+            "",
+            &[
+                "name",
+                "kind",
+                "seed",
+                "replications",
+                "topology",
+                "traffic",
+                "sim",
+                "engine",
+                "faults",
+                "sweep",
+                "expect",
+                "analysis",
+            ],
+        )?;
+
+        let name = root.get_str("name").map_err(schema(""))?.to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(invalid(
+                "name",
+                "must be non-empty and contain only [A-Za-z0-9_-] \
+                 (it names the trace file)",
+            ));
+        }
+        let kind = match opt_str(root, "", "kind")?.unwrap_or("sim") {
+            "sim" => Kind::Sim,
+            "fault-analysis" => Kind::FaultAnalysis,
+            other => {
+                return Err(invalid(
+                    "kind",
+                    format!("unknown kind `{other}` (expected sim or fault-analysis)"),
+                ))
+            }
+        };
+        let seed = opt_int(root, "", "seed")?
+            .map(|v| non_negative(v, "seed"))
+            .transpose()?
+            .unwrap_or(SimConfig::default().seed);
+        let replications = match opt_int(root, "", "replications")? {
+            None => 1u32,
+            Some(v) if (1..=100_000).contains(&v) => v as u32,
+            Some(_) => return Err(invalid("replications", "must be in 1..=100000")),
+        };
+
+        let topology = Self::parse_topology(root)?;
+        let bits = topology.address_bits();
+
+        if kind == Kind::FaultAnalysis {
+            for forbidden in ["traffic", "sim", "engine", "faults", "sweep", "expect"] {
+                if root.get(forbidden).is_some() {
+                    return Err(invalid(
+                        forbidden,
+                        "only applies to kind = \"sim\" scenarios",
+                    ));
+                }
+            }
+            if root.get("replications").is_some() {
+                return Err(invalid(
+                    "replications",
+                    "only applies to kind = \"sim\" scenarios \
+                     (analysis rows use `trials`)",
+                ));
+            }
+            if !matches!(topology, Topology::Hhc { .. }) {
+                return Err(invalid(
+                    "topology.kind",
+                    "fault-analysis scenarios require the hhc topology \
+                     (the avoiding constructor is HHC-specific)",
+                ));
+            }
+            let analysis = Self::parse_analysis(root, topology)?;
+            return Ok(Scenario {
+                name,
+                kind,
+                seed,
+                replications: 1,
+                topology,
+                traffic: Traffic {
+                    pattern: Pattern::UniformRandom,
+                    rate: 0.0,
+                    strategy: Strategy::SinglePath,
+                },
+                sim: SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+                engine: EngineConfig::default(),
+                faults: Faults::default(),
+                sweep: Sweep::default(),
+                expect: Expect::default(),
+                analysis: Some(analysis),
+            });
+        }
+
+        if root.get("analysis").is_some() {
+            return Err(invalid(
+                "analysis",
+                "only applies to kind = \"fault-analysis\" scenarios",
+            ));
+        }
+
+        let traffic = Self::parse_traffic(root)?;
+        let sim = Self::parse_sim(root, seed)?;
+        let engine = Self::parse_engine(root)?;
+        let faults = Self::parse_faults(root, bits)?;
+        let sweep = Self::parse_sweep(root, topology)?;
+        let expect = Self::parse_expect(root)?;
+
+        Ok(Scenario {
+            name,
+            kind,
+            seed,
+            replications,
+            topology,
+            traffic,
+            sim,
+            engine,
+            faults,
+            sweep,
+            expect,
+            analysis: None,
+        })
+    }
+
+    fn parse_topology(root: &Table) -> Result<Topology, ScenarioError> {
+        let t = root.get_table("topology").map_err(schema(""))?;
+        check_keys(t, "topology", &["kind", "m", "n"])?;
+        match t.get_str("kind").map_err(schema("topology"))? {
+            "hhc" => {
+                if t.get("n").is_some() {
+                    return Err(invalid("topology.n", "hhc topologies are sized by `m`"));
+                }
+                let m = t.get_int("m").map_err(schema("topology"))?;
+                if !(1..=4).contains(&m) {
+                    return Err(invalid(
+                        "topology.m",
+                        "must be in 1..=4 (HHC(4) = 2^20 nodes is the DES limit)",
+                    ));
+                }
+                Ok(Topology::Hhc { m: m as u32 })
+            }
+            "cube" => {
+                if t.get("m").is_some() {
+                    return Err(invalid("topology.m", "cube topologies are sized by `n`"));
+                }
+                let n = t.get_int("n").map_err(schema("topology"))?;
+                if !(1..=20).contains(&n) {
+                    return Err(invalid(
+                        "topology.n",
+                        "must be in 1..=20 (Q_20 = 2^20 nodes is the DES limit)",
+                    ));
+                }
+                Ok(Topology::Cube { n: n as u32 })
+            }
+            other => Err(invalid(
+                "topology.kind",
+                format!("unknown topology `{other}` (expected hhc or cube)"),
+            )),
+        }
+    }
+
+    fn parse_traffic(root: &Table) -> Result<Traffic, ScenarioError> {
+        let defaults = Traffic {
+            pattern: Pattern::UniformRandom,
+            rate: SimConfig::default().inject_rate,
+            strategy: Strategy::SinglePath,
+        };
+        let t = match root.get_table("traffic") {
+            Ok(t) => t,
+            Err(LookupError::Missing(_)) => return Ok(defaults),
+            Err(e) => return Err(schema("")(e)),
+        };
+        check_keys(
+            t,
+            "traffic",
+            &["pattern", "rate", "strategy", "hot_fraction"],
+        )?;
+        let hot_fraction = opt_float(t, "traffic", "hot_fraction")?;
+        let pattern = match opt_str(t, "traffic", "pattern")?.unwrap_or("uniform") {
+            "uniform" => Pattern::UniformRandom,
+            "bit-complement" => Pattern::BitComplement,
+            "bit-reversal" => Pattern::BitReversal,
+            "transpose" => Pattern::Transpose,
+            "nearest-neighbor" => Pattern::NearestNeighbor,
+            "hotspot" => {
+                let hf = hot_fraction.ok_or_else(|| {
+                    invalid("traffic.hot_fraction", "required for the hotspot pattern")
+                })?;
+                if !(0.0..=1.0).contains(&hf) {
+                    return Err(invalid("traffic.hot_fraction", "must be in [0, 1]"));
+                }
+                Pattern::Hotspot { hot_fraction: hf }
+            }
+            other => {
+                return Err(invalid(
+                    "traffic.pattern",
+                    format!(
+                        "unknown pattern `{other}` (expected uniform, bit-complement, \
+                         bit-reversal, transpose, hotspot or nearest-neighbor)"
+                    ),
+                ))
+            }
+        };
+        if hot_fraction.is_some() && !matches!(pattern, Pattern::Hotspot { .. }) {
+            return Err(invalid(
+                "traffic.hot_fraction",
+                "only applies to the hotspot pattern",
+            ));
+        }
+        let rate = opt_float(t, "traffic", "rate")?.unwrap_or(defaults.rate);
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(invalid("traffic.rate", "must be in [0, 1]"));
+        }
+        let strategy = match opt_str(t, "traffic", "strategy")? {
+            Some(s) => parse_strategy(s, "traffic.strategy")?,
+            None => defaults.strategy,
+        };
+        Ok(Traffic {
+            pattern,
+            rate,
+            strategy,
+        })
+    }
+
+    fn parse_sim(root: &Table, seed: u64) -> Result<SimConfig, ScenarioError> {
+        let mut cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
+        let t = match root.get_table("sim") {
+            Ok(t) => t,
+            Err(LookupError::Missing(_)) => return Ok(cfg),
+            Err(e) => return Err(schema("")(e)),
+        };
+        check_keys(
+            t,
+            "sim",
+            &[
+                "cycles",
+                "drain_cycles",
+                "packet_len",
+                "switching",
+                "queue_capacity",
+                "sample_every",
+            ],
+        )?;
+        if let Some(v) = opt_int(t, "sim", "cycles")? {
+            cfg.cycles = non_negative(v, "sim.cycles")?;
+            if cfg.cycles == 0 {
+                return Err(invalid("sim.cycles", "must be at least 1"));
+            }
+        }
+        if let Some(v) = opt_int(t, "sim", "drain_cycles")? {
+            cfg.drain_cycles = non_negative(v, "sim.drain_cycles")?;
+        }
+        if let Some(v) = opt_int(t, "sim", "packet_len")? {
+            cfg.packet_len = non_negative(v, "sim.packet_len")?;
+            if cfg.packet_len == 0 {
+                return Err(invalid("sim.packet_len", "must be at least 1 flit-cycle"));
+            }
+        }
+        if let Some(s) = opt_str(t, "sim", "switching")? {
+            cfg.switching = match s {
+                "store-and-forward" => Switching::StoreAndForward,
+                "cut-through" => Switching::CutThrough,
+                other => {
+                    return Err(invalid(
+                        "sim.switching",
+                        format!(
+                            "unknown discipline `{other}` (expected \
+                             store-and-forward or cut-through)"
+                        ),
+                    ))
+                }
+            };
+        }
+        if let Some(v) = opt_int(t, "sim", "queue_capacity")? {
+            let v = non_negative(v, "sim.queue_capacity")?;
+            cfg.queue_capacity = (v > 0).then_some(v);
+        }
+        if let Some(v) = opt_int(t, "sim", "sample_every")? {
+            cfg.sample_every = non_negative(v, "sim.sample_every")?;
+        }
+        Ok(cfg)
+    }
+
+    fn parse_engine(root: &Table) -> Result<EngineConfig, ScenarioError> {
+        let mut engine = EngineConfig::default();
+        let t = match root.get_table("engine") {
+            Ok(t) => t,
+            Err(LookupError::Missing(_)) => return Ok(engine),
+            Err(e) => return Err(schema("")(e)),
+        };
+        check_keys(t, "engine", &["store", "fidelity"])?;
+        if let Some(s) = opt_str(t, "engine", "store")? {
+            engine.store = match s {
+                "lazy" => LinkStoreMode::Lazy,
+                "eager" => LinkStoreMode::Eager,
+                other => {
+                    return Err(invalid(
+                        "engine.store",
+                        format!("unknown store `{other}` (expected lazy or eager)"),
+                    ))
+                }
+            };
+        }
+        if let Some(s) = opt_str(t, "engine", "fidelity")? {
+            engine.fidelity = match s {
+                "hybrid" => Fidelity::Hybrid,
+                "full" => Fidelity::Full,
+                other => {
+                    return Err(invalid(
+                        "engine.fidelity",
+                        format!("unknown fidelity `{other}` (expected hybrid or full)"),
+                    ))
+                }
+            };
+        }
+        Ok(engine)
+    }
+
+    fn parse_faults(root: &Table, bits: u32) -> Result<Faults, ScenarioError> {
+        let mut faults = Faults::default();
+        let t = match root.get_table("faults") {
+            Ok(t) => t,
+            Err(LookupError::Missing(_)) => return Ok(faults),
+            Err(e) => return Err(schema("")(e)),
+        };
+        check_keys(t, "faults", &["initial", "events"])?;
+        let max = 1u64 << bits;
+        if let Some(Value::Array(_)) = t.get_value("initial") {
+            let arr = t.get_array("initial").map_err(schema("faults"))?;
+            for v in arr {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| invalid("faults.initial", "entries must be integers"))?;
+                let raw = non_negative(raw, "faults.initial")?;
+                if raw >= max {
+                    return Err(invalid(
+                        "faults.initial",
+                        format!("node {raw} is outside the {bits}-bit address space"),
+                    ));
+                }
+                faults.initial.push(raw);
+            }
+            faults.initial.sort_unstable();
+            faults.initial.dedup();
+        } else if t.get("initial").is_some() {
+            return Err(invalid("faults.initial", "must be an array of node ids"));
+        }
+        if let Ok(events) = t.get_tables("events") {
+            for (i, ev) in events.iter().enumerate() {
+                let section = format!("faults.events[{i}]");
+                check_keys(ev, &section, &["cycle", "node", "action"])?;
+                let cycle = non_negative(
+                    ev.get_int("cycle").map_err(schema(&section))?,
+                    "faults.events.cycle",
+                )?;
+                let node = non_negative(
+                    ev.get_int("node").map_err(schema(&section))?,
+                    "faults.events.node",
+                )?;
+                if node >= max {
+                    return Err(invalid(
+                        "faults.events.node",
+                        format!("node {node} is outside the {bits}-bit address space"),
+                    ));
+                }
+                let action = match ev.get_str("action").map_err(schema(&section))? {
+                    "fail" => FaultAction::Fail,
+                    "recover" => FaultAction::Recover,
+                    other => {
+                        return Err(invalid(
+                            "faults.events.action",
+                            format!("unknown action `{other}` (expected fail or recover)"),
+                        ))
+                    }
+                };
+                faults.events.push(FaultEvent {
+                    cycle,
+                    node: NodeId::from_raw(node as u128),
+                    action,
+                });
+            }
+        } else if t.get("events").is_some() {
+            return Err(invalid(
+                "faults.events",
+                "must be an array of tables ([[faults.events]])",
+            ));
+        }
+        Ok(faults)
+    }
+
+    fn parse_sweep(root: &Table, topology: Topology) -> Result<Sweep, ScenarioError> {
+        let mut sweep = Sweep::default();
+        let t = match root.get_table("sweep") {
+            Ok(t) => t,
+            Err(LookupError::Missing(_)) => return Ok(sweep),
+            Err(e) => return Err(schema("")(e)),
+        };
+        check_keys(t, "sweep", &["rates", "strategies", "cells"])?;
+        if t.get("rates").is_some() {
+            for v in t.get_array("rates").map_err(schema("sweep"))? {
+                let rate = v
+                    .as_f64()
+                    .ok_or_else(|| invalid("sweep.rates", "entries must be numbers"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(invalid("sweep.rates", "rates must be in [0, 1]"));
+                }
+                sweep.rates.push(rate);
+            }
+            if sweep.rates.is_empty() {
+                return Err(invalid("sweep.rates", "must not be an empty array"));
+            }
+        }
+        if t.get("strategies").is_some() {
+            for v in t.get_array("strategies").map_err(schema("sweep"))? {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| invalid("sweep.strategies", "entries must be strings"))?;
+                sweep
+                    .strategies
+                    .push(parse_strategy(s, "sweep.strategies")?);
+            }
+            if sweep.strategies.is_empty() {
+                return Err(invalid("sweep.strategies", "must not be an empty array"));
+            }
+        }
+        if let Ok(cells) = t.get_tables("cells") {
+            for (i, cell) in cells.iter().enumerate() {
+                let section = format!("sweep.cells[{i}]");
+                check_keys(cell, &section, &["m", "n", "rate", "cycles", "strategy"])?;
+                let size = match topology {
+                    Topology::Hhc { .. } => {
+                        if cell.get("n").is_some() {
+                            return Err(invalid(
+                                "sweep.cells.n",
+                                "hhc scenarios size cells by `m`",
+                            ));
+                        }
+                        match opt_int(cell, &section, "m")? {
+                            Some(m) if (1..=4).contains(&m) => Some(m as u32),
+                            Some(_) => return Err(invalid("sweep.cells.m", "must be in 1..=4")),
+                            None => None,
+                        }
+                    }
+                    Topology::Cube { .. } => {
+                        if cell.get("m").is_some() {
+                            return Err(invalid(
+                                "sweep.cells.m",
+                                "cube scenarios size cells by `n`",
+                            ));
+                        }
+                        match opt_int(cell, &section, "n")? {
+                            Some(n) if (1..=20).contains(&n) => Some(n as u32),
+                            Some(_) => return Err(invalid("sweep.cells.n", "must be in 1..=20")),
+                            None => None,
+                        }
+                    }
+                };
+                let rate = match opt_float(cell, &section, "rate")? {
+                    Some(r) if (0.0..=1.0).contains(&r) => Some(r),
+                    Some(_) => return Err(invalid("sweep.cells.rate", "must be in [0, 1]")),
+                    None => None,
+                };
+                let cycles = match opt_int(cell, &section, "cycles")? {
+                    Some(c) if c >= 1 => Some(c as u64),
+                    Some(_) => return Err(invalid("sweep.cells.cycles", "must be at least 1")),
+                    None => None,
+                };
+                let strategy = match opt_str(cell, &section, "strategy")? {
+                    Some(s) => Some(parse_strategy(s, "sweep.cells.strategy")?),
+                    None => None,
+                };
+                sweep.cells.push(CellOverride {
+                    size,
+                    rate,
+                    cycles,
+                    strategy,
+                });
+            }
+        } else if t.get("cells").is_some() {
+            return Err(invalid(
+                "sweep.cells",
+                "must be an array of tables ([[sweep.cells]])",
+            ));
+        }
+        Ok(sweep)
+    }
+
+    fn parse_expect(root: &Table) -> Result<Expect, ScenarioError> {
+        let mut expect = Expect::default();
+        let t = match root.get_table("expect") {
+            Ok(t) => t,
+            Err(LookupError::Missing(_)) => return Ok(expect),
+            Err(e) => return Err(schema("")(e)),
+        };
+        check_keys(
+            t,
+            "expect",
+            &[
+                "delivered_all",
+                "min_delivery_ratio",
+                "max_latency_p99",
+                "no_drops",
+                "max_in_flight_at_end",
+            ],
+        )?;
+        expect.delivered_all = opt_bool(t, "expect", "delivered_all")?.unwrap_or(false);
+        expect.no_drops = opt_bool(t, "expect", "no_drops")?.unwrap_or(false);
+        if let Some(r) = opt_float(t, "expect", "min_delivery_ratio")? {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(invalid("expect.min_delivery_ratio", "must be in [0, 1]"));
+            }
+            expect.min_delivery_ratio = Some(r);
+        }
+        expect.max_latency_p99 = opt_int(t, "expect", "max_latency_p99")?
+            .map(|v| non_negative(v, "expect.max_latency_p99"))
+            .transpose()?;
+        expect.max_in_flight_at_end = opt_int(t, "expect", "max_in_flight_at_end")?
+            .map(|v| non_negative(v, "expect.max_in_flight_at_end"))
+            .transpose()?;
+        Ok(expect)
+    }
+
+    fn parse_analysis(root: &Table, topology: Topology) -> Result<Analysis, ScenarioError> {
+        let t = root.get_table("analysis").map_err(schema(""))?;
+        check_keys(t, "analysis", &["trials", "placement", "fault_counts"])?;
+        let trials = match t.get_int("trials").map_err(schema("analysis"))? {
+            v if (1..=1_000_000).contains(&v) => v as u32,
+            _ => return Err(invalid("analysis.trials", "must be in 1..=1000000")),
+        };
+        let placement = match t.get_str("placement").map_err(schema("analysis"))? {
+            "random" => Placement::Random,
+            "adversarial" => Placement::Adversarial,
+            other => {
+                return Err(invalid(
+                    "analysis.placement",
+                    format!("unknown placement `{other}` (expected random or adversarial)"),
+                ))
+            }
+        };
+        let max_faults = (1u64 << topology.address_bits()).saturating_sub(2);
+        let mut fault_counts = Vec::new();
+        for v in t.get_array("fault_counts").map_err(schema("analysis"))? {
+            let f = v
+                .as_i64()
+                .ok_or_else(|| invalid("analysis.fault_counts", "entries must be integers"))?;
+            let f = non_negative(f, "analysis.fault_counts")?;
+            if f > max_faults {
+                return Err(invalid(
+                    "analysis.fault_counts",
+                    format!("{f} faults leave no healthy pair in this topology"),
+                ));
+            }
+            fault_counts.push(f as usize);
+        }
+        if fault_counts.is_empty() {
+            return Err(invalid("analysis.fault_counts", "must not be empty"));
+        }
+        Ok(Analysis {
+            trials,
+            placement,
+            fault_counts,
+        })
+    }
+
+    /// Serialises the scenario to its canonical TOML normal form: every
+    /// applicable field spelled out, sections and keys in fixed order.
+    /// Round-trips exactly: `Scenario::from_toml(&s.to_toml())` equals
+    /// `s`. The recorded-trace spec hash covers this string, so
+    /// reformatting a scenario file does not invalidate its trace.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, s: &str| {
+            out.push_str(s);
+            out.push('\n');
+        };
+        push(&mut out, &format!("name = \"{}\"", self.name));
+        let kind = match self.kind {
+            Kind::Sim => "sim",
+            Kind::FaultAnalysis => "fault-analysis",
+        };
+        push(&mut out, &format!("kind = \"{kind}\""));
+        push(&mut out, &format!("seed = {:#x}", self.seed));
+        if self.kind == Kind::Sim {
+            push(&mut out, &format!("replications = {}", self.replications));
+        }
+        push(&mut out, "");
+        push(&mut out, "[topology]");
+        match self.topology {
+            Topology::Hhc { m } => {
+                push(&mut out, "kind = \"hhc\"");
+                push(&mut out, &format!("m = {m}"));
+            }
+            Topology::Cube { n } => {
+                push(&mut out, "kind = \"cube\"");
+                push(&mut out, &format!("n = {n}"));
+            }
+        }
+        if let Some(a) = &self.analysis {
+            push(&mut out, "");
+            push(&mut out, "[analysis]");
+            push(&mut out, &format!("trials = {}", a.trials));
+            let placement = match a.placement {
+                Placement::Random => "random",
+                Placement::Adversarial => "adversarial",
+            };
+            push(&mut out, &format!("placement = \"{placement}\""));
+            let counts: Vec<String> = a.fault_counts.iter().map(|f| f.to_string()).collect();
+            push(&mut out, &format!("fault_counts = [{}]", counts.join(", ")));
+            return out;
+        }
+        push(&mut out, "");
+        push(&mut out, "[traffic]");
+        let (pattern, hot) = match self.traffic.pattern {
+            Pattern::UniformRandom => ("uniform", None),
+            Pattern::BitComplement => ("bit-complement", None),
+            Pattern::BitReversal => ("bit-reversal", None),
+            Pattern::Transpose => ("transpose", None),
+            Pattern::Hotspot { hot_fraction } => ("hotspot", Some(hot_fraction)),
+            Pattern::NearestNeighbor => ("nearest-neighbor", None),
+        };
+        push(&mut out, &format!("pattern = \"{pattern}\""));
+        if let Some(hf) = hot {
+            push(&mut out, &format!("hot_fraction = {hf:?}"));
+        }
+        push(&mut out, &format!("rate = {:?}", self.traffic.rate));
+        push(
+            &mut out,
+            &format!("strategy = \"{}\"", strategy_name(self.traffic.strategy)),
+        );
+        push(&mut out, "");
+        push(&mut out, "[sim]");
+        push(&mut out, &format!("cycles = {}", self.sim.cycles));
+        push(
+            &mut out,
+            &format!("drain_cycles = {}", self.sim.drain_cycles),
+        );
+        push(&mut out, &format!("packet_len = {}", self.sim.packet_len));
+        let switching = match self.sim.switching {
+            Switching::StoreAndForward => "store-and-forward",
+            Switching::CutThrough => "cut-through",
+        };
+        push(&mut out, &format!("switching = \"{switching}\""));
+        push(
+            &mut out,
+            &format!("queue_capacity = {}", self.sim.queue_capacity.unwrap_or(0)),
+        );
+        push(
+            &mut out,
+            &format!("sample_every = {}", self.sim.sample_every),
+        );
+        push(&mut out, "");
+        push(&mut out, "[engine]");
+        let store = match self.engine.store {
+            LinkStoreMode::Lazy => "lazy",
+            LinkStoreMode::Eager => "eager",
+        };
+        push(&mut out, &format!("store = \"{store}\""));
+        let fidelity = match self.engine.fidelity {
+            Fidelity::Hybrid => "hybrid",
+            Fidelity::Full => "full",
+        };
+        push(&mut out, &format!("fidelity = \"{fidelity}\""));
+        if !self.faults.initial.is_empty() || !self.faults.events.is_empty() {
+            push(&mut out, "");
+            push(&mut out, "[faults]");
+            if !self.faults.initial.is_empty() {
+                let nodes: Vec<String> =
+                    self.faults.initial.iter().map(|n| n.to_string()).collect();
+                push(&mut out, &format!("initial = [{}]", nodes.join(", ")));
+            }
+            for ev in &self.faults.events {
+                push(&mut out, "");
+                push(&mut out, "[[faults.events]]");
+                push(&mut out, &format!("cycle = {}", ev.cycle));
+                push(&mut out, &format!("node = {}", ev.node.raw()));
+                let action = match ev.action {
+                    FaultAction::Fail => "fail",
+                    FaultAction::Recover => "recover",
+                };
+                push(&mut out, &format!("action = \"{action}\""));
+            }
+        }
+        if !self.sweep.is_empty() {
+            push(&mut out, "");
+            push(&mut out, "[sweep]");
+            if !self.sweep.rates.is_empty() {
+                let rates: Vec<String> =
+                    self.sweep.rates.iter().map(|r| format!("{r:?}")).collect();
+                push(&mut out, &format!("rates = [{}]", rates.join(", ")));
+            }
+            if !self.sweep.strategies.is_empty() {
+                let names: Vec<String> = self
+                    .sweep
+                    .strategies
+                    .iter()
+                    .map(|&s| format!("\"{}\"", strategy_name(s)))
+                    .collect();
+                push(&mut out, &format!("strategies = [{}]", names.join(", ")));
+            }
+            let size_key = match self.topology {
+                Topology::Hhc { .. } => "m",
+                Topology::Cube { .. } => "n",
+            };
+            for cell in &self.sweep.cells {
+                push(&mut out, "");
+                push(&mut out, "[[sweep.cells]]");
+                if let Some(size) = cell.size {
+                    push(&mut out, &format!("{size_key} = {size}"));
+                }
+                if let Some(rate) = cell.rate {
+                    push(&mut out, &format!("rate = {rate:?}"));
+                }
+                if let Some(cycles) = cell.cycles {
+                    push(&mut out, &format!("cycles = {cycles}"));
+                }
+                if let Some(strategy) = cell.strategy {
+                    push(
+                        &mut out,
+                        &format!("strategy = \"{}\"", strategy_name(strategy)),
+                    );
+                }
+            }
+        }
+        if !self.expect.is_empty() {
+            push(&mut out, "");
+            push(&mut out, "[expect]");
+            if self.expect.delivered_all {
+                push(&mut out, "delivered_all = true");
+            }
+            if let Some(r) = self.expect.min_delivery_ratio {
+                push(&mut out, &format!("min_delivery_ratio = {r:?}"));
+            }
+            if let Some(v) = self.expect.max_latency_p99 {
+                push(&mut out, &format!("max_latency_p99 = {v}"));
+            }
+            if self.expect.no_drops {
+                push(&mut out, "no_drops = true");
+            }
+            if let Some(v) = self.expect.max_in_flight_at_end {
+                push(&mut out, &format!("max_in_flight_at_end = {v}"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+name = "full-demo"
+kind = "sim"
+seed = 0xF4F4
+replications = 3
+
+[topology]
+kind = "hhc"
+m = 2
+
+[traffic]
+pattern = "hotspot"
+hot_fraction = 0.1
+rate = 0.05
+strategy = "fault-adaptive"
+
+[sim]
+cycles = 300
+drain_cycles = 5000
+packet_len = 2
+switching = "cut-through"
+queue_capacity = 4
+sample_every = 50
+
+[engine]
+store = "eager"
+fidelity = "full"
+
+[faults]
+initial = [17, 3, 17]
+
+[[faults.events]]
+cycle = 100
+node = 9
+action = "fail"
+
+[[faults.events]]
+cycle = 200
+node = 9
+action = "recover"
+
+[sweep]
+rates = [0.02, 0.05]
+strategies = ["single", "multipath"]
+
+[[sweep.cells]]
+m = 3
+cycles = 200
+
+[expect]
+delivered_all = true
+min_delivery_ratio = 0.95
+max_latency_p99 = 400
+no_drops = true
+max_in_flight_at_end = 0
+"#;
+
+    #[test]
+    fn full_scenario_parses_with_every_field() {
+        let s = Scenario::from_toml(FULL).unwrap();
+        assert_eq!(s.name, "full-demo");
+        assert_eq!(s.kind, Kind::Sim);
+        assert_eq!(s.seed, 0xF4F4);
+        assert_eq!(s.replications, 3);
+        assert_eq!(s.topology, Topology::Hhc { m: 2 });
+        assert_eq!(s.traffic.pattern, Pattern::Hotspot { hot_fraction: 0.1 });
+        assert_eq!(s.traffic.strategy, Strategy::FaultAdaptive);
+        assert_eq!(s.sim.cycles, 300);
+        assert_eq!(s.sim.queue_capacity, Some(4));
+        assert_eq!(s.sim.switching, Switching::CutThrough);
+        assert_eq!(s.sim.seed, 0xF4F4, "sim seed mirrors the top-level seed");
+        assert_eq!(s.engine.store, LinkStoreMode::Eager);
+        assert_eq!(s.engine.fidelity, Fidelity::Full);
+        assert_eq!(s.faults.initial, vec![3, 17], "sorted and deduplicated");
+        assert_eq!(s.faults.events.len(), 2);
+        assert_eq!(s.faults.events[1].action, FaultAction::Recover);
+        assert_eq!(s.sweep.rates, vec![0.02, 0.05]);
+        assert_eq!(s.sweep.strategies.len(), 2);
+        assert_eq!(s.sweep.cells.len(), 1);
+        assert_eq!(s.sweep.cells[0].size, Some(3));
+        assert!(s.expect.delivered_all && s.expect.no_drops);
+        assert_eq!(s.expect.max_in_flight_at_end, Some(0));
+        assert!(s.analysis.is_none());
+    }
+
+    #[test]
+    fn minimal_scenario_gets_defaults() {
+        let s =
+            Scenario::from_toml("name = \"tiny\"\n[topology]\nkind = \"hhc\"\nm = 2\n").unwrap();
+        assert_eq!(s.kind, Kind::Sim);
+        assert_eq!(s.seed, SimConfig::default().seed);
+        assert_eq!(s.replications, 1);
+        assert_eq!(s.traffic.pattern, Pattern::UniformRandom);
+        assert_eq!(s.traffic.rate, SimConfig::default().inject_rate);
+        assert_eq!(s.traffic.strategy, Strategy::SinglePath);
+        assert_eq!(s.sim.cycles, SimConfig::default().cycles);
+        assert_eq!(s.engine, EngineConfig::default());
+        assert!(s.faults.initial.is_empty() && s.faults.events.is_empty());
+        assert!(s.sweep.is_empty());
+        assert!(s.expect.is_empty());
+    }
+
+    #[test]
+    fn canonical_form_round_trips() {
+        let s = Scenario::from_toml(FULL).unwrap();
+        let canon = s.to_toml();
+        let reparsed = Scenario::from_toml(&canon).unwrap();
+        assert_eq!(s, reparsed);
+        // And the canonical form is a fixpoint.
+        assert_eq!(canon, reparsed.to_toml());
+    }
+
+    #[test]
+    fn analysis_scenario_parses_and_round_trips() {
+        let src = r#"
+name = "f3c-demo"
+kind = "fault-analysis"
+seed = 0xF3C1
+
+[topology]
+kind = "hhc"
+m = 3
+
+[analysis]
+trials = 150
+placement = "adversarial"
+fault_counts = [0, 1, 2, 3, 4, 5]
+"#;
+        let s = Scenario::from_toml(src).unwrap();
+        assert_eq!(s.kind, Kind::FaultAnalysis);
+        let a = s.analysis.as_ref().unwrap();
+        assert_eq!(a.trials, 150);
+        assert_eq!(a.placement, Placement::Adversarial);
+        assert_eq!(a.fault_counts, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(s, Scenario::from_toml(&s.to_toml()).unwrap());
+    }
+
+    fn err_of(src: &str) -> ScenarioError {
+        Scenario::from_toml(src).unwrap_err()
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_everywhere() {
+        let e = err_of("name = \"x\"\nbogus = 1\n[topology]\nkind = \"hhc\"\nm = 2\n");
+        assert!(matches!(e, ScenarioError::UnknownKey { ref key, .. } if key == "bogus"));
+        let e = err_of("name = \"x\"\n[topology]\nkind = \"hhc\"\nm = 2\nbogus = 1\n");
+        assert!(
+            matches!(e, ScenarioError::UnknownKey { ref section, ref key, .. }
+                     if section == "topology" && key == "bogus")
+        );
+        let e = err_of("name = \"x\"\n[topology]\nkind = \"hhc\"\nm = 2\n[traffic]\nratez = 0.1\n");
+        assert!(matches!(e, ScenarioError::UnknownKey { ref key, .. } if key == "ratez"));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_values() {
+        // m beyond the DES limit.
+        let e = err_of("name = \"x\"\n[topology]\nkind = \"hhc\"\nm = 5\n");
+        assert!(matches!(e, ScenarioError::Invalid { ref field, .. } if field == "topology.m"));
+        // Rate out of [0, 1].
+        let e = err_of("name = \"x\"\n[topology]\nkind = \"hhc\"\nm = 2\n[traffic]\nrate = 1.5\n");
+        assert!(matches!(e, ScenarioError::Invalid { ref field, .. } if field == "traffic.rate"));
+        // Fault node outside the address space (HHC(2) has 64 nodes).
+        let e =
+            err_of("name = \"x\"\n[topology]\nkind = \"hhc\"\nm = 2\n[faults]\ninitial = [64]\n");
+        assert!(matches!(e, ScenarioError::Invalid { ref field, .. } if field == "faults.initial"));
+        // Hotspot without its fraction.
+        let e = err_of(
+            "name = \"x\"\n[topology]\nkind = \"hhc\"\nm = 2\n[traffic]\npattern = \"hotspot\"\n",
+        );
+        assert!(
+            matches!(e, ScenarioError::Invalid { ref field, .. } if field == "traffic.hot_fraction")
+        );
+        // hot_fraction on a non-hotspot pattern.
+        let e = err_of(
+            "name = \"x\"\n[topology]\nkind = \"hhc\"\nm = 2\n\
+             [traffic]\npattern = \"uniform\"\nhot_fraction = 0.1\n",
+        );
+        assert!(
+            matches!(e, ScenarioError::Invalid { ref field, .. } if field == "traffic.hot_fraction")
+        );
+        // Bad name (it becomes a file name).
+        let e = err_of("name = \"a/b\"\n[topology]\nkind = \"hhc\"\nm = 2\n");
+        assert!(matches!(e, ScenarioError::Invalid { ref field, .. } if field == "name"));
+    }
+
+    #[test]
+    fn kind_sections_are_mutually_exclusive() {
+        // [analysis] on a sim scenario.
+        let e = err_of(
+            "name = \"x\"\n[topology]\nkind = \"hhc\"\nm = 2\n\
+             [analysis]\ntrials = 10\nplacement = \"random\"\nfault_counts = [1]\n",
+        );
+        assert!(matches!(e, ScenarioError::Invalid { ref field, .. } if field == "analysis"));
+        // [traffic] on a fault-analysis scenario.
+        let e = err_of(
+            "name = \"x\"\nkind = \"fault-analysis\"\n\
+             [topology]\nkind = \"hhc\"\nm = 3\n[traffic]\nrate = 0.1\n\
+             [analysis]\ntrials = 10\nplacement = \"random\"\nfault_counts = [1]\n",
+        );
+        assert!(matches!(e, ScenarioError::Invalid { ref field, .. } if field == "traffic"));
+        // fault-analysis on a cube topology.
+        let e = err_of(
+            "name = \"x\"\nkind = \"fault-analysis\"\n\
+             [topology]\nkind = \"cube\"\nn = 6\n\
+             [analysis]\ntrials = 10\nplacement = \"random\"\nfault_counts = [1]\n",
+        );
+        assert!(matches!(e, ScenarioError::Invalid { ref field, .. } if field == "topology.kind"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Golden traces: recording a scenario's results and replaying against
+//! the recorded file byte for byte.
+//!
+//! A trace is a small, line-oriented text file (committed under
+//! `results/scenarios/` by convention). It pins:
+//!
+//! * the **spec hash** — FNV-1a 64 over the scenario's canonical TOML
+//!   ([`super::spec::Scenario::to_toml`]), so a trace detects when the
+//!   scenario it was recorded for has changed (while surviving pure
+//!   reformatting of the file);
+//! * per cell, the raw conservation counters **and** a hash of the
+//!   full JSON stats (histogram and samples included), so any drift in
+//!   any statistic shows up;
+//! * for `fault-analysis` scenarios, every row's exact tallies.
+//!
+//! [`render`] is pure — file IO stays in the CLI and tests — and
+//! replay is simply `render(now) == committed bytes`; [`diff_lines`]
+//! turns a mismatch into a readable first-divergence report.
+
+use super::run::ScenarioReport;
+use super::spec::Scenario;
+use std::fmt::Write as _;
+
+/// FNV-1a 64 over a byte string — the same pinning hash the
+/// `flat_equivalence` golden tests use.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders the trace for one executed scenario. Pure and total: the
+/// same `(scenario, report)` always renders the same bytes, and replay
+/// compares this string against the committed file.
+pub fn render(s: &Scenario, report: &ScenarioReport) -> String {
+    let mut out = String::new();
+    let mut line = |text: String| {
+        out.push_str(&text);
+        out.push('\n');
+    };
+    line("scenario-trace v1".into());
+    line(format!("name {}", s.name));
+    line(format!("spec_fnv {:#018x}", fnv64(s.to_toml().as_bytes())));
+    line(format!("cells {}", report.cells.len()));
+    for cell in &report.cells {
+        let st = &cell.stats;
+        line(format!("cell {}", cell.label));
+        line(format!(
+            "  counters {} {} {} {} {} {} {}",
+            st.injected,
+            st.delivered,
+            st.dropped_dst_faulty,
+            st.dropped_unroutable,
+            st.dropped_backpressure,
+            st.self_addressed,
+            st.in_flight_at_end
+        ));
+        line(format!(
+            "  flow {} {} {} {} {} {}",
+            st.latency_sum,
+            st.latency_max,
+            st.hops_sum,
+            st.link_transmissions,
+            st.max_queue_len,
+            st.backpressure_stalls
+        ));
+        line(format!(
+            "  stats_fnv {:#018x}",
+            fnv64(st.to_json(0).as_bytes())
+        ));
+    }
+    line(format!("rows {}", report.rows.len()));
+    for row in &report.rows {
+        line(format!(
+            "row f={} trials={} filtered={} constructive={} rerouted={} \
+             paths_sum={} max_len={}",
+            row.fault_count,
+            row.trials,
+            row.filtered,
+            row.constructive,
+            row.rerouted,
+            row.paths_sum,
+            row.max_len
+        ));
+    }
+    line(format!("violations {}", report.violations.len()));
+    for v in &report.violations {
+        line(format!("  violated {v}"));
+    }
+    out
+}
+
+/// Reports the first divergence between a freshly rendered trace and
+/// the recorded golden, or `None` when they are byte-identical.
+pub fn diff_lines(current: &str, recorded: &str) -> Option<String> {
+    if current == recorded {
+        return None;
+    }
+    let mut cur = current.lines();
+    let mut rec = recorded.lines();
+    let mut lineno = 1usize;
+    loop {
+        match (cur.next(), rec.next()) {
+            (Some(c), Some(r)) if c == r => lineno += 1,
+            (Some(c), Some(r)) => {
+                let mut msg = String::new();
+                let _ = write!(
+                    msg,
+                    "trace diverges at line {lineno}:\n  recorded: {r}\n  current:  {c}"
+                );
+                return Some(msg);
+            }
+            (Some(c), None) => {
+                return Some(format!(
+                    "trace diverges at line {lineno}: recorded file ends, current has: {c}"
+                ))
+            }
+            (None, Some(r)) => {
+                return Some(format!(
+                    "trace diverges at line {lineno}: current ends, recorded has: {r}"
+                ))
+            }
+            // Same lines but different bytes (trailing newline drift).
+            (None, None) => return Some("traces differ only in trailing whitespace".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run::execute;
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario::from_toml(
+            "name = \"tiny\"\nseed = 0x5EED\n[topology]\nkind = \"hhc\"\nm = 2\n\
+             [traffic]\nrate = 0.03\n[sim]\ncycles = 40\ndrain_cycles = 2000\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fnv64_matches_the_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn replay_is_byte_identical_and_detects_drift() {
+        let s = tiny();
+        let recorded = render(&s, &execute(&s));
+        let replayed = render(&s, &execute(&s));
+        assert_eq!(recorded, replayed, "same scenario, same bytes");
+        assert!(diff_lines(&replayed, &recorded).is_none());
+
+        // A different seed must diverge, and the diff names the line.
+        let mut other = s.clone();
+        other.seed = 1;
+        other.sim.seed = 1;
+        let drifted = render(&other, &execute(&other));
+        let diff = diff_lines(&drifted, &recorded).expect("seeds differ, trace must differ");
+        assert!(diff.contains("diverges at line"), "{diff}");
+    }
+
+    #[test]
+    fn spec_hash_survives_reformatting_but_not_meaning_changes() {
+        let s = tiny();
+        // Same scenario written with extra whitespace and comments.
+        let reformatted = Scenario::from_toml(
+            "# a comment\nname = \"tiny\"\nseed = 0x5EED\n\n[topology]\n\
+             kind = \"hhc\"\nm   = 2\n[traffic]\nrate = 0.03\n\
+             [sim]\ncycles = 40\ndrain_cycles = 2000\n",
+        )
+        .unwrap();
+        assert_eq!(s, reformatted);
+        assert_eq!(
+            fnv64(s.to_toml().as_bytes()),
+            fnv64(reformatted.to_toml().as_bytes())
+        );
+        let mut changed = s.clone();
+        changed.traffic.rate = 0.04;
+        assert_ne!(
+            fnv64(s.to_toml().as_bytes()),
+            fnv64(changed.to_toml().as_bytes())
+        );
+    }
+}

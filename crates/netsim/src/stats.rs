@@ -105,20 +105,6 @@ impl SimStats {
         }
     }
 
-    /// Mean link utilisation over a caller-supplied link count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "a caller-supplied count can silently drift from the engine-recorded \
-                `links_total`; use `link_utilization()`"
-    )]
-    pub fn link_utilization_with(&self, directed_links: u64) -> f64 {
-        if self.cycles == 0 || directed_links == 0 {
-            0.0
-        } else {
-            self.link_transmissions as f64 / (self.cycles as f64 * directed_links as f64)
-        }
-    }
-
     /// Accepted throughput in packets/node/cycle.
     pub fn throughput(&self) -> f64 {
         if self.cycles == 0 || self.nodes == 0 {
@@ -463,12 +449,5 @@ mod more_tests {
         assert_eq!(s.link_utilization(), 0.0);
         let z = SimStats::default();
         assert_eq!(z.link_utilization(), 0.0);
-        // The deprecated caller-supplied-count shim keeps the old maths.
-        #[allow(deprecated)]
-        {
-            assert!((s.link_utilization_with(10) - 0.05).abs() < 1e-12);
-            assert_eq!(s.link_utilization_with(0), 0.0);
-            assert_eq!(z.link_utilization_with(10), 0.0);
-        }
     }
 }

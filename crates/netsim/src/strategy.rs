@@ -3,6 +3,21 @@
 //! Strategies are pure: given the network, a pair and the fault set they
 //! return a full route or `None` (unroutable). The simulator charges an
 //! unroutable packet as a drop at injection time.
+//!
+//! ```
+//! use hhc_core::Hhc;
+//! use netsim::{FaultSet, Strategy};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let h = Hhc::new(2).unwrap();
+//! let (u, v) = (h.node(0, 0).unwrap(), h.node(0xA, 3).unwrap());
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let route = Strategy::SinglePath
+//!     .select(&h, u, v, &FaultSet::default(), &mut rng)
+//!     .expect("no faults: always routable");
+//! assert_eq!(route.first(), Some(&u));
+//! assert_eq!(route.last(), Some(&v));
+//! ```
 
 use crate::faults::FaultLookup;
 use crate::net::{Network, RouteScratch};

@@ -1,0 +1,876 @@
+//! A minimal, dependency-free parser for the TOML subset used by
+//! scenario files (see `SCENARIOS.md` at the repository root).
+//!
+//! The build environment has no registry access, so the suite vendors
+//! what it needs; a full TOML implementation would be overkill for flat
+//! config files. The subset:
+//!
+//! * `[table]` and nested `[table.sub]` headers;
+//! * `[[array.of.tables]]` headers (repeatable sections, in order);
+//! * `key = value` pairs with bare keys (`[A-Za-z0-9_-]+`);
+//! * values: basic `"strings"` (with `\"` `\\` `\n` `\t` escapes),
+//!   integers (decimal with `_` separators, or `0x` hex — seeds are
+//!   conventionally written in hex here), floats, booleans, and
+//!   homogeneous-or-not arrays `[v, v, ...]` which may span lines;
+//! * `#` comments and blank lines.
+//!
+//! Not supported (rejected with a typed, line-numbered
+//! [`ParseError`]): dotted/quoted keys, inline tables, multi-line or
+//! literal strings, datetimes. Scenario files never need them.
+//!
+//! ```
+//! let doc = scenario_spec::parse(r#"
+//! name = "demo"
+//! seed = 0xF4F4
+//! [traffic]
+//! rate = 0.05
+//! [[faults.events]]
+//! cycle = 10
+//! "#).unwrap();
+//! assert_eq!(doc.root.get_str("name").unwrap(), "demo");
+//! assert_eq!(doc.root.get_int("seed").unwrap(), 0xF4F4);
+//! let traffic = doc.root.get_table("traffic").unwrap();
+//! assert_eq!(traffic.get_float("rate").unwrap(), 0.05);
+//! assert_eq!(doc.root.get_table("faults").unwrap().get_tables("events").unwrap().len(), 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string, escapes resolved.
+    String(String),
+    /// A decimal or `0x`-hex integer.
+    Integer(i64),
+    /// A float (any number containing `.`, `e`, or `E`).
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `[v, v, ...]`, possibly spanning lines.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The value as a float, coercing integers (TOML writers routinely
+    /// write `rate = 1` for `1.0`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Integer(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer (no float coercion: `0.5` is not a count).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::String(_) => "string",
+            Value::Integer(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// One entry in a [`Table`]: a scalar/array, a sub-table, or a
+/// repeatable `[[section]]` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `key = value`.
+    Value(Value),
+    /// `[table]`.
+    Table(Table),
+    /// `[[table]]`, in file order.
+    ArrayOfTables(Vec<Table>),
+}
+
+/// An ordered key → [`Item`] map (BTreeMap: deterministic iteration).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    entries: BTreeMap<String, Item>,
+}
+
+/// A parsed scenario document: the root [`Table`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    /// Top-level keys and sections.
+    pub root: Table,
+}
+
+/// What went wrong, without position (see [`ParseError`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// A line that is neither blank, a comment, a header, nor `key = value`.
+    ExpectedKeyValue,
+    /// A `[header]` or `[[header]]` line that does not scan.
+    BadHeader(String),
+    /// A key assigned twice, or a table redefined as a value (etc.).
+    DuplicateKey(String),
+    /// A `[a.b]` path where `a` is already a scalar.
+    NotATable(String),
+    /// A string literal with no closing quote.
+    UnterminatedString,
+    /// An array with no closing `]` before end of input.
+    UnterminatedArray,
+    /// An unknown escape such as `\q`.
+    BadEscape(char),
+    /// A token that is not a recognised value.
+    BadValue(String),
+    /// Text after a complete value or header.
+    TrailingGarbage(String),
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::ExpectedKeyValue => write!(f, "expected `key = value`"),
+            ErrorKind::BadHeader(h) => write!(f, "malformed section header `{h}`"),
+            ErrorKind::DuplicateKey(k) => write!(f, "duplicate key `{k}`"),
+            ErrorKind::NotATable(k) => write!(f, "`{k}` is not a table"),
+            ErrorKind::UnterminatedString => write!(f, "unterminated string"),
+            ErrorKind::UnterminatedArray => write!(f, "unterminated array"),
+            ErrorKind::BadEscape(c) => write!(f, "unknown escape `\\{c}`"),
+            ErrorKind::BadValue(v) => write!(f, "unrecognised value `{v}`"),
+            ErrorKind::TrailingGarbage(t) => write!(f, "trailing characters `{t}`"),
+        }
+    }
+}
+
+/// A parse failure at a 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A typed-lookup failure: wrong type or missing key, reported with the
+/// full dotted path so scenario validation errors read well.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LookupError {
+    /// The key is absent.
+    Missing(String),
+    /// The key exists with a different type.
+    WrongType {
+        /// Dotted path of the offending key.
+        key: String,
+        /// Type the caller asked for.
+        expected: &'static str,
+        /// Type actually present.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for LookupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LookupError::Missing(k) => write!(f, "missing key `{k}`"),
+            LookupError::WrongType {
+                key,
+                expected,
+                found,
+            } => write!(f, "`{key}` should be a {expected}, found {found}"),
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
+impl Table {
+    /// Raw item lookup.
+    pub fn get(&self, key: &str) -> Option<&Item> {
+        self.entries.get(key)
+    }
+
+    /// Scalar/array lookup (`None` for tables).
+    pub fn get_value(&self, key: &str) -> Option<&Value> {
+        match self.entries.get(key) {
+            Some(Item::Value(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Item)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Keys present in this table, in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn typed<'a, T>(
+        &'a self,
+        key: &str,
+        expected: &'static str,
+        cast: impl Fn(&'a Value) -> Option<T>,
+    ) -> Result<T, LookupError> {
+        match self.entries.get(key) {
+            None => Err(LookupError::Missing(key.to_string())),
+            Some(Item::Value(v)) => cast(v).ok_or(LookupError::WrongType {
+                key: key.to_string(),
+                expected,
+                found: v.type_name(),
+            }),
+            Some(Item::Table(_)) => Err(LookupError::WrongType {
+                key: key.to_string(),
+                expected,
+                found: "table",
+            }),
+            Some(Item::ArrayOfTables(_)) => Err(LookupError::WrongType {
+                key: key.to_string(),
+                expected,
+                found: "array of tables",
+            }),
+        }
+    }
+
+    /// `key` as a string.
+    pub fn get_str(&self, key: &str) -> Result<&str, LookupError> {
+        self.typed(key, "string", Value::as_str)
+    }
+
+    /// `key` as an integer.
+    pub fn get_int(&self, key: &str) -> Result<i64, LookupError> {
+        self.typed(key, "integer", Value::as_i64)
+    }
+
+    /// `key` as a float (integers coerce).
+    pub fn get_float(&self, key: &str) -> Result<f64, LookupError> {
+        self.typed(key, "number", Value::as_f64)
+    }
+
+    /// `key` as a bool.
+    pub fn get_bool(&self, key: &str) -> Result<bool, LookupError> {
+        self.typed(key, "boolean", Value::as_bool)
+    }
+
+    /// `key` as an array of values.
+    pub fn get_array(&self, key: &str) -> Result<&[Value], LookupError> {
+        self.typed(key, "array", Value::as_array)
+    }
+
+    /// `key` as a sub-table.
+    pub fn get_table(&self, key: &str) -> Result<&Table, LookupError> {
+        match self.entries.get(key) {
+            None => Err(LookupError::Missing(key.to_string())),
+            Some(Item::Table(t)) => Ok(t),
+            Some(item) => Err(LookupError::WrongType {
+                key: key.to_string(),
+                expected: "table",
+                found: match item {
+                    Item::Value(v) => v.type_name(),
+                    Item::ArrayOfTables(_) => "array of tables",
+                    Item::Table(_) => unreachable!(),
+                },
+            }),
+        }
+    }
+
+    /// `key` as an `[[array.of.tables]]` list.
+    pub fn get_tables(&self, key: &str) -> Result<&[Table], LookupError> {
+        match self.entries.get(key) {
+            None => Err(LookupError::Missing(key.to_string())),
+            Some(Item::ArrayOfTables(ts)) => Ok(ts),
+            Some(item) => Err(LookupError::WrongType {
+                key: key.to_string(),
+                expected: "array of tables",
+                found: match item {
+                    Item::Value(v) => v.type_name(),
+                    Item::Table(_) => "table",
+                    Item::ArrayOfTables(_) => unreachable!(),
+                },
+            }),
+        }
+    }
+}
+
+/// Parse a scenario document from TOML-subset source.
+pub fn parse(src: &str) -> Result<Document, ParseError> {
+    Parser::new(src).run()
+}
+
+struct Parser<'a> {
+    lines: Vec<&'a str>,
+    /// Index into `lines` (0-based; reported errors are 1-based).
+    pos: usize,
+    doc: Document,
+    /// Path of the section the cursor is inside (empty = root).
+    current: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            lines: src.lines().collect(),
+            pos: 0,
+            doc: Document::default(),
+            current: Vec::new(),
+        }
+    }
+
+    fn err(&self, kind: ErrorKind) -> ParseError {
+        ParseError {
+            line: self.pos + 1,
+            kind,
+        }
+    }
+
+    fn run(mut self) -> Result<Document, ParseError> {
+        while self.pos < self.lines.len() {
+            let line = strip_comment(self.lines[self.pos]);
+            let line = line.trim();
+            if line.is_empty() {
+                self.pos += 1;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("[[") {
+                let inner = rest
+                    .strip_suffix("]]")
+                    .ok_or_else(|| self.err(ErrorKind::BadHeader(line.to_string())))?;
+                let path = self.parse_path(inner)?;
+                self.open_array_of_tables(&path)?;
+                self.current = path;
+            } else if let Some(rest) = line.strip_prefix('[') {
+                let inner = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| self.err(ErrorKind::BadHeader(line.to_string())))?;
+                let path = self.parse_path(inner)?;
+                self.open_table(&path)?;
+                self.current = path;
+            } else {
+                self.parse_key_value(line)?;
+            }
+            self.pos += 1;
+        }
+        Ok(self.doc)
+    }
+
+    fn parse_path(&self, inner: &str) -> Result<Vec<String>, ParseError> {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Err(self.err(ErrorKind::BadHeader(format!("[{inner}]"))));
+        }
+        inner
+            .split('.')
+            .map(|part| {
+                let part = part.trim();
+                if part.is_empty() || !part.chars().all(is_bare_key_char) {
+                    Err(self.err(ErrorKind::BadHeader(inner.to_string())))
+                } else {
+                    Ok(part.to_string())
+                }
+            })
+            .collect()
+    }
+
+    /// Navigate to `path`, creating intermediate tables; register the
+    /// final segment as a plain `[table]`.
+    fn open_table(&mut self, path: &[String]) -> Result<(), ParseError> {
+        let line = self.pos + 1;
+        let mut cursor = &mut self.doc.root;
+        for (i, seg) in path.iter().enumerate() {
+            let last = i + 1 == path.len();
+            let entry = cursor
+                .entries
+                .entry(seg.clone())
+                .or_insert_with(|| Item::Table(Table::default()));
+            cursor = match entry {
+                Item::Table(t) => t,
+                Item::ArrayOfTables(ts) => ts
+                    .last_mut()
+                    .expect("array-of-tables sections are never empty"),
+                Item::Value(_) => {
+                    return Err(ParseError {
+                        line,
+                        kind: if last {
+                            ErrorKind::DuplicateKey(seg.clone())
+                        } else {
+                            ErrorKind::NotATable(seg.clone())
+                        },
+                    })
+                }
+            };
+        }
+        Ok(())
+    }
+
+    /// Navigate to `path`'s parent and push a fresh table onto the
+    /// `[[array-of-tables]]` named by the last segment.
+    fn open_array_of_tables(&mut self, path: &[String]) -> Result<(), ParseError> {
+        let line = self.pos + 1;
+        let (last, parents) = path.split_last().expect("parse_path rejects empty paths");
+        let mut cursor = &mut self.doc.root;
+        for seg in parents {
+            let entry = cursor
+                .entries
+                .entry(seg.clone())
+                .or_insert_with(|| Item::Table(Table::default()));
+            cursor = match entry {
+                Item::Table(t) => t,
+                Item::ArrayOfTables(ts) => ts
+                    .last_mut()
+                    .expect("array-of-tables sections are never empty"),
+                Item::Value(_) => {
+                    return Err(ParseError {
+                        line,
+                        kind: ErrorKind::NotATable(seg.clone()),
+                    })
+                }
+            };
+        }
+        match cursor
+            .entries
+            .entry(last.clone())
+            .or_insert_with(|| Item::ArrayOfTables(Vec::new()))
+        {
+            Item::ArrayOfTables(ts) => {
+                ts.push(Table::default());
+                Ok(())
+            }
+            _ => Err(ParseError {
+                line,
+                kind: ErrorKind::DuplicateKey(last.clone()),
+            }),
+        }
+    }
+
+    fn parse_key_value(&mut self, line: &str) -> Result<(), ParseError> {
+        let eq = line
+            .find('=')
+            .ok_or_else(|| self.err(ErrorKind::ExpectedKeyValue))?;
+        let key = line[..eq].trim();
+        if key.is_empty() || !key.chars().all(is_bare_key_char) {
+            return Err(self.err(ErrorKind::ExpectedKeyValue));
+        }
+        let value_src = line[eq + 1..].trim().to_string();
+        let value = self.parse_value(&value_src)?;
+        // Re-borrow the section after value parsing (which may advance
+        // `pos` over a multi-line array).
+        let line_no = self.pos + 1;
+        let current = self.current.clone();
+        let mut cursor = &mut self.doc.root;
+        for seg in &current {
+            cursor = match cursor.entries.get_mut(seg) {
+                Some(Item::Table(t)) => t,
+                Some(Item::ArrayOfTables(ts)) => ts
+                    .last_mut()
+                    .expect("array-of-tables sections are never empty"),
+                _ => unreachable!("section headers always create tables"),
+            };
+        }
+        if cursor.entries.contains_key(key) {
+            return Err(ParseError {
+                line: line_no,
+                kind: ErrorKind::DuplicateKey(key.to_string()),
+            });
+        }
+        cursor.entries.insert(key.to_string(), Item::Value(value));
+        Ok(())
+    }
+
+    /// Parse one value. For arrays, consumes continuation lines (the
+    /// `pos` cursor is left on the last consumed line).
+    fn parse_value(&mut self, src: &str) -> Result<Value, ParseError> {
+        if src.starts_with('[') {
+            // Gather lines until the bracket depth (outside strings)
+            // returns to zero.
+            let mut buf = src.to_string();
+            while bracket_depth(&buf).ok_or_else(|| self.err(ErrorKind::UnterminatedString))? > 0 {
+                self.pos += 1;
+                if self.pos >= self.lines.len() {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::UnterminatedArray));
+                }
+                buf.push(' ');
+                buf.push_str(strip_comment(self.lines[self.pos]).trim());
+            }
+            let mut chars = buf.chars().peekable();
+            let v = self.parse_array(&mut chars)?;
+            skip_ws(&mut chars);
+            let rest: String = chars.collect();
+            if !rest.is_empty() {
+                return Err(self.err(ErrorKind::TrailingGarbage(rest)));
+            }
+            return Ok(v);
+        }
+        let mut chars = src.chars().peekable();
+        let v = self.parse_scalar(&mut chars)?;
+        skip_ws(&mut chars);
+        let rest: String = chars.collect();
+        if !rest.is_empty() {
+            return Err(self.err(ErrorKind::TrailingGarbage(rest)));
+        }
+        Ok(v)
+    }
+
+    fn parse_array(
+        &self,
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Value, ParseError> {
+        assert_eq!(chars.next(), Some('['));
+        let mut items = Vec::new();
+        loop {
+            skip_ws(chars);
+            match chars.peek() {
+                None => return Err(self.err(ErrorKind::UnterminatedArray)),
+                Some(']') => {
+                    chars.next();
+                    return Ok(Value::Array(items));
+                }
+                Some('[') => items.push(self.parse_array(chars)?),
+                Some(_) => items.push(self.parse_scalar(chars)?),
+            }
+            skip_ws(chars);
+            match chars.peek() {
+                Some(',') => {
+                    chars.next();
+                }
+                Some(']') | None => {}
+                Some(&c) => return Err(self.err(ErrorKind::TrailingGarbage(c.to_string()))),
+            }
+        }
+    }
+
+    fn parse_scalar(
+        &self,
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Value, ParseError> {
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            let mut out = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(self.err(ErrorKind::UnterminatedString)),
+                    Some('"') => return Ok(Value::String(out)),
+                    Some('\\') => match chars.next() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some(c) => return Err(self.err(ErrorKind::BadEscape(c))),
+                        None => return Err(self.err(ErrorKind::UnterminatedString)),
+                    },
+                    Some(c) => out.push(c),
+                }
+            }
+        }
+        // Bare token: read until a delimiter.
+        let mut tok = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == ',' || c == ']' || c.is_whitespace() {
+                break;
+            }
+            tok.push(c);
+            chars.next();
+        }
+        parse_bare_token(&tok).ok_or_else(|| self.err(ErrorKind::BadValue(tok)))
+    }
+}
+
+fn parse_bare_token(tok: &str) -> Option<Value> {
+    match tok {
+        "" => return None,
+        "true" => return Some(Value::Bool(true)),
+        "false" => return Some(Value::Bool(false)),
+        _ => {}
+    }
+    let (sign, mag) = match tok.strip_prefix('-') {
+        Some(rest) => (-1i64, rest),
+        None => (1, tok.strip_prefix('+').unwrap_or(tok)),
+    };
+    if let Some(hex) = mag.strip_prefix("0x").or_else(|| mag.strip_prefix("0X")) {
+        let digits: String = hex.chars().filter(|&c| c != '_').collect();
+        let v = i64::from_str_radix(&digits, 16).ok()?;
+        return Some(Value::Integer(sign * v));
+    }
+    let plain: String = tok.chars().filter(|&c| c != '_').collect();
+    if plain.contains(['.', 'e', 'E']) || plain == "inf" || plain == "-inf" || plain == "nan" {
+        return plain.parse::<f64>().ok().map(Value::Float);
+    }
+    plain.parse::<i64>().ok().map(Value::Integer)
+}
+
+fn is_bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Strip a `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Net `[` depth outside strings, or `None` on an unterminated string.
+fn bracket_depth(s: &str) -> Option<i32> {
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    if in_str {
+        None
+    } else {
+        Some(depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        let doc = parse(concat!(
+            "s = \"hi\\n\"\n",
+            "i = 42\n",
+            "neg = -7\n",
+            "hex = 0xF4F4\n",
+            "sep = 1_000\n",
+            "f = 0.25\n",
+            "e = 1e3\n",
+            "b = true\n",
+        ))
+        .unwrap();
+        assert_eq!(doc.root.get_str("s").unwrap(), "hi\n");
+        assert_eq!(doc.root.get_int("i").unwrap(), 42);
+        assert_eq!(doc.root.get_int("neg").unwrap(), -7);
+        assert_eq!(doc.root.get_int("hex").unwrap(), 0xF4F4);
+        assert_eq!(doc.root.get_int("sep").unwrap(), 1000);
+        assert_eq!(doc.root.get_float("f").unwrap(), 0.25);
+        assert_eq!(doc.root.get_float("e").unwrap(), 1000.0);
+        assert!(doc.root.get_bool("b").unwrap());
+        // Integer coerces to float, but not the reverse.
+        assert_eq!(doc.root.get_float("i").unwrap(), 42.0);
+        assert!(matches!(
+            doc.root.get_int("f"),
+            Err(LookupError::WrongType { .. })
+        ));
+    }
+
+    #[test]
+    fn arrays_parse_including_multiline_and_nested() {
+        let doc = parse(concat!(
+            "rates = [0.02, 0.05, 0.10]\n",
+            "multi = [\n",
+            "  1, 2, # comment inside\n",
+            "  3,\n",
+            "]\n",
+            "nested = [[1, 2], [3]]\n",
+            "empty = []\n",
+            "after = 9\n",
+        ))
+        .unwrap();
+        let rates = doc.root.get_array("rates").unwrap();
+        assert_eq!(rates.len(), 3);
+        assert_eq!(rates[1].as_f64(), Some(0.05));
+        let multi = doc.root.get_array("multi").unwrap();
+        assert_eq!(
+            multi
+                .iter()
+                .map(|v| v.as_i64().unwrap())
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        let nested = doc.root.get_array("nested").unwrap();
+        assert_eq!(nested[0].as_array().unwrap().len(), 2);
+        assert!(doc.root.get_array("empty").unwrap().is_empty());
+        assert_eq!(doc.root.get_int("after").unwrap(), 9);
+    }
+
+    #[test]
+    fn tables_and_array_of_tables() {
+        let doc = parse(concat!(
+            "top = 1\n",
+            "[a]\n",
+            "x = 1\n",
+            "[a.b]\n",
+            "y = 2\n",
+            "[[ev]]\n",
+            "c = 1\n",
+            "[[ev]]\n",
+            "c = 2\n",
+            "[other]\n",
+            "z = 3\n",
+        ))
+        .unwrap();
+        let a = doc.root.get_table("a").unwrap();
+        assert_eq!(a.get_int("x").unwrap(), 1);
+        assert_eq!(a.get_table("b").unwrap().get_int("y").unwrap(), 2);
+        let ev = doc.root.get_tables("ev").unwrap();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].get_int("c").unwrap(), 1);
+        assert_eq!(ev[1].get_int("c").unwrap(), 2);
+        assert_eq!(
+            doc.root.get_table("other").unwrap().get_int("z").unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn keys_inside_array_of_tables_sections() {
+        let doc = parse(concat!(
+            "[faults]\n",
+            "initial = [1, 2]\n",
+            "[[faults.events]]\n",
+            "cycle = 5\n",
+            "node = 3\n",
+            "[[faults.events]]\n",
+            "cycle = 9\n",
+        ))
+        .unwrap();
+        let faults = doc.root.get_table("faults").unwrap();
+        assert_eq!(faults.get_array("initial").unwrap().len(), 2);
+        let events = faults.get_tables("events").unwrap();
+        assert_eq!(events[0].get_int("node").unwrap(), 3);
+        assert_eq!(events[1].get_int("cycle").unwrap(), 9);
+        assert!(matches!(
+            events[1].get_int("node"),
+            Err(LookupError::Missing(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let doc = parse(concat!(
+            "# leading comment\n",
+            "\n",
+            "a = 1 # trailing\n",
+            "s = \"has # not a comment\" # real comment\n",
+        ))
+        .unwrap();
+        assert_eq!(doc.root.get_int("a").unwrap(), 1);
+        assert_eq!(doc.root.get_str("s").unwrap(), "has # not a comment");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("a = 1\nwhat even\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.kind, ErrorKind::ExpectedKeyValue);
+
+        let e = parse("[bad\n").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::BadHeader(_)));
+        assert_eq!(e.line, 1);
+
+        let e = parse("a = 1\na = 2\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::DuplicateKey("a".into()));
+        assert_eq!(e.line, 2);
+
+        let e = parse("a = \"unterminated\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::UnterminatedString);
+
+        let e = parse("a = [1, 2\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::UnterminatedArray);
+
+        let e = parse("a = zebra\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadValue("zebra".into()));
+
+        let e = parse("a = 1 2\n").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::TrailingGarbage(_)));
+
+        let e = parse("a = 1\n[a]\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::DuplicateKey("a".into()));
+
+        let e = parse("a = 1\n[a.b]\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::NotATable("a".into()));
+    }
+
+    #[test]
+    fn error_display_is_line_prefixed() {
+        let e = parse("nope nope\n").unwrap_err();
+        assert_eq!(e.to_string(), "line 1: expected `key = value`");
+    }
+
+    #[test]
+    fn redefining_sections_is_tolerated_but_scalar_clash_is_not() {
+        // TOML proper rejects re-opening `[a]`; this subset tolerates it
+        // (useful for generated files) but never silently overwrites.
+        let doc = parse("[a]\nx = 1\n[b]\n[a]\ny = 2\n").unwrap();
+        let a = doc.root.get_table("a").unwrap();
+        assert_eq!(a.get_int("x").unwrap(), 1);
+        assert_eq!(a.get_int("y").unwrap(), 2);
+        // ...and a key clash inside the re-opened table still errors.
+        let e = parse("[a]\nx = 1\n[a]\nx = 2\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::DuplicateKey("x".into()));
+    }
+}
