@@ -3,8 +3,9 @@
 //! machine-normalised speedup figures regressed.
 //!
 //! ```text
-//! perf_gate --kind sim   --baseline results/BENCH_sim.gate.json   --fresh results/BENCH_sim.quick.json
-//! perf_gate --kind batch --baseline results/BENCH_batch.gate.json --fresh results/BENCH_batch.quick.json
+//! perf_gate --kind sim    --baseline results/BENCH_sim.gate.json    --fresh results/BENCH_sim.quick.json
+//! perf_gate --kind batch  --baseline results/BENCH_batch.gate.json  --fresh results/BENCH_batch.quick.json
+//! perf_gate --kind router --baseline results/BENCH_router.gate.json --fresh results/BENCH_router.quick.json
 //! ```
 //!
 //! Gated metrics (all ratios measured within one process, so they are
@@ -14,6 +15,8 @@
 //!   eager/full engine).
 //! * `batch` — per-cache-workload `speedup` (cache on vs off) and the
 //!   batch amortisation ratio `per_pair_us / batched_serial_us`.
+//! * `router` — per-workload `speedup` (tiered-cache router vs the
+//!   full-rebuild-on-fault baseline, under the live fault feed).
 //!
 //! Two tiers: the **geomean** of the workload speedups is gated
 //! strictly at `--max-drop` (default 15%) — it is stable to a few
@@ -41,7 +44,7 @@ type Metrics = Vec<(String, f64)>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: perf_gate --kind <sim|batch> --baseline <json> --fresh <json> [--max-drop <frac>]"
+        "usage: perf_gate --kind <sim|batch|router> --baseline <json> --fresh <json> [--max-drop <frac>]"
     );
     std::process::exit(2);
 }
@@ -89,7 +92,7 @@ fn main() {
         }
         let mut loose = workloads;
         match kind.as_str() {
-            "sim" => {}
+            "sim" | "router" => {}
             "batch" => {
                 // Quick-mode scalar timings are single measurements, so
                 // their ratio swings ~±20% run-to-run: loose tier.

@@ -74,6 +74,20 @@ pub enum Command {
         /// `results/scenarios/<name>.trace`).
         golden: Option<String>,
     },
+    Serve {
+        m: u32,
+        /// Query file path, or `-` for stdin: one `X:Y X:Y` pair per
+        /// line, `#` comments and blank lines skipped.
+        queries: String,
+        /// Optional fault schedule path: `<at> <+|-> <X:Y>` per line,
+        /// applied at the window boundary before query number `<at>`.
+        faults: Option<String>,
+        /// Worker threads (`None` = the router's default).
+        threads: Option<usize>,
+        /// Queries per reporting window.
+        window: usize,
+        metrics: bool,
+    },
 }
 
 /// What `hhc sim` does with a parsed scenario.
@@ -119,6 +133,15 @@ pub const USAGE: &str = "usage:
                                        golden trace, --replay byte-compares
                                        against it, --shrink minimises a
                                        failing scenario
+  hhc serve <m> --queries <file|-> [--faults <file>] [--threads N]
+                [--window N] [--metrics]
+                                       answer a query stream through the
+                                       concurrent tiered-cache router;
+                                       queries are `X:Y X:Y` lines, the
+                                       fault schedule is `<at> <+|-> <X:Y>`
+                                       lines applied at window boundaries;
+                                       reports per-window qps and p50/p99
+                                       service time
 node syntax: X:Y, both fields hexadecimal (e.g. a5:3)
 --metrics appends a JSON line with solver/fan/timing counters";
 
@@ -330,8 +353,126 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 golden,
             })
         }
+        "serve" => {
+            let mut queries: Option<String> = None;
+            let mut faults: Option<String> = None;
+            let mut threads: Option<usize> = None;
+            let mut window: Option<usize> = None;
+            let mut metrics = false;
+            let mut i = 2.min(args.len());
+            while i < args.len() {
+                let val = |name: &str| -> Result<&String, CliError> {
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError(format!("{name} needs a value")))
+                };
+                match args[i].as_str() {
+                    "--queries" if queries.is_none() => {
+                        queries = Some(val("--queries")?.clone());
+                        i += 2;
+                    }
+                    "--faults" if faults.is_none() => {
+                        faults = Some(val("--faults")?.clone());
+                        i += 2;
+                    }
+                    "--threads" if threads.is_none() => {
+                        let n: usize = val("--threads")?
+                            .parse()
+                            .map_err(|e| CliError(format!("bad thread count: {e}")))?;
+                        if n == 0 {
+                            return Err(CliError("--threads must be at least 1".into()));
+                        }
+                        threads = Some(n);
+                        i += 2;
+                    }
+                    "--window" if window.is_none() => {
+                        let n: usize = val("--window")?
+                            .parse()
+                            .map_err(|e| CliError(format!("bad window size: {e}")))?;
+                        if n == 0 {
+                            return Err(CliError("--window must be at least 1".into()));
+                        }
+                        window = Some(n);
+                        i += 2;
+                    }
+                    "--metrics" if !metrics => {
+                        metrics = true;
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            Ok(Command::Serve {
+                m: m(1)?,
+                queries: queries
+                    .ok_or_else(|| CliError("serve needs --queries <file|->".into()))?,
+                faults,
+                threads,
+                window: window.unwrap_or(256),
+                metrics,
+            })
+        }
         other => Err(CliError(format!("unknown command {other:?}\n{USAGE}"))),
     }
+}
+
+/// One fault-schedule event: before query `at`, add (`true`) or clear
+/// (`false`) the node.
+type FaultEvent = (usize, bool, (u128, u32));
+
+/// Parses a fault schedule: one `<at> <+|-> <X:Y>` per line, `#`
+/// comments and blank lines skipped. Events keep file order within the
+/// same `at` (a stable sort happens at execution time).
+fn parse_fault_schedule(src: &str) -> Result<Vec<FaultEvent>, CliError> {
+    let mut events = Vec::new();
+    for (ln, line) in src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |what: &str| CliError(format!("fault schedule line {}: {what}", ln + 1));
+        let at: usize = parts
+            .next()
+            .ok_or_else(|| err("missing query index"))?
+            .parse()
+            .map_err(|e| err(&format!("bad query index: {e}")))?;
+        let add = match parts.next() {
+            Some("+") => true,
+            Some("-") => false,
+            _ => return Err(err("expected `+` or `-` after the query index")),
+        };
+        let node = parse_node(parts.next().ok_or_else(|| err("missing node"))?)?;
+        if parts.next().is_some() {
+            return Err(err("trailing tokens"));
+        }
+        events.push((at, add, node));
+    }
+    Ok(events)
+}
+
+/// An `(X, Y)` address pair as parsed from text, before validation
+/// against a concrete `Hhc`.
+type RawPair = ((u128, u32), (u128, u32));
+
+/// Parses a query stream: one `X:Y X:Y` pair per line, `#` comments and
+/// blank lines skipped.
+fn parse_query_stream(src: &str) -> Result<Vec<RawPair>, CliError> {
+    let mut pairs = Vec::new();
+    for (ln, line) in src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |what: &str| CliError(format!("query line {}: {what}", ln + 1));
+        let u = parse_node(parts.next().ok_or_else(|| err("missing source node"))?)?;
+        let v = parse_node(parts.next().ok_or_else(|| err("missing target node"))?)?;
+        if parts.next().is_some() {
+            return Err(err("trailing tokens"));
+        }
+        pairs.push((u, v));
+    }
+    Ok(pairs)
 }
 
 /// Executes a command, returning the text to print.
@@ -646,6 +787,150 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     );
                     let _ = write!(out, "{}", minimal.to_toml());
                 }
+            }
+        }
+        Command::Serve {
+            m,
+            ref queries,
+            ref faults,
+            threads,
+            window,
+            metrics,
+        } => {
+            let h = net(m)?;
+            let src = if queries.as_str() == "-" {
+                std::io::read_to_string(std::io::stdin())
+                    .map_err(|e| CliError(format!("cannot read stdin: {e}")))?
+            } else {
+                std::fs::read_to_string(queries)
+                    .map_err(|e| CliError(format!("cannot read {queries}: {e}")))?
+            };
+            let pairs = parse_query_stream(&src)?
+                .into_iter()
+                .map(|(u, v)| Ok((mk(&h, u)?, mk(&h, v)?)))
+                .collect::<Result<Vec<_>, CliError>>()?;
+            if pairs.is_empty() {
+                return Err(CliError(format!("{queries}: no queries")));
+            }
+            let mut schedule = match faults {
+                Some(path) => {
+                    let src = std::fs::read_to_string(path)
+                        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+                    parse_fault_schedule(&src)?
+                        .into_iter()
+                        .map(|(at, add, w)| Ok((at, add, mk(&h, w)?)))
+                        .collect::<Result<Vec<_>, CliError>>()?
+                }
+                None => Vec::new(),
+            };
+            schedule.sort_by_key(|&(at, _, _)| at);
+            let mut cfg = hhc_core::RouterConfig::default();
+            if let Some(t) = threads {
+                cfg.threads = t;
+            }
+            let mut router = hhc_core::Router::new(m, cfg).map_err(|e| CliError(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "serving {} queries on HHC({m}): {} workers, windows of {window}, {} fault events",
+                pairs.len(),
+                router.threads(),
+                schedule.len()
+            );
+            // Per-query service time, batch-amortised: each query in a
+            // window is charged the window's wall-clock share. Windowing
+            // is a reporting grain, not a semantic one — answers depend
+            // only on the pair and the fault set in force.
+            let mut hist = obs::Histogram::new();
+            let mut next_event = 0;
+            let (mut ok, mut errors) = (0u64, 0u64);
+            let mut first_error: Option<String> = None;
+            let started = std::time::Instant::now();
+            for (wi, chunk) in pairs.chunks(window).enumerate() {
+                let base = wi * window;
+                // Events scheduled at or before the window's first query
+                // take effect now: window boundaries are the
+                // linearisation points of the fault feed.
+                while let Some(&(at, add, w)) = schedule.get(next_event) {
+                    if at > base {
+                        break;
+                    }
+                    if add {
+                        router.add_fault(w);
+                    } else {
+                        router.clear_fault(w);
+                    }
+                    next_event += 1;
+                }
+                let t = std::time::Instant::now();
+                let answers = router.query_many(chunk);
+                let elapsed = t.elapsed();
+                let per_query_ns = (elapsed.as_nanos() / chunk.len() as u128) as u64;
+                for _ in 0..chunk.len() {
+                    hist.record(per_query_ns);
+                }
+                for (j, a) in answers.iter().enumerate() {
+                    match a {
+                        Ok(_) => ok += 1,
+                        Err(e) => {
+                            errors += 1;
+                            if first_error.is_none() {
+                                first_error = Some(format!("query {}: {e}", base + j));
+                            }
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "  window {wi:3}: queries {base}..{}, {:8.0} qps, {} faults active",
+                    base + chunk.len(),
+                    chunk.len() as f64 / elapsed.as_secs_f64(),
+                    router.fault_count()
+                );
+            }
+            // Events addressed past the last query still move the fault
+            // set (they are part of the schedule, just unobserved).
+            for &(_, add, w) in &schedule[next_event..] {
+                if add {
+                    router.add_fault(w);
+                } else {
+                    router.clear_fault(w);
+                }
+            }
+            let total = started.elapsed().as_secs_f64();
+            let _ = writeln!(
+                out,
+                "served {} queries in {total:.3}s ({:.0} qps): {ok} ok, {errors} errors",
+                pairs.len(),
+                pairs.len() as f64 / total
+            );
+            if let Some(e) = first_error {
+                let _ = writeln!(out, "  first error: {e}");
+            }
+            if let (Some(p50), Some(p99)) = (hist.quantile(0.5), hist.quantile(0.99)) {
+                let _ = writeln!(
+                    out,
+                    "  service time p50 {p50} ns, p99 {p99} ns (batch-amortised per query)"
+                );
+            }
+            let report = router.metrics();
+            let c = &report.construction;
+            let l2_probes = c.l2_hits + c.l2_misses;
+            let _ = writeln!(
+                out,
+                "  cache tiers   : {} L1 hits, {} L2 hits ({:.1}% of L2 probes), \
+                 {} invalidations, fault generation {}",
+                c.family_hits,
+                c.l2_hits,
+                if l2_probes > 0 {
+                    100.0 * c.l2_hits as f64 / l2_probes as f64
+                } else {
+                    0.0
+                },
+                c.l2_invalidations,
+                c.fault_generation
+            );
+            if metrics {
+                let _ = writeln!(out, "metrics: {}", report.to_json());
             }
         }
     }
@@ -973,6 +1258,136 @@ mod tests {
         // A run with violations exits with an error naming them.
         let err = execute(&sim(SimMode::Run)).unwrap_err();
         assert!(err.0.contains("violated"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_serve() {
+        assert_eq!(
+            parse(&argv("serve 3 --queries q.txt")),
+            Ok(Command::Serve {
+                m: 3,
+                queries: "q.txt".into(),
+                faults: None,
+                threads: None,
+                window: 256,
+                metrics: false
+            })
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve 3 --queries - --faults f.txt --threads 2 --window 64 --metrics"
+            )),
+            Ok(Command::Serve {
+                m: 3,
+                queries: "-".into(),
+                faults: Some("f.txt".into()),
+                threads: Some(2),
+                window: 64,
+                metrics: true
+            })
+        );
+        for bad in [
+            "serve 3",
+            "serve 3 --queries",
+            "serve 3 --queries a --queries b",
+            "serve 3 --queries a --threads 0",
+            "serve 3 --queries a --window 0",
+            "serve 3 --queries a --window",
+            "serve 3 --queries a stray",
+            "serve --queries a",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn fault_schedule_and_query_stream_parse_strictly() {
+        let events = parse_fault_schedule("# comment\n\n0 + a5:3\n10 - a5:3  # inline\n").unwrap();
+        assert_eq!(events, vec![(0, true, (0xA5, 3)), (10, false, (0xA5, 3))]);
+        for bad in [
+            "+ a5:3",
+            "3 * a5:3",
+            "3 + zz:1",
+            "3 + a5:3 extra",
+            "x + a5:3",
+        ] {
+            assert!(
+                parse_fault_schedule(bad).is_err(),
+                "{bad:?} should not parse"
+            );
+        }
+        let pairs = parse_query_stream("0:0 a:3\n# skip\n\n1:1 2:2\n").unwrap();
+        assert_eq!(pairs, vec![((0, 0), (0xA, 3)), ((1, 1), (2, 2))]);
+        for bad in ["0:0", "0:0 a:3 b:1", "zz:0 a:3"] {
+            assert!(parse_query_stream(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    /// End-to-end serve: a query file with repeats (so the cache tiers
+    /// engage), a fault schedule that blocks an interior node mid-stream,
+    /// windowed progress lines and the summary with quantiles.
+    #[test]
+    fn execute_serve_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("hhc_cli_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // An interior node of the plain family for (0:0, a:3) on HHC(2).
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0, 0).unwrap();
+        let v = h.node(0xA, 3).unwrap();
+        let plain = h.disjoint_paths(u, v).unwrap();
+        let fault = plain[0][plain[0].len() / 2];
+        let (fx, fy) = (h.cube_field(fault), h.node_field(fault));
+        let qpath = dir.join("queries.txt");
+        let mut qsrc = String::from("# hot pair, repeated across windows\n");
+        for _ in 0..10 {
+            qsrc.push_str("0:0 a:3\n5:1 b:2\n");
+        }
+        qsrc.push_str("7:0 7:0\n"); // equal endpoints: a per-query error
+        std::fs::write(&qpath, &qsrc).unwrap();
+        let fpath = dir.join("faults.txt");
+        std::fs::write(&fpath, format!("8 + {fx:x}:{fy:x}\n16 - {fx:x}:{fy:x}\n")).unwrap();
+        let cmd = Command::Serve {
+            m: 2,
+            queries: qpath.to_string_lossy().into_owned(),
+            faults: Some(fpath.to_string_lossy().into_owned()),
+            threads: Some(2),
+            window: 8,
+            metrics: true,
+        };
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("serving 21 queries"), "{out}");
+        assert!(out.contains("window   0"), "{out}");
+        assert!(out.contains("20 ok, 1 errors"), "{out}");
+        assert!(out.contains("query 20: "), "first error is surfaced: {out}");
+        assert!(out.contains("service time p50"), "{out}");
+        assert!(out.contains("fault generation 2"), "{out}");
+        assert!(out.contains("metrics: {\"queries\":"), "{out}");
+        // The schedule reached the stream: some window served with the
+        // fault active, and the final fault set is empty again.
+        assert!(out.contains("1 faults active"), "{out}");
+        assert!(out.contains("0 faults active"), "{out}");
+        // Missing files and empty streams are user-facing errors.
+        let missing = Command::Serve {
+            m: 2,
+            queries: dir.join("absent.txt").to_string_lossy().into_owned(),
+            faults: None,
+            threads: None,
+            window: 8,
+            metrics: false,
+        };
+        assert!(execute(&missing).is_err());
+        let empty = dir.join("empty.txt");
+        std::fs::write(&empty, "# nothing\n").unwrap();
+        let cmd = Command::Serve {
+            m: 2,
+            queries: empty.to_string_lossy().into_owned(),
+            faults: None,
+            threads: None,
+            window: 8,
+            metrics: false,
+        };
+        assert!(execute(&cmd).unwrap_err().0.contains("no queries"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

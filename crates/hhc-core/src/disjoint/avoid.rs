@@ -98,6 +98,7 @@ pub(super) fn avoid_into(
         return Err(HhcError::FaultyEndpoint(v));
     }
 
+    let l2_hits_before = sc.metrics.l2_hits;
     super::construct_into(hhc, u, v, order, out, sc, false)?;
     if faults.fault_count() == 0 {
         return Ok(AvoidOutcome {
@@ -122,6 +123,13 @@ pub(super) fn avoid_into(
         });
     }
     sc.metrics.fault_reroutes += 1;
+    // The lazy-invalidation event of the tiered cache: a family replayed
+    // from the shared L2 turned out to intersect the live fault set and
+    // is being repaired (the entry itself stays — it is a fault-blind
+    // fact, blocked only for this translation under these faults).
+    if sc.metrics.l2_hits > l2_hits_before {
+        sc.metrics.l2_invalidations += 1;
+    }
 
     // Survivor fallback: the unblocked plain paths are themselves a
     // valid (internally disjoint, fault-free) family.

@@ -130,6 +130,10 @@ pub struct PathBuilder {
     // canonical families. Owned per builder — batch workers never lock.
     fan_cache: FanCache,
     family_cache: FamilyCache,
+    // Optional shared L2 family tier (see `crate::service`), probed
+    // between an L1 miss and a fresh construction. `None` (the default)
+    // keeps the builder fully lock-free.
+    shared_cache: Option<std::sync::Arc<crate::service::SharedFamilyCache>>,
     // Observability: monotone counters plus opt-in per-query timing.
     metrics: ConstructionMetrics,
     timing_enabled: bool,
@@ -160,6 +164,26 @@ impl PathBuilder {
     /// The family cache, for capacity/occupancy introspection.
     pub fn family_cache(&self) -> &FamilyCache {
         &self.family_cache
+    }
+
+    /// Attaches a shared L2 family tier: after the per-builder L1
+    /// misses, queries probe `l2` (read-mostly, lock-striped) before
+    /// constructing, and fresh constructions are promoted into both
+    /// tiers. Caching stays exact — replays are byte-identical to fresh
+    /// constructions — so results are unaffected. `l2_hits`/`l2_misses`
+    /// in [`ConstructionMetrics`] account the new tier.
+    pub fn attach_shared_cache(&mut self, l2: std::sync::Arc<crate::service::SharedFamilyCache>) {
+        self.shared_cache = Some(l2);
+    }
+
+    /// Detaches the shared L2 tier (the builder keeps its L1).
+    pub fn detach_shared_cache(&mut self) {
+        self.shared_cache = None;
+    }
+
+    /// The attached shared L2 tier, if any.
+    pub fn shared_cache(&self) -> Option<&std::sync::Arc<crate::service::SharedFamilyCache>> {
+        self.shared_cache.as_ref()
     }
 
     /// The shared canonical fan cache, for capacity/occupancy
@@ -353,6 +377,31 @@ fn construct_into(
             }
             return Ok(None);
         }
+        // L1 missed: probe the shared L2 tier (if attached) and promote
+        // a hit into the L1 so the next repeat stays local. Entries are
+        // canonical families stored by some worker's exact construction,
+        // so the replay is byte-identical to constructing here.
+        if let Some(l2) = &scratch.shared_cache {
+            if let Some((nr, nd)) = l2.replay(key, mask, out) {
+                scratch.family_cache.store(key, mask, out, nr, nd);
+                let m = &mut scratch.metrics;
+                m.queries += 1;
+                m.l2_hits += 1;
+                if same {
+                    m.same_cube += 1;
+                } else {
+                    m.cross_cube += 1;
+                    m.family_hits_cross += 1;
+                }
+                m.rotation_plans += nr;
+                m.detour_plans += nd;
+                if let Some(t0) = t0 {
+                    m.timing.record_ns(t0.elapsed().as_nanos() as u64);
+                }
+                return Ok(None);
+            }
+            scratch.metrics.l2_misses += 1;
+        }
     }
 
     let result = if same {
@@ -369,6 +418,9 @@ fn construct_into(
             (scratch.rot_sel.len() as u64, scratch.det_sel.len() as u64)
         };
         scratch.family_cache.store(key, mask, out, nr, nd);
+        if let Some(l2) = &scratch.shared_cache {
+            l2.store(key, mask, out, nr, nd);
+        }
         let m = &mut scratch.metrics;
         m.queries += 1;
         if same {

@@ -32,7 +32,10 @@
 //! * [`verify`] — an independent checker used by every test and
 //!   experiment (nothing in this crate is trusted unverified);
 //! * [`wide`] — empirical wide-diameter search over node pairs;
-//! * [`collectives`] — one-port broadcast schedules (extension feature).
+//! * [`collectives`] — one-port broadcast schedules (extension feature);
+//! * [`service`] — the concurrent routing service: a [`Router`] worker
+//!   pool over a tiered (per-worker L1 / shared sharded L2) family
+//!   cache with a live fault feed.
 //!
 //! ## Example
 //!
@@ -60,6 +63,7 @@ pub mod metrics;
 pub mod node;
 pub mod pathset;
 pub mod routing;
+pub mod service;
 pub mod topology;
 pub mod verify;
 pub mod wide;
@@ -82,6 +86,7 @@ pub use fault::{FaultOracle, NoFaults};
 pub use metrics::{ConstructionMetrics, MetricsReport};
 pub use node::NodeId;
 pub use pathset::PathSet;
+pub use service::{L2Config, QueryResult, Router, RouterConfig, SharedFamilyCache};
 pub use topology::Hhc;
 
 /// A path through the network as the sequence of visited nodes,

@@ -37,9 +37,11 @@ pub struct ConstructionMetrics {
     /// Queries answered by replaying a translation-canonical cached
     /// family (no fans, no flow solves).
     pub family_hits: u64,
-    /// Subset of [`family_hits`](Self::family_hits) that were cross-cube
-    /// queries (the ones that would otherwise have issued two fan
-    /// queries each).
+    /// Cross-cube queries answered from *any* family-cache tier — the
+    /// per-builder L1 or an attached shared L2 — i.e. the ones that
+    /// would otherwise have issued two fan queries each. This is what
+    /// keeps the `fan_queries` conservation law tier-agnostic; the
+    /// L1-only subset is `family_hits` minus same-cube hits.
     pub family_hits_cross: u64,
     /// Family caches that latched adaptive probe-only mode (stopped
     /// inserting after a sustained near-zero hit rate); 0 or 1 per
@@ -54,6 +56,25 @@ pub struct ConstructionMetrics {
     /// Candidate crossing plans rejected during fault-avoiding rebuilds
     /// because a fault blocked their trajectory or terminal stub.
     pub fault_avoided_plans: u64,
+    /// Queries answered by replaying a family from an attached shared L2
+    /// tier ([`SharedFamilyCache`](crate::service::SharedFamilyCache))
+    /// after the per-builder L1 missed. Zero unless a shared cache is
+    /// attached.
+    pub l2_hits: u64,
+    /// L1-miss queries that also missed the attached shared L2 tier and
+    /// fell through to a fresh construction. For untraced queries on a
+    /// builder with an attached L2,
+    /// `queries == family_hits + l2_hits + l2_misses`.
+    pub l2_misses: u64,
+    /// L2-replayed families that the fault-avoiding layer then found
+    /// blocked by the live fault set and repaired via the rebuild path —
+    /// the lazy invalidation events of the tiered cache. Always
+    /// `≤ min(l2_hits, fault_reroutes)`.
+    pub l2_invalidations: u64,
+    /// Fault-set generation the serving layer last stamped on this
+    /// report (bumped once per `add_fault`/`clear_fault`). A gauge, not
+    /// a counter: [`merge`](Self::merge) takes the maximum.
+    pub fault_generation: u64,
     /// Per-query wall-clock nanoseconds; empty unless timing was enabled.
     pub timing: TimingStats,
 }
@@ -70,6 +91,10 @@ impl ConstructionMetrics {
         self.family_bypass_events += other.family_bypass_events;
         self.fault_reroutes += other.fault_reroutes;
         self.fault_avoided_plans += other.fault_avoided_plans;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.l2_invalidations += other.l2_invalidations;
+        self.fault_generation = self.fault_generation.max(other.fault_generation);
         self.timing.merge(&other.timing);
     }
 
@@ -140,6 +165,10 @@ impl MetricsReport {
         o.u64("family_bypass_events", c.family_bypass_events);
         o.u64("fault_reroutes", c.fault_reroutes);
         o.u64("fault_avoided_plans", c.fault_avoided_plans);
+        o.u64("l2_hits", c.l2_hits);
+        o.u64("l2_misses", c.l2_misses);
+        o.u64("l2_invalidations", c.l2_invalidations);
+        o.u64("fault_generation", c.fault_generation);
         if c.timing.count() > 0 {
             o.raw("timing_ns", &c.timing.to_json());
         }
@@ -188,6 +217,31 @@ mod tests {
         assert_eq!(a.construction.same_cube, 1);
         assert_eq!(a.fan_queries(), 4);
         assert_eq!(a.solver.bfs_passes, 8);
+    }
+
+    #[test]
+    fn merge_sums_l2_counters_but_maxes_generation() {
+        let mut a = ConstructionMetrics {
+            l2_hits: 5,
+            l2_misses: 2,
+            l2_invalidations: 1,
+            fault_generation: 7,
+            ..ConstructionMetrics::default()
+        };
+        let b = ConstructionMetrics {
+            l2_hits: 3,
+            l2_misses: 4,
+            l2_invalidations: 2,
+            fault_generation: 3,
+            ..ConstructionMetrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            (a.l2_hits, a.l2_misses, a.l2_invalidations),
+            (8, 6, 3),
+            "l2 counters sum"
+        );
+        assert_eq!(a.fault_generation, 7, "generation is a gauge: max wins");
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Concurrent routing service: a long-lived [`Router`] answering
+//! disjoint-path queries from a tiered family cache under a live fault
+//! feed.
+//!
+//! Every earlier consumer of the construction engine is a closed-loop
+//! batch ([`crate::batch`], the experiment drivers, the DES). This
+//! module turns the library into a serving system: a pool of worker
+//! threads, each owning a [`PathBuilder`] (the per-worker **L1** — the
+//! existing caches, semantics unchanged), layered over one process-wide
+//! [`SharedFamilyCache`] (**L2** — sharded, read-mostly, keyed by the
+//! same canonical `(m, Xu⊕Xv, Yu, Yv, order)` signature). A query is
+//! answered L1 → L2 → construct; misses are promoted into both tiers,
+//! so one worker's solve warms every other worker.
+//!
+//! ## Fault feed
+//!
+//! [`Router::add_fault`] / [`Router::clear_fault`] take effect without
+//! stopping the service: each event bumps the cache's generation
+//! counter, workers notice the moved generation with one atomic load at
+//! their next query and re-snapshot the fault set. Cached entries are
+//! **not** discarded — they are plain (fault-blind) families, which stay
+//! true facts about the topology. Each query runs through the
+//! fault-avoiding layer, which scans the (possibly replayed) plain
+//! family against the live snapshot and repairs blocked ones via the
+//! `construct_avoiding` rebuild — the rebuild bypasses every cache tier,
+//! so answers are byte-identical to a cold cache *by construction*
+//! (the PR 4/PR 7 equivalence argument, extended to the shared tier;
+//! see `tests/router_equivalence.rs`). Replays that had to be repaired
+//! are counted as `l2_invalidations` in
+//! [`ConstructionMetrics`](crate::ConstructionMetrics).
+//!
+//! ## Interface
+//!
+//! Queries arrive over per-worker mpsc channels:
+//! [`Router::query_many`] splits a batch into contiguous chunks, fans
+//! them across the workers and reassembles results in submission order;
+//! [`Router::query`] round-robins single queries. Results depend only
+//! on the pair and the fault snapshot — never on which worker answered
+//! or how the chunks interleaved.
+
+mod shared;
+
+pub use shared::{L2Config, SharedFamilyCache, DEFAULT_L2_SHARDS, DEFAULT_L2_SHARD_CAPACITY};
+
+use crate::disjoint::{disjoint_paths_avoiding_into, CrossingOrder, PathBuilder};
+use crate::error::HhcError;
+use crate::metrics::MetricsReport;
+use crate::node::NodeId;
+use crate::pathset::PathSet;
+use crate::topology::Hhc;
+use crate::{CacheConfig, Path};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Geometry and policy of a [`Router`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Worker threads answering queries (at least 1).
+    pub threads: usize,
+    /// Crossing order every answer uses.
+    pub order: CrossingOrder,
+    /// Per-worker L1 cache capacities.
+    pub l1: CacheConfig,
+    /// Shared L2 tier geometry ([`L2Config::disabled`] gives the
+    /// per-worker-cache-only baseline).
+    pub l2: L2Config,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            threads: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            order: CrossingOrder::Gray,
+            l1: CacheConfig::enabled(),
+            l2: L2Config::enabled(),
+        }
+    }
+}
+
+/// One answered query: the `m + 1` (or fewer, under faults) internally
+/// disjoint paths, or the construction error for that pair.
+pub type QueryResult = Result<Vec<Path>, HhcError>;
+
+/// A chunk of queries plus the index its results slot back into.
+struct Batch {
+    base: usize,
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// The concurrent routing front-end; see the module docs.
+///
+/// Dropping the router shuts the workers down and joins them.
+pub struct Router {
+    hhc: Hhc,
+    shared: Arc<SharedFamilyCache>,
+    senders: Vec<mpsc::Sender<Batch>>,
+    handles: Vec<JoinHandle<()>>,
+    results_rx: mpsc::Receiver<(usize, Vec<QueryResult>)>,
+    metrics_slots: Vec<Arc<Mutex<MetricsReport>>>,
+    flush_epoch: Arc<AtomicU64>,
+    next_worker: usize,
+}
+
+impl Router {
+    /// Spawns the worker pool for `HHC(m)`.
+    ///
+    /// # Errors
+    /// Propagates [`Hhc::new`]'s validation of `m`.
+    pub fn new(m: u32, cfg: RouterConfig) -> Result<Router, HhcError> {
+        let hhc = Hhc::new(m)?;
+        let threads = cfg.threads.max(1);
+        let shared = Arc::new(SharedFamilyCache::new(cfg.l2));
+        let flush_epoch = Arc::new(AtomicU64::new(0));
+        let (results_tx, results_rx) = mpsc::channel();
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        let mut metrics_slots = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = mpsc::channel::<Batch>();
+            let slot = Arc::new(Mutex::new(MetricsReport::default()));
+            let ctx = WorkerCtx {
+                hhc,
+                order: cfg.order,
+                l1: cfg.l1,
+                shared: Arc::clone(&shared),
+                flush_epoch: Arc::clone(&flush_epoch),
+                slot: Arc::clone(&slot),
+                results_tx: results_tx.clone(),
+            };
+            handles.push(std::thread::spawn(move || worker_loop(ctx, rx)));
+            senders.push(tx);
+            metrics_slots.push(slot);
+        }
+        Ok(Router {
+            hhc,
+            shared,
+            senders,
+            handles,
+            results_rx,
+            metrics_slots,
+            flush_epoch,
+            next_worker: 0,
+        })
+    }
+
+    /// The network this router serves.
+    pub fn hhc(&self) -> &Hhc {
+        &self.hhc
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shared L2 tier, for fault/occupancy introspection.
+    pub fn shared_cache(&self) -> &Arc<SharedFamilyCache> {
+        &self.shared
+    }
+
+    /// Marks `v` faulty for all subsequent queries; returns `false` if
+    /// it already was. Takes effect at each worker's next query.
+    pub fn add_fault(&self, v: NodeId) -> bool {
+        self.shared.add_fault(v)
+    }
+
+    /// Heals `v`; returns `false` if it was not faulty.
+    pub fn clear_fault(&self, v: NodeId) -> bool {
+        self.shared.clear_fault(v)
+    }
+
+    /// Current fault count.
+    pub fn fault_count(&self) -> usize {
+        self.shared.fault_count()
+    }
+
+    /// Current fault-set generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation()
+    }
+
+    /// Drops the L2 tier and tells every worker to replace its L1 with
+    /// a fresh one before its next batch. This is the
+    /// full-rebuild-on-fault baseline the bench ablates against — the
+    /// serving path never calls it (lazy invalidation makes it
+    /// unnecessary).
+    pub fn flush_caches(&self) {
+        self.shared.flush();
+        self.flush_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Answers one query, round-robining across the workers.
+    pub fn query(&mut self, u: NodeId, v: NodeId) -> QueryResult {
+        let w = self.next_worker;
+        self.next_worker = (self.next_worker + 1) % self.senders.len();
+        self.submit(
+            w,
+            Batch {
+                base: 0,
+                pairs: vec![(u, v)],
+            },
+        );
+        let (_, mut results) = self.results_rx.recv().expect("worker pool hung up");
+        results
+            .pop()
+            .expect("single-query batch returns one result")
+    }
+
+    /// Answers a batch: the pairs are split into contiguous chunks, one
+    /// per worker, answered concurrently, and returned in submission
+    /// order. Equivalent to calling [`Self::query`] per pair serially
+    /// under a fixed fault set.
+    pub fn query_many(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryResult> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.senders.len();
+        let chunk = pairs.len().div_ceil(threads);
+        let mut outstanding = 0;
+        for (i, slice) in pairs.chunks(chunk).enumerate() {
+            self.submit(
+                i % threads,
+                Batch {
+                    base: i * chunk,
+                    pairs: slice.to_vec(),
+                },
+            );
+            outstanding += 1;
+        }
+        let mut results: Vec<Option<QueryResult>> = (0..pairs.len()).map(|_| None).collect();
+        for _ in 0..outstanding {
+            let (base, chunk_results) = self.results_rx.recv().expect("worker pool hung up");
+            for (j, r) in chunk_results.into_iter().enumerate() {
+                results[base + j] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every submitted query is answered"))
+            .collect()
+    }
+
+    /// Merged effort snapshot across all workers (each worker publishes
+    /// its cumulative report after every batch; `fault_generation` is
+    /// the maximum generation any worker has acted on).
+    pub fn metrics(&self) -> MetricsReport {
+        let mut merged = MetricsReport::default();
+        for slot in &self.metrics_slots {
+            merged.merge(&slot.lock().expect("metrics slot poisoned"));
+        }
+        merged
+    }
+
+    fn submit(&self, worker: usize, batch: Batch) {
+        self.senders[worker]
+            .send(batch)
+            .expect("worker pool hung up");
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.senders.clear(); // disconnects every worker's receiver
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Everything a worker owns or shares; bundled so the spawn site stays
+/// readable.
+struct WorkerCtx {
+    hhc: Hhc,
+    order: CrossingOrder,
+    l1: CacheConfig,
+    shared: Arc<SharedFamilyCache>,
+    flush_epoch: Arc<AtomicU64>,
+    slot: Arc<Mutex<MetricsReport>>,
+    results_tx: mpsc::Sender<(usize, Vec<QueryResult>)>,
+}
+
+fn worker_loop(ctx: WorkerCtx, rx: mpsc::Receiver<Batch>) {
+    let mut builder = PathBuilder::with_caches(ctx.l1);
+    builder.attach_shared_cache(Arc::clone(&ctx.shared));
+    let mut out = PathSet::new();
+    let (mut local_gen, mut local_faults): (u64, HashSet<NodeId>) = ctx.shared.faults_snapshot();
+    let mut seen_flush = ctx.flush_epoch.load(Ordering::Acquire);
+    while let Ok(batch) = rx.recv() {
+        let fe = ctx.flush_epoch.load(Ordering::Acquire);
+        if fe != seen_flush {
+            seen_flush = fe;
+            builder.set_cache_config(ctx.l1);
+        }
+        let mut results = Vec::with_capacity(batch.pairs.len());
+        for (u, v) in batch.pairs {
+            // Epoch fast path: one atomic load per query; the fault set
+            // is re-cloned only when an event moved the generation.
+            let gen = ctx.shared.generation();
+            if gen != local_gen {
+                (local_gen, local_faults) = ctx.shared.faults_snapshot();
+            }
+            let r = disjoint_paths_avoiding_into(
+                &ctx.hhc,
+                u,
+                v,
+                ctx.order,
+                &local_faults,
+                &mut out,
+                &mut builder,
+            )
+            .map(|_| out.to_paths());
+            results.push(r);
+        }
+        let mut report = builder.metrics();
+        report.construction.fault_generation = local_gen;
+        *ctx.slot.lock().expect("metrics slot poisoned") = report;
+        if ctx.results_tx.send((batch.base, results)).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjoint::disjoint_paths;
+
+    fn cfg(threads: usize) -> RouterConfig {
+        RouterConfig {
+            threads,
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_m() {
+        assert!(Router::new(99, RouterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn answers_match_the_plain_construction() {
+        let mut router = Router::new(3, cfg(3)).unwrap();
+        let h = Hhc::new(3).unwrap();
+        let pairs = workload_pairs(&h, 40);
+        let answers = router.query_many(&pairs);
+        for ((u, v), got) in pairs.iter().zip(&answers) {
+            let want = disjoint_paths(&h, *u, *v, CrossingOrder::Gray).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &want);
+        }
+        let m = router.metrics();
+        assert_eq!(m.construction.queries, 40);
+        // Every L1 miss probed the L2 exactly once.
+        assert_eq!(
+            m.construction.family_hits + m.construction.l2_hits + m.construction.l2_misses,
+            m.construction.queries,
+            "tiered-probe conservation law"
+        );
+    }
+
+    #[test]
+    fn l2_promotes_across_workers() {
+        // A repeated pair answered by many single queries round-robins
+        // across workers; after the first solve every other worker hits
+        // the shared tier (or its own L1).
+        let mut router = Router::new(3, cfg(4)).unwrap();
+        let h = Hhc::new(3).unwrap();
+        let u = h.node(0x00, 0b000).unwrap();
+        let v = h.node(0xA5, 0b110).unwrap();
+        let first = router.query(u, v).unwrap();
+        for _ in 0..7 {
+            assert_eq!(router.query(u, v).unwrap(), first);
+        }
+        let c = router.metrics().construction;
+        assert_eq!(c.queries, 8);
+        assert_eq!(c.l2_misses, 1, "only the first query constructs");
+        assert_eq!(c.family_hits + c.l2_hits, 7);
+    }
+
+    #[test]
+    fn fault_events_reach_queries_and_stamp_metrics() {
+        let mut router = Router::new(2, cfg(2)).unwrap();
+        let h = Hhc::new(2).unwrap();
+        let u = h.node(0b0000, 0b00).unwrap();
+        let v = h.node(0b0101, 0b11).unwrap();
+        let plain = router.query(u, v).unwrap();
+        // Fault an interior node of the first path: answers must reroute.
+        let fault = plain[0][1];
+        assert!(router.add_fault(fault));
+        let rerouted = router.query_many(&[(u, v), (u, v)]);
+        for r in &rerouted {
+            let fam = r.as_ref().unwrap();
+            assert!(fam.iter().all(|p| !p.contains(&fault)));
+        }
+        assert_ne!(rerouted[0].as_ref().unwrap(), &plain);
+        // Faulty endpoints error like the serial avoiding entry point.
+        assert_eq!(router.query(fault, v), Err(HhcError::FaultyEndpoint(fault)));
+        assert!(router.clear_fault(fault));
+        assert_eq!(router.query(u, v).unwrap(), plain);
+        let c = router.metrics().construction;
+        assert_eq!(c.fault_generation, 2, "add + clear = two generations");
+        assert!(c.fault_reroutes >= 1);
+    }
+
+    #[test]
+    fn flush_caches_forces_reconstruction() {
+        let mut router = Router::new(3, cfg(2)).unwrap();
+        let h = Hhc::new(3).unwrap();
+        let u = h.node(0x01, 0b001).unwrap();
+        let v = h.node(0x3C, 0b100).unwrap();
+        let a = router.query(u, v).unwrap();
+        router.flush_caches();
+        assert!(router.shared_cache().is_empty());
+        let b = router.query(u, v).unwrap();
+        assert_eq!(a, b, "flushing never changes answers");
+        let c = router.metrics().construction;
+        assert_eq!(
+            c.family_hits + c.l2_hits,
+            0,
+            "both tiers were cold both times"
+        );
+    }
+
+    fn workload_pairs(h: &Hhc, n: usize) -> Vec<(NodeId, NodeId)> {
+        // Deterministic xorshift pairs, mixing same-cube and cross-cube.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let xmask = (1u128 << h.positions()) - 1;
+        let mut pairs = Vec::with_capacity(n);
+        while pairs.len() < n {
+            let u = h
+                .node(
+                    next() as u128 & xmask,
+                    (next() % (1 << h.m()) as u64) as u32,
+                )
+                .unwrap();
+            let v = h
+                .node(
+                    next() as u128 & xmask,
+                    (next() % (1 << h.m()) as u64) as u32,
+                )
+                .unwrap();
+            if u != v {
+                pairs.push((u, v));
+            }
+        }
+        pairs
+    }
+}

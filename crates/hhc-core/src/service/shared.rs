@@ -1,0 +1,391 @@
+//! The shared L2 tier: a sharded, concurrently-readable family cache
+//! plus the live fault set and its generation counter.
+//!
+//! Entries are the same translation-canonical families the per-builder
+//! [`FamilyCache`](crate::FamilyCache) stores (CSR node list for
+//! `Xu = 0`, plus the plan counts), keyed by the same
+//! `(m, Xu⊕Xv, Yu, Yv, order)` key — so one stored solve serves every
+//! worker and every cube-field translation. The map is split into
+//! `shards` lock-striped [`RwLock`] segments; replays take a read lock
+//! on one shard only, so concurrent readers never serialise against
+//! each other, and writers contend only within a shard.
+//!
+//! Entries hold *plain* (fault-blind) constructions, which are
+//! fault-independent facts about the topology — they never become
+//! wrong when the fault set changes. What changes is whether a replayed
+//! (translated) family is *usable* under the current faults; that check
+//! is the fault scan the avoiding layer already performs on the
+//! replayed node set, and a blocked replay is repaired through
+//! `construct_avoiding`'s rebuild (which bypasses every cache tier by
+//! design). This is the lazy-invalidation scheme: fault events bump
+//! [`SharedFamilyCache::generation`] and touch nothing else; only the
+//! entries whose translated families actually intersect a fault pay a
+//! repair, and they become servable again the moment the fault clears —
+//! no eager scan, no cache discard.
+//!
+//! Eviction mirrors the L1: two generations per shard ("hot"/"cold"),
+//! a full hot map becomes the cold map, bounding each shard at
+//! `2 × shard_capacity` entries. Unlike the L1 there is no cold→hot
+//! promotion on a hit — promotion would force a write lock on the read
+//! path, and the L1 in front of this tier already keeps the genuinely
+//! hot keys local.
+
+use crate::node::NodeId;
+use crate::pathset::PathSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Default shard count (rounded up to a power of two internally).
+pub const DEFAULT_L2_SHARDS: usize = 16;
+
+/// Default hot-generation capacity per shard. With the default 16
+/// shards this bounds the tier at `2 × 16 × 1024` entries — a few tens
+/// of megabytes of HHC(5) families, shared by every worker.
+pub const DEFAULT_L2_SHARD_CAPACITY: usize = 1024;
+
+/// Geometry of a [`SharedFamilyCache`]. `shard_capacity = 0` disables
+/// the tier (probes and stores become no-ops), mirroring
+/// [`CacheConfig`](crate::CacheConfig) capacity-0 semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Config {
+    /// Lock stripes; rounded up to a power of two, at least 1.
+    pub shards: usize,
+    /// Hot-generation capacity of each stripe.
+    pub shard_capacity: usize,
+}
+
+impl L2Config {
+    /// The default enabled geometry.
+    pub fn enabled() -> Self {
+        L2Config {
+            shards: DEFAULT_L2_SHARDS,
+            shard_capacity: DEFAULT_L2_SHARD_CAPACITY,
+        }
+    }
+
+    /// An inert tier: every probe misses, every store is dropped. The
+    /// reference mode for the per-worker-cache-only baseline.
+    pub fn disabled() -> Self {
+        L2Config {
+            shards: 1,
+            shard_capacity: 0,
+        }
+    }
+}
+
+impl Default for L2Config {
+    fn default() -> Self {
+        L2Config::enabled()
+    }
+}
+
+/// One cached canonical family, identical in content to the L1's entry.
+#[derive(Debug, Clone)]
+struct SharedEntry {
+    nodes: Box<[u128]>,
+    offsets: Box<[u32]>,
+    rotations: u64,
+    detours: u64,
+}
+
+/// Two-generation bounded map; see the module docs for the eviction
+/// argument.
+#[derive(Debug, Default)]
+struct Shard {
+    hot: HashMap<u128, SharedEntry>,
+    cold: HashMap<u128, SharedEntry>,
+    sweeps: u64,
+}
+
+/// The shared L2 family-cache tier plus the live fault set it is
+/// invalidated against. See the module docs.
+///
+/// All methods take `&self`; the type is `Sync` and meant to live in an
+/// [`Arc`](std::sync::Arc) shared by every worker's
+/// [`PathBuilder`](crate::PathBuilder) (attached via
+/// [`PathBuilder::attach_shared_cache`](crate::PathBuilder::attach_shared_cache)).
+#[derive(Debug)]
+pub struct SharedFamilyCache {
+    shards: Vec<RwLock<Shard>>,
+    shard_mask: usize,
+    shard_capacity: usize,
+    /// Bumped once per fault-set mutation, while the fault write lock is
+    /// held; readers pair it with the set via [`Self::faults_snapshot`].
+    generation: AtomicU64,
+    faults: RwLock<HashSet<NodeId>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedFamilyCache {
+    pub fn new(cfg: L2Config) -> Self {
+        let n = cfg.shards.max(1).next_power_of_two();
+        SharedFamilyCache {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_mask: n - 1,
+            shard_capacity: cfg.shard_capacity,
+            generation: AtomicU64::new(0),
+            faults: RwLock::new(HashSet::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock stripes (power of two).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Hot-generation capacity per stripe (0 = inert tier).
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Entries currently retained across all shards and generations.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.read().expect("L2 shard lock poisoned");
+                s.hot.len() + s.cold.len()
+            })
+            .sum()
+    }
+
+    /// Whether no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime replay hits across all workers (inert tiers never
+    /// account).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime replay misses across all workers.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Current fault-set generation: bumped once per successful
+    /// [`Self::add_fault`] / [`Self::clear_fault`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Current fault count.
+    pub fn fault_count(&self) -> usize {
+        self.faults.read().expect("fault lock poisoned").len()
+    }
+
+    /// Marks `v` faulty; returns `false` (and does not bump the
+    /// generation) if it already was.
+    pub fn add_fault(&self, v: NodeId) -> bool {
+        let mut f = self.faults.write().expect("fault lock poisoned");
+        let added = f.insert(v);
+        if added {
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        added
+    }
+
+    /// Heals `v`; returns `false` (and does not bump the generation) if
+    /// it was not faulty.
+    pub fn clear_fault(&self, v: NodeId) -> bool {
+        let mut f = self.faults.write().expect("fault lock poisoned");
+        let removed = f.remove(&v);
+        if removed {
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        removed
+    }
+
+    /// A consistent `(generation, fault set)` pair: the generation is
+    /// read under the same read lock that guards the clone, so it never
+    /// lags the set. Workers re-snapshot only when
+    /// [`Self::generation`] moves — the epoch scheme's fast path is one
+    /// atomic load per query.
+    pub fn faults_snapshot(&self) -> (u64, HashSet<NodeId>) {
+        let f = self.faults.read().expect("fault lock poisoned");
+        (self.generation.load(Ordering::Acquire), f.clone())
+    }
+
+    /// Drops every cached entry in every shard (fault set and
+    /// generation untouched). Exists for the full-rebuild-on-fault
+    /// baseline ablation; the serving path never needs it.
+    pub fn flush(&self) {
+        for s in &self.shards {
+            let mut s = s.write().expect("L2 shard lock poisoned");
+            s.hot.clear();
+            s.cold.clear();
+        }
+    }
+
+    fn shard_of(&self, key: u128) -> &RwLock<Shard> {
+        // Fold the 128-bit key and Fibonacci-hash it so dense key
+        // families still spread across stripes.
+        let folded = (key ^ (key >> 64)) as u64;
+        let mixed = folded.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 32) as usize & self.shard_mask]
+    }
+
+    /// On a hit, appends the cached family translated by `mask` to
+    /// `out` and returns its `(rotations, detours)` plan counts —
+    /// byte-identical to what the construction that stored it produced,
+    /// by the same equivariance argument as the L1 replay.
+    pub(crate) fn replay(&self, key: u128, mask: u128, out: &mut PathSet) -> Option<(u64, u64)> {
+        if self.shard_capacity == 0 {
+            return None;
+        }
+        let shard = self.shard_of(key).read().expect("L2 shard lock poisoned");
+        let entry = shard.hot.get(&key).or_else(|| shard.cold.get(&key));
+        match entry {
+            Some(e) => {
+                for w in e.offsets.windows(2) {
+                    for &raw in &e.nodes[w[0] as usize..w[1] as usize] {
+                        out.push_node(NodeId::from_raw(raw ^ mask));
+                    }
+                    out.finish_path();
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((e.rotations, e.detours))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores the family in `set` (a fresh construction under
+    /// translation `mask`) canonicalised to `Xu = 0`. Racing writers of
+    /// the same key insert identical bytes (construction is
+    /// deterministic), so last-writer-wins is harmless.
+    pub(crate) fn store(&self, key: u128, mask: u128, set: &PathSet, rotations: u64, detours: u64) {
+        if self.shard_capacity == 0 {
+            return;
+        }
+        let mut nodes = Vec::with_capacity(set.total_nodes());
+        let mut offsets = Vec::with_capacity(set.len() + 1);
+        offsets.push(0u32);
+        for path in set.iter() {
+            nodes.extend(path.iter().map(|v| v.raw() ^ mask));
+            offsets.push(nodes.len() as u32);
+        }
+        let mut shard = self.shard_of(key).write().expect("L2 shard lock poisoned");
+        if shard.hot.contains_key(&key) {
+            return;
+        }
+        if shard.hot.len() >= self.shard_capacity {
+            shard.cold = std::mem::take(&mut shard.hot);
+            shard.sweeps += 1;
+        }
+        shard.hot.insert(
+            key,
+            SharedEntry {
+                nodes: nodes.into_boxed_slice(),
+                offsets: offsets.into_boxed_slice(),
+                rotations,
+                detours,
+            },
+        );
+    }
+}
+
+impl Default for SharedFamilyCache {
+    fn default() -> Self {
+        SharedFamilyCache::new(L2Config::enabled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_path_set() -> PathSet {
+        let mut set = PathSet::new();
+        for p in [[5u128, 7, 9], [5, 6, 9]] {
+            for raw in p {
+                set.push_node(NodeId::from_raw(raw));
+            }
+            set.finish_path();
+        }
+        set
+    }
+
+    #[test]
+    fn store_replay_round_trips_translation() {
+        let l2 = SharedFamilyCache::new(L2Config {
+            shards: 4,
+            shard_capacity: 8,
+        });
+        l2.store(1, 4, &two_path_set(), 2, 1);
+        let mut out = PathSet::new();
+        let (nr, nd) = l2.replay(1, 8, &mut out).unwrap();
+        assert_eq!((nr, nd), (2, 1));
+        let expect: Vec<u128> = [5u128, 7, 9, 5, 6, 9].iter().map(|r| r ^ 4 ^ 8).collect();
+        let got: Vec<u128> = out.iter().flatten().map(|v| v.raw()).collect();
+        assert_eq!(got, expect);
+        assert!(l2.replay(2, 0, &mut PathSet::new()).is_none());
+        assert_eq!((l2.hits(), l2.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disabled_tier_is_inert() {
+        let l2 = SharedFamilyCache::new(L2Config::disabled());
+        l2.store(1, 0, &two_path_set(), 0, 1);
+        assert!(l2.replay(1, 0, &mut PathSet::new()).is_none());
+        assert!(l2.is_empty());
+        assert_eq!((l2.hits(), l2.misses()), (0, 0));
+    }
+
+    #[test]
+    fn shard_capacity_bounds_entries() {
+        let cap = 4;
+        let l2 = SharedFamilyCache::new(L2Config {
+            shards: 1,
+            shard_capacity: cap,
+        });
+        let set = two_path_set();
+        for key in 0..10 * cap as u128 {
+            l2.store(key, 0, &set, 1, 0);
+        }
+        assert!(
+            l2.len() <= 2 * cap,
+            "two-generation sweep must bound the shard at 2×capacity"
+        );
+    }
+
+    #[test]
+    fn fault_events_bump_generation_only_on_change() {
+        let l2 = SharedFamilyCache::default();
+        let v = NodeId::from_raw(42);
+        assert_eq!(l2.generation(), 0);
+        assert!(l2.add_fault(v));
+        assert!(!l2.add_fault(v), "duplicate add is a no-op");
+        assert_eq!(l2.generation(), 1);
+        assert_eq!(l2.fault_count(), 1);
+        assert!(l2.clear_fault(v));
+        assert!(!l2.clear_fault(v), "duplicate clear is a no-op");
+        assert_eq!(l2.generation(), 2);
+        let (gen, snap) = l2.faults_snapshot();
+        assert_eq!(gen, 2);
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn flush_drops_entries_but_keeps_faults() {
+        let l2 = SharedFamilyCache::new(L2Config {
+            shards: 2,
+            shard_capacity: 8,
+        });
+        l2.store(1, 0, &two_path_set(), 1, 0);
+        l2.add_fault(NodeId::from_raw(7));
+        l2.flush();
+        assert!(l2.is_empty());
+        assert_eq!(l2.fault_count(), 1);
+        assert_eq!(l2.generation(), 1);
+    }
+}
