@@ -844,6 +844,9 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             let mut next_event = 0;
             let (mut ok, mut errors) = (0u64, 0u64);
             let mut first_error: Option<String> = None;
+            // One arena buffer reused across windows: the serve loop
+            // inherits the router's zero-per-query-allocation pipeline.
+            let mut answers = hhc_core::QueryBatchResult::new();
             let started = std::time::Instant::now();
             for (wi, chunk) in pairs.chunks(window).enumerate() {
                 let base = wi * window;
@@ -862,7 +865,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     next_event += 1;
                 }
                 let t = std::time::Instant::now();
-                let answers = router.query_many(chunk);
+                router.query_many_into(chunk, &mut answers);
                 let elapsed = t.elapsed();
                 let per_query_ns = (elapsed.as_nanos() / chunk.len() as u128) as u64;
                 for _ in 0..chunk.len() {

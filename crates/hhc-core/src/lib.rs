@@ -86,7 +86,9 @@ pub use fault::{FaultOracle, NoFaults};
 pub use metrics::{ConstructionMetrics, MetricsReport};
 pub use node::NodeId;
 pub use pathset::PathSet;
-pub use service::{L2Config, QueryResult, Router, RouterConfig, SharedFamilyCache};
+pub use service::{
+    FamilyRef, L2Config, QueryBatchResult, QueryResult, Router, RouterConfig, SharedFamilyCache,
+};
 pub use topology::Hhc;
 
 /// A path through the network as the sequence of visited nodes,

@@ -12,6 +12,14 @@
 //! [`MetricsReport`] is the full snapshot: construction counters plus
 //! the fan-engine and flow-solver counters accumulated underneath, with
 //! a JSON export used by the experiment sidecars and `hhc stats`.
+//!
+//! The concurrent [`Router`](crate::Router) does not share one of these
+//! behind a lock: each worker keeps its own `MetricsReport` and publishes
+//! per-batch deltas into a per-worker `AtomicReport`
+//! (`service::metrics`), which [`Router::metrics`](crate::Router::metrics)
+//! folds back into a plain `MetricsReport` on demand. The timing
+//! histogram is deliberately excluded from that aggregation — timing
+//! stays a single-builder, opt-in concern off the serving path.
 
 use graphs::DinicStats;
 use hypercube::FanMetrics;

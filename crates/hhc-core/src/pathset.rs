@@ -107,6 +107,18 @@ impl PathSet {
         self.finish_path();
     }
 
+    /// Appends a whole CSR block (raw node words plus a full offsets
+    /// table with its leading `0`), XOR-translating every node by
+    /// `mask`. One capacity check per buffer instead of one per node —
+    /// this is the L2 snapshot replay path, where the block is a cached
+    /// canonical family and `mask` is the cube-field translation.
+    pub(crate) fn extend_csr_xor(&mut self, nodes: &[u128], offsets: &[u32], mask: u128) {
+        let base = self.nodes.len() as u32;
+        self.nodes
+            .extend(nodes.iter().map(|&raw| NodeId::from_raw(raw ^ mask)));
+        self.offsets.extend(offsets[1..].iter().map(|&o| base + o));
+    }
+
     /// Converts to the legacy `Vec<Path>` shape (allocates per path).
     pub fn to_paths(&self) -> Vec<Path> {
         self.iter().map(|p| p.to_vec()).collect()

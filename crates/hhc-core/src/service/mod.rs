@@ -7,10 +7,31 @@
 //! module turns the library into a serving system: a pool of worker
 //! threads, each owning a [`PathBuilder`] (the per-worker **L1** — the
 //! existing caches, semantics unchanged), layered over one process-wide
-//! [`SharedFamilyCache`] (**L2** — sharded, read-mostly, keyed by the
-//! same canonical `(m, Xu⊕Xv, Yu, Yv, order)` signature). A query is
-//! answered L1 → L2 → construct; misses are promoted into both tiers,
-//! so one worker's solve warms every other worker.
+//! [`SharedFamilyCache`] (**L2** — atomically-published immutable shard
+//! snapshots, keyed by the same canonical `(m, Xu⊕Xv, Yu, Yv, order)`
+//! signature; see [`shared`](self) module docs for the lock-free read
+//! path). A query is answered L1 → L2 → construct; misses are promoted
+//! into both tiers, so one worker's solve warms every other worker.
+//!
+//! ## Steady-state allocation discipline
+//!
+//! The serving hot path performs **no per-query heap allocation** once
+//! warm: an L2 hit is one atomic load plus a probe of a reader-local
+//! snapshot, copying nodes straight into reused scratch. The batch
+//! plumbing is pooled to match — `Batch` buffers (pairs in, results
+//! out) cycle `Router` → worker → `Router` through the existing
+//! channels and are recycled from a free list, and a whole batch's
+//! answers live in one arena-backed [`QueryBatchResult`] (a single
+//! [`PathSet`] plus per-query spans) instead of a `Vec<Path>` of
+//! per-path `Vec`s per query. [`Router::query_many_into`] and
+//! [`Router::query_into`] expose that representation; the original
+//! [`Router::query_many`]/[`Router::query`] survive as thin shims that
+//! materialise owned `Vec<Path>`s from the arena.
+//!
+//! Worker metrics follow the same discipline: each worker publishes
+//! per-batch deltas into lock-free per-worker atomic counters (see
+//! [`metrics`](self)), merged on demand by [`Router::metrics`] — no
+//! mutex, no poison path.
 //!
 //! ## Fault feed
 //!
@@ -32,16 +53,19 @@
 //! ## Interface
 //!
 //! Queries arrive over per-worker mpsc channels:
-//! [`Router::query_many`] splits a batch into contiguous chunks, fans
-//! them across the workers and reassembles results in submission order;
-//! [`Router::query`] round-robins single queries. Results depend only
-//! on the pair and the fault snapshot — never on which worker answered
-//! or how the chunks interleaved.
+//! [`Router::query_many_into`] splits a batch into contiguous chunks,
+//! fans them across the workers and reassembles results in submission
+//! order; [`Router::query_into`] round-robins single queries. Results
+//! depend only on the pair and the fault snapshot — never on which
+//! worker answered or how the chunks interleaved.
 
+mod metrics;
 mod shared;
 
+pub(crate) use shared::L2Reader;
 pub use shared::{L2Config, SharedFamilyCache, DEFAULT_L2_SHARDS, DEFAULT_L2_SHARD_CAPACITY};
 
+use self::metrics::AtomicReport;
 use crate::disjoint::{disjoint_paths_avoiding_into, CrossingOrder, PathBuilder};
 use crate::error::HhcError;
 use crate::metrics::MetricsReport;
@@ -51,7 +75,7 @@ use crate::topology::Hhc;
 use crate::{CacheConfig, Path};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 /// Geometry and policy of a [`Router`].
@@ -79,14 +103,190 @@ impl Default for RouterConfig {
     }
 }
 
-/// One answered query: the `m + 1` (or fewer, under faults) internally
-/// disjoint paths, or the construction error for that pair.
+/// One answered query in owned form: the `m + 1` (or fewer, under
+/// faults) internally disjoint paths, or the construction error for
+/// that pair. Produced by the compatibility shims; the allocation-free
+/// pipeline answers through [`QueryBatchResult`] instead.
 pub type QueryResult = Result<Vec<Path>, HhcError>;
 
-/// A chunk of queries plus the index its results slot back into.
+/// One query's answer inside a [`QueryBatchResult`] arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum QuerySlot {
+    /// Not yet answered (only observable mid-reassembly).
+    Pending,
+    /// Paths `[first, last)` of the arena.
+    Ok {
+        first: u32,
+        last: u32,
+    },
+    Failed(HhcError),
+}
+
+/// A borrowed disjoint-path family: one query's span of a
+/// [`QueryBatchResult`] arena. Paths are `&[NodeId]` slices into the
+/// shared [`PathSet`] — nothing is owned, nothing is cloned.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyRef<'a> {
+    set: &'a PathSet,
+    first: usize,
+    last: usize,
+}
+
+impl<'a> FamilyRef<'a> {
+    /// Number of paths in the family (`m + 1` plain; possibly fewer
+    /// under heavy faults, down to zero).
+    pub fn len(&self) -> usize {
+        self.last - self.first
+    }
+
+    /// Whether the family is empty (no fault-free path survived).
+    pub fn is_empty(&self) -> bool {
+        self.first == self.last
+    }
+
+    /// The `j`-th path of the family.
+    ///
+    /// # Panics
+    /// If `j >= self.len()`.
+    pub fn path(&self, j: usize) -> &'a [NodeId] {
+        assert!(j < self.len(), "path index {j} out of range");
+        self.set.path(self.first + j)
+    }
+
+    /// Iterates the family's paths as node slices.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &'a [NodeId]> + 'a {
+        let copy = *self;
+        (copy.first..copy.last).map(move |i| copy.set.path(i))
+    }
+
+    /// Materialises the family as owned paths (allocates; the shims'
+    /// bridge to the legacy [`QueryResult`] shape).
+    pub fn to_paths(&self) -> Vec<Path> {
+        self.iter().map(<[NodeId]>::to_vec).collect()
+    }
+}
+
+/// Arena-backed answers for a whole batch of queries: one reusable
+/// [`PathSet`] holding every path of every answered family, plus one
+/// span-or-error slot per query. Reusing the buffer across
+/// [`Router::query_many_into`] calls makes the steady-state query path
+/// allocation-free — capacity is retained by [`Self::clear`].
+#[derive(Debug, Default)]
+pub struct QueryBatchResult {
+    paths: PathSet,
+    slots: Vec<QuerySlot>,
+}
+
+impl QueryBatchResult {
+    /// An empty result buffer (allocates nothing until first use).
+    pub fn new() -> Self {
+        QueryBatchResult::default()
+    }
+
+    /// Number of query slots (answered or pending).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the buffer holds no query slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total paths across all answered families.
+    pub fn total_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Drops all answers, keeping both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.paths.clear();
+        self.slots.clear();
+    }
+
+    /// Query `i`'s answer: the family span, or the construction error.
+    ///
+    /// # Panics
+    /// If `i` is out of range or (unreachable through the public query
+    /// entry points) the slot was never answered.
+    pub fn get(&self, i: usize) -> Result<FamilyRef<'_>, &HhcError> {
+        match &self.slots[i] {
+            QuerySlot::Ok { first, last } => Ok(FamilyRef {
+                set: &self.paths,
+                first: *first as usize,
+                last: *last as usize,
+            }),
+            QuerySlot::Failed(e) => Err(e),
+            QuerySlot::Pending => panic!("query {i} was never answered"),
+        }
+    }
+
+    /// Iterates every query's answer in submission order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Result<FamilyRef<'_>, &HhcError>> + '_ {
+        (0..self.slots.len()).map(move |i| self.get(i))
+    }
+
+    /// Materialises owned per-query results (allocates; the
+    /// [`Router::query_many`] compatibility bridge).
+    pub fn to_results(&self) -> Vec<QueryResult> {
+        self.iter()
+            .map(|r| r.map(|f| f.to_paths()).map_err(Clone::clone))
+            .collect()
+    }
+
+    /// Clears and lays out `n` pending slots for out-of-order
+    /// reassembly via [`Self::absorb`].
+    fn begin(&mut self, n: usize) {
+        self.clear();
+        self.slots.resize(n, QuerySlot::Pending);
+    }
+
+    /// Appends one answered family, copying its paths into the arena.
+    fn push_ok(&mut self, family: &PathSet) {
+        let first = self.paths.len() as u32;
+        for p in family.iter() {
+            self.paths.push_path(p);
+        }
+        self.slots.push(QuerySlot::Ok {
+            first,
+            last: self.paths.len() as u32,
+        });
+    }
+
+    /// Appends one failed query.
+    fn push_err(&mut self, e: HhcError) {
+        self.slots.push(QuerySlot::Failed(e));
+    }
+
+    /// Copies a worker chunk's answers into slots `base..`, rebasing
+    /// its arena spans onto this arena's tail.
+    fn absorb(&mut self, base: usize, chunk: &QueryBatchResult) {
+        let off = self.paths.len() as u32;
+        for (j, slot) in chunk.slots.iter().enumerate() {
+            self.slots[base + j] = match slot {
+                QuerySlot::Pending => QuerySlot::Pending,
+                QuerySlot::Ok { first, last } => QuerySlot::Ok {
+                    first: first + off,
+                    last: last + off,
+                },
+                QuerySlot::Failed(e) => QuerySlot::Failed(e.clone()),
+            };
+        }
+        for p in chunk.paths.iter() {
+            self.paths.push_path(p);
+        }
+    }
+}
+
+/// A pooled unit of work: a chunk of queries, the index its results
+/// slot back into, and the result buffer the worker fills in place. The
+/// same `Batch` objects cycle `Router` → worker → `Router` forever, so
+/// the channels carry no fresh allocations after warm-up.
+#[derive(Default)]
 struct Batch {
     base: usize,
     pairs: Vec<(NodeId, NodeId)>,
+    result: QueryBatchResult,
 }
 
 /// The concurrent routing front-end; see the module docs.
@@ -97,10 +297,15 @@ pub struct Router {
     shared: Arc<SharedFamilyCache>,
     senders: Vec<mpsc::Sender<Batch>>,
     handles: Vec<JoinHandle<()>>,
-    results_rx: mpsc::Receiver<(usize, Vec<QueryResult>)>,
-    metrics_slots: Vec<Arc<Mutex<MetricsReport>>>,
+    results_rx: mpsc::Receiver<Batch>,
+    reports: Vec<Arc<AtomicReport>>,
     flush_epoch: Arc<AtomicU64>,
     next_worker: usize,
+    /// Recycled batch buffers; bounded by the most batches ever in
+    /// flight at once (≤ the worker count).
+    pool: Vec<Batch>,
+    /// Reused result buffer behind the owned-result shims.
+    scratch: QueryBatchResult,
 }
 
 impl Router {
@@ -116,22 +321,22 @@ impl Router {
         let (results_tx, results_rx) = mpsc::channel();
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
-        let mut metrics_slots = Vec::with_capacity(threads);
+        let mut reports = Vec::with_capacity(threads);
         for _ in 0..threads {
             let (tx, rx) = mpsc::channel::<Batch>();
-            let slot = Arc::new(Mutex::new(MetricsReport::default()));
+            let report = Arc::new(AtomicReport::default());
             let ctx = WorkerCtx {
                 hhc,
                 order: cfg.order,
                 l1: cfg.l1,
                 shared: Arc::clone(&shared),
                 flush_epoch: Arc::clone(&flush_epoch),
-                slot: Arc::clone(&slot),
+                report: Arc::clone(&report),
                 results_tx: results_tx.clone(),
             };
             handles.push(std::thread::spawn(move || worker_loop(ctx, rx)));
             senders.push(tx);
-            metrics_slots.push(slot);
+            reports.push(report);
         }
         Ok(Router {
             hhc,
@@ -139,9 +344,11 @@ impl Router {
             senders,
             handles,
             results_rx,
-            metrics_slots,
+            reports,
             flush_epoch,
             next_worker: 0,
+            pool: Vec::new(),
+            scratch: QueryBatchResult::new(),
         })
     }
 
@@ -191,66 +398,105 @@ impl Router {
         self.flush_epoch.fetch_add(1, Ordering::Release);
     }
 
-    /// Answers one query, round-robining across the workers.
-    pub fn query(&mut self, u: NodeId, v: NodeId) -> QueryResult {
-        let w = self.next_worker;
-        self.next_worker = (self.next_worker + 1) % self.senders.len();
-        self.submit(
-            w,
-            Batch {
-                base: 0,
-                pairs: vec![(u, v)],
-            },
-        );
-        let (_, mut results) = self.results_rx.recv().expect("worker pool hung up");
-        results
-            .pop()
-            .expect("single-query batch returns one result")
-    }
-
-    /// Answers a batch: the pairs are split into contiguous chunks, one
-    /// per worker, answered concurrently, and returned in submission
-    /// order. Equivalent to calling [`Self::query`] per pair serially
-    /// under a fixed fault set.
-    pub fn query_many(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryResult> {
+    /// Answers a batch into a caller-owned (reusable) result buffer:
+    /// pairs are split into contiguous chunks, one per worker, answered
+    /// concurrently, and reassembled in submission order. Equivalent to
+    /// answering each pair serially under a fixed fault set. With a
+    /// warm `out`, allocation-free end to end.
+    pub fn query_many_into(&mut self, pairs: &[(NodeId, NodeId)], out: &mut QueryBatchResult) {
+        out.begin(pairs.len());
         if pairs.is_empty() {
-            return Vec::new();
+            return;
         }
         let threads = self.senders.len();
         let chunk = pairs.len().div_ceil(threads);
-        let mut outstanding = 0;
+        let mut outstanding = 0usize;
         for (i, slice) in pairs.chunks(chunk).enumerate() {
-            self.submit(
-                i % threads,
-                Batch {
-                    base: i * chunk,
-                    pairs: slice.to_vec(),
-                },
-            );
+            let mut b = self.pool.pop().unwrap_or_default();
+            b.base = i * chunk;
+            b.pairs.clear();
+            b.pairs.extend_from_slice(slice);
+            self.submit(i % threads, b);
             outstanding += 1;
         }
-        let mut results: Vec<Option<QueryResult>> = (0..pairs.len()).map(|_| None).collect();
         for _ in 0..outstanding {
-            let (base, chunk_results) = self.results_rx.recv().expect("worker pool hung up");
-            for (j, r) in chunk_results.into_iter().enumerate() {
-                results[base + j] = Some(r);
-            }
+            let b = self.results_rx.recv().expect("worker pool hung up");
+            out.absorb(b.base, &b.result);
+            self.pool.push(b);
         }
+    }
+
+    /// Answers one query into a caller-owned (reusable) [`PathSet`],
+    /// round-robining across the workers; returns the family size. With
+    /// a warm `out`, allocation-free end to end.
+    ///
+    /// # Errors
+    /// The construction error for the pair, exactly as the serial
+    /// avoiding entry point reports it.
+    pub fn query_into(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        out: &mut PathSet,
+    ) -> Result<usize, HhcError> {
+        let b = self.exchange_single(u, v);
+        out.clear();
+        let r = match b.result.get(0) {
+            Ok(f) => {
+                for p in f.iter() {
+                    out.push_path(p);
+                }
+                Ok(f.len())
+            }
+            Err(e) => Err(e.clone()),
+        };
+        self.pool.push(b);
+        r
+    }
+
+    /// Answers one query in owned form — a compatibility shim over
+    /// [`Self::query_into`] (the pooled pipeline underneath is shared;
+    /// only the final `Vec<Path>` materialisation allocates).
+    pub fn query(&mut self, u: NodeId, v: NodeId) -> QueryResult {
+        let b = self.exchange_single(u, v);
+        let r = b.result.get(0).map(|f| f.to_paths()).map_err(Clone::clone);
+        self.pool.push(b);
+        r
+    }
+
+    /// Answers a batch in owned form — a compatibility shim over
+    /// [`Self::query_many_into`] through an internal reused buffer.
+    pub fn query_many(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryResult> {
+        let mut out = std::mem::take(&mut self.scratch);
+        self.query_many_into(pairs, &mut out);
+        let results = out.to_results();
+        self.scratch = out;
         results
-            .into_iter()
-            .map(|r| r.expect("every submitted query is answered"))
-            .collect()
     }
 
     /// Merged effort snapshot across all workers (each worker publishes
-    /// its cumulative report after every batch; `fault_generation` is
-    /// the maximum generation any worker has acted on).
+    /// per-batch counter deltas into lock-free atomics;
+    /// `fault_generation` is the maximum generation any worker has
+    /// acted on).
     pub fn metrics(&self) -> MetricsReport {
         let mut merged = MetricsReport::default();
-        for slot in &self.metrics_slots {
-            merged.merge(&slot.lock().expect("metrics slot poisoned"));
+        for r in &self.reports {
+            r.merge_into(&mut merged);
         }
         merged
+    }
+
+    /// Ships a one-pair pooled batch to the next worker and returns the
+    /// answered batch (callers recycle it into the pool).
+    fn exchange_single(&mut self, u: NodeId, v: NodeId) -> Batch {
+        let w = self.next_worker;
+        self.next_worker = (self.next_worker + 1) % self.senders.len();
+        let mut b = self.pool.pop().unwrap_or_default();
+        b.base = 0;
+        b.pairs.clear();
+        b.pairs.push((u, v));
+        self.submit(w, b);
+        self.results_rx.recv().expect("worker pool hung up")
     }
 
     fn submit(&self, worker: usize, batch: Batch) {
@@ -277,31 +523,35 @@ struct WorkerCtx {
     l1: CacheConfig,
     shared: Arc<SharedFamilyCache>,
     flush_epoch: Arc<AtomicU64>,
-    slot: Arc<Mutex<MetricsReport>>,
-    results_tx: mpsc::Sender<(usize, Vec<QueryResult>)>,
+    report: Arc<AtomicReport>,
+    results_tx: mpsc::Sender<Batch>,
 }
 
 fn worker_loop(ctx: WorkerCtx, rx: mpsc::Receiver<Batch>) {
     let mut builder = PathBuilder::with_caches(ctx.l1);
     builder.attach_shared_cache(Arc::clone(&ctx.shared));
     let mut out = PathSet::new();
-    let (mut local_gen, mut local_faults): (u64, HashSet<NodeId>) = ctx.shared.faults_snapshot();
+    let mut local_faults: HashSet<NodeId> = HashSet::new();
+    let mut local_gen = ctx.shared.faults_snapshot_into(&mut local_faults);
     let mut seen_flush = ctx.flush_epoch.load(Ordering::Acquire);
-    while let Ok(batch) = rx.recv() {
+    // The builder's cumulative report at the last publication; the
+    // difference against it is what each batch adds to the atomics.
+    let mut prev = MetricsReport::default();
+    while let Ok(mut batch) = rx.recv() {
         let fe = ctx.flush_epoch.load(Ordering::Acquire);
         if fe != seen_flush {
             seen_flush = fe;
             builder.set_cache_config(ctx.l1);
         }
-        let mut results = Vec::with_capacity(batch.pairs.len());
-        for (u, v) in batch.pairs {
+        batch.result.clear();
+        for &(u, v) in &batch.pairs {
             // Epoch fast path: one atomic load per query; the fault set
             // is re-cloned only when an event moved the generation.
             let gen = ctx.shared.generation();
             if gen != local_gen {
-                (local_gen, local_faults) = ctx.shared.faults_snapshot();
+                local_gen = ctx.shared.faults_snapshot_into(&mut local_faults);
             }
-            let r = disjoint_paths_avoiding_into(
+            match disjoint_paths_avoiding_into(
                 &ctx.hhc,
                 u,
                 v,
@@ -309,14 +559,19 @@ fn worker_loop(ctx: WorkerCtx, rx: mpsc::Receiver<Batch>) {
                 &local_faults,
                 &mut out,
                 &mut builder,
-            )
-            .map(|_| out.to_paths());
-            results.push(r);
+            ) {
+                Ok(_) => batch.result.push_ok(&out),
+                Err(e) => batch.result.push_err(e),
+            }
         }
-        let mut report = builder.metrics();
-        report.construction.fault_generation = local_gen;
-        *ctx.slot.lock().expect("metrics slot poisoned") = report;
-        if ctx.results_tx.send((batch.base, results)).is_err() {
+        let mut cur = builder.metrics();
+        cur.construction.fault_generation = local_gen;
+        // Publish before send: the channel's happens-before edge makes
+        // the relaxed counter updates visible to whoever receives the
+        // batch and then reads Router::metrics().
+        ctx.report.publish(&cur, &prev);
+        prev = cur;
+        if ctx.results_tx.send(batch).is_err() {
             break;
         }
     }
@@ -357,6 +612,59 @@ mod tests {
             m.construction.queries,
             "tiered-probe conservation law"
         );
+    }
+
+    #[test]
+    fn pipeline_and_shim_agree() {
+        // query_many_into (arena) and query_many (owned) answer the
+        // same batch identically, and query_into matches query.
+        let mut router = Router::new(3, cfg(2)).unwrap();
+        let h = Hhc::new(3).unwrap();
+        let pairs = workload_pairs(&h, 24);
+        let owned = router.query_many(&pairs);
+        let mut arena = QueryBatchResult::new();
+        router.query_many_into(&pairs, &mut arena);
+        assert_eq!(arena.len(), pairs.len());
+        assert_eq!(arena.to_results(), owned);
+        let mut single = PathSet::new();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            match router.query_into(u, v, &mut single) {
+                Ok(n) => {
+                    let want = owned[i].as_ref().unwrap();
+                    assert_eq!(n, want.len());
+                    assert_eq!(&single.to_paths(), want);
+                }
+                Err(e) => assert_eq!(Err(e), owned[i].clone()),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_buffers_are_pooled_and_bounded() {
+        let threads = 3;
+        let mut router = Router::new(3, cfg(threads)).unwrap();
+        let h = Hhc::new(3).unwrap();
+        let pairs = workload_pairs(&h, 30);
+        let mut out = QueryBatchResult::new();
+        for _ in 0..5 {
+            router.query_many_into(&pairs, &mut out);
+            let _ = router.query(pairs[0].0, pairs[0].1);
+        }
+        assert!(
+            router.pool.len() <= threads,
+            "free list holds at most one batch per worker, got {}",
+            router.pool.len()
+        );
+    }
+
+    #[test]
+    fn empty_batch_answers_empty() {
+        let mut router = Router::new(2, cfg(2)).unwrap();
+        assert!(router.query_many(&[]).is_empty());
+        let mut out = QueryBatchResult::new();
+        router.query_many_into(&[], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(out.total_paths(), 0);
     }
 
     #[test]

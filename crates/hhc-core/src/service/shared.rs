@@ -1,17 +1,52 @@
-//! The shared L2 tier: a sharded, concurrently-readable family cache
-//! plus the live fault set and its generation counter.
+//! The shared L2 tier: an atomically-published, read-lock-free family
+//! cache plus the live fault set and its generation counter.
 //!
 //! Entries are the same translation-canonical families the per-builder
 //! [`FamilyCache`](crate::FamilyCache) stores (CSR node list for
 //! `Xu = 0`, plus the plan counts), keyed by the same
 //! `(m, Xu⊕Xv, Yu, Yv, order)` key — so one stored solve serves every
-//! worker and every cube-field translation. The map is split into
-//! `shards` lock-striped [`RwLock`] segments; replays take a read lock
-//! on one shard only, so concurrent readers never serialise against
-//! each other, and writers contend only within a shard.
+//! worker and every cube-field translation.
 //!
-//! Entries hold *plain* (fault-blind) constructions, which are
-//! fault-independent facts about the topology — they never become
+//! ## Snapshot-swap read path
+//!
+//! Earlier versions striped the map across `RwLock` shards; even
+//! uncontended, every probe paid a read-lock acquire/release (an atomic
+//! RMW on a shared cache line) and readers serialised against writers.
+//! The tier is read-mostly to an extreme degree — after warm-up, stores
+//! happen only on cold keys — so it now publishes **immutable
+//! snapshots** instead:
+//!
+//! * Each shard owns an [`Arc<ShardSnapshot>`]: an open-addressing
+//!   probe table (`slots` → entry index) over immutable entries, each a
+//!   contiguous node/offset slab. Snapshots are never mutated after
+//!   publication.
+//! * Writers (cache-miss promotions) take a small per-shard mutex,
+//!   rebuild the table with the new entry (`Arc`-sharing every existing
+//!   entry's slab — no path data is copied), publish the new `Arc` and
+//!   bump the shard's version counter with a single release store.
+//! * Readers hold a per-worker [`L2Reader`] that caches one snapshot
+//!   `Arc` per shard. A probe is: one `Acquire` load of the shard
+//!   version, and — in the overwhelmingly common unchanged case — a
+//!   direct probe of the locally held snapshot. **No lock, no reference
+//!   count traffic, no clone**; a hit copies nodes straight from the
+//!   shared slab into the caller's [`PathSet`] scratch. Only when the
+//!   version moved (a writer published) does the reader briefly take
+//!   the shard mutex to re-clone the new snapshot `Arc`.
+//!
+//! Staleness is harmless by construction: entries are plain
+//! (fault-blind) canonical families — immutable facts about the
+//! topology — so a reader probing a one-publish-old snapshot can only
+//! miss a key some other worker *just* added (it reconstructs and the
+//! store is idempotent: racing writers of the same key insert identical
+//! bytes) or replay an entry that was *just* evicted (still a correct
+//! family). Memory reclamation is the `Arc` drop chain: an old snapshot
+//! is freed when the last reader holding it refreshes, and an entry's
+//! slab is freed when the last snapshot referencing it goes — no epochs,
+//! no hazard pointers, no unsafe.
+//!
+//! ## Fault feed
+//!
+//! Entries hold *plain* (fault-blind) constructions, which never become
 //! wrong when the fault set changes. What changes is whether a replayed
 //! (translated) family is *usable* under the current faults; that check
 //! is the fault scan the avoiding layer already performs on the
@@ -25,16 +60,15 @@
 //!
 //! Eviction mirrors the L1: two generations per shard ("hot"/"cold"),
 //! a full hot map becomes the cold map, bounding each shard at
-//! `2 × shard_capacity` entries. Unlike the L1 there is no cold→hot
-//! promotion on a hit — promotion would force a write lock on the read
-//! path, and the L1 in front of this tier already keeps the genuinely
-//! hot keys local.
+//! `2 × shard_capacity` entries. There is no cold→hot promotion on a
+//! hit — promotion would force a publish on the read path, and the L1
+//! in front of this tier already keeps the genuinely hot keys local.
 
 use crate::node::NodeId;
 use crate::pathset::PathSet;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// Default shard count (rounded up to a power of two internally).
 pub const DEFAULT_L2_SHARDS: usize = 16;
@@ -49,7 +83,8 @@ pub const DEFAULT_L2_SHARD_CAPACITY: usize = 1024;
 /// [`CacheConfig`](crate::CacheConfig) capacity-0 semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Config {
-    /// Lock stripes; rounded up to a power of two, at least 1.
+    /// Write-side mutex stripes; rounded up to a power of two, at
+    /// least 1. (Readers never lock regardless of the count.)
     pub shards: usize,
     /// Hot-generation capacity of each stripe.
     pub shard_capacity: usize,
@@ -80,8 +115,10 @@ impl Default for L2Config {
     }
 }
 
-/// One cached canonical family, identical in content to the L1's entry.
-#[derive(Debug, Clone)]
+/// One cached canonical family: a contiguous CSR node/offset slab plus
+/// the plan counts of the construction that produced it. Immutable once
+/// built; shared by every snapshot generation that contains it.
+#[derive(Debug)]
 struct SharedEntry {
     nodes: Box<[u128]>,
     offsets: Box<[u32]>,
@@ -89,55 +126,170 @@ struct SharedEntry {
     detours: u64,
 }
 
-/// Two-generation bounded map; see the module docs for the eviction
-/// argument.
-#[derive(Debug, Default)]
-struct Shard {
-    hot: HashMap<u128, SharedEntry>,
-    cold: HashMap<u128, SharedEntry>,
+/// An immutable probe table over a shard's entries. `slots[i]` holds
+/// `entry index + 1` (0 = vacant); `keys`/`entries` are parallel.
+/// `slots.len()` is a power of two at least `2 × entries.len()`, so
+/// linear probing always terminates at a vacant slot.
+#[derive(Debug)]
+struct ShardSnapshot {
+    slots: Box<[u32]>,
+    keys: Box<[u128]>,
+    entries: Box<[Arc<SharedEntry>]>,
+}
+
+impl ShardSnapshot {
+    fn empty() -> Arc<ShardSnapshot> {
+        Arc::new(ShardSnapshot {
+            slots: vec![0u32; 4].into_boxed_slice(),
+            keys: Box::new([]),
+            entries: Box::new([]),
+        })
+    }
+
+    /// Builds a snapshot over the given entries (any iteration order).
+    fn build<'a>(
+        entries: impl Iterator<Item = (&'a u128, &'a Arc<SharedEntry>)>,
+        n: usize,
+    ) -> Self {
+        let cap = (2 * n).next_power_of_two().max(4);
+        let mut slots = vec![0u32; cap].into_boxed_slice();
+        let mut keys = Vec::with_capacity(n);
+        let mut ents = Vec::with_capacity(n);
+        let mask = cap - 1;
+        for (&key, entry) in entries {
+            let mut i = fold_mix(key) as usize & mask;
+            while slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            slots[i] = keys.len() as u32 + 1;
+            keys.push(key);
+            ents.push(Arc::clone(entry));
+        }
+        ShardSnapshot {
+            slots,
+            keys: keys.into_boxed_slice(),
+            entries: ents.into_boxed_slice(),
+        }
+    }
+
+    /// Linear-probe lookup. `h` must be `fold_mix(key)`.
+    #[inline]
+    fn get(&self, h: u64, key: u128) -> Option<&SharedEntry> {
+        let mask = self.slots.len() - 1;
+        let mut i = h as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                return None;
+            }
+            let idx = (s - 1) as usize;
+            if self.keys[idx] == key {
+                return Some(&self.entries[idx]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+}
+
+/// Write-side state of one shard: the bounded two-generation entry maps
+/// plus the currently published snapshot. Everything here is guarded by
+/// the shard mutex; readers touch it only to re-clone `published` after
+/// a version bump.
+#[derive(Debug)]
+struct ShardWriter {
+    hot: HashMap<u128, Arc<SharedEntry>>,
+    cold: HashMap<u128, Arc<SharedEntry>>,
     sweeps: u64,
+    published: Arc<ShardSnapshot>,
+}
+
+#[derive(Debug)]
+struct ShardState {
+    /// Bumped (release, under the mutex) once per publish; readers pair
+    /// one acquire load with their locally cached snapshot.
+    version: AtomicU64,
+    inner: Mutex<ShardWriter>,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        ShardState {
+            version: AtomicU64::new(0),
+            inner: Mutex::new(ShardWriter {
+                hot: HashMap::new(),
+                cold: HashMap::new(),
+                sweeps: 0,
+                published: ShardSnapshot::empty(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShardWriter> {
+        // A writer that panicked mid-store left `hot`/`cold` consistent
+        // (the snapshot is built before anything is published), so
+        // poison carries no information here.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Rebuilds and publishes the snapshot from the current generations.
+    /// Must be called with the lock held (`w` is the guard's target).
+    fn publish(&self, w: &mut ShardWriter) {
+        let n = w.hot.len() + w.cold.len();
+        // Hot entries first so a key present in both generations (never
+        // happens today, but harmless) resolves to the hot copy.
+        w.published = Arc::new(ShardSnapshot::build(w.hot.iter().chain(w.cold.iter()), n));
+        self.version.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Splitmix64 finalizer over the folded 128-bit key: the low bits index
+/// a shard's probe table, the high bits pick the shard, so dense key
+/// families spread across both levels independently.
+#[inline]
+fn fold_mix(key: u128) -> u64 {
+    let mut z = ((key ^ (key >> 64)) as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The shared L2 family-cache tier plus the live fault set it is
 /// invalidated against. See the module docs.
 ///
 /// All methods take `&self`; the type is `Sync` and meant to live in an
-/// [`Arc`](std::sync::Arc) shared by every worker's
+/// [`Arc`] shared by every worker's
 /// [`PathBuilder`](crate::PathBuilder) (attached via
-/// [`PathBuilder::attach_shared_cache`](crate::PathBuilder::attach_shared_cache)).
+/// [`PathBuilder::attach_shared_cache`](crate::PathBuilder::attach_shared_cache),
+/// which wraps it in a per-worker `L2Reader`).
 #[derive(Debug)]
 pub struct SharedFamilyCache {
-    shards: Vec<RwLock<Shard>>,
+    shards: Box<[ShardState]>,
     shard_mask: usize,
     shard_capacity: usize,
     /// Bumped once per fault-set mutation, while the fault write lock is
     /// held; readers pair it with the set via [`Self::faults_snapshot`].
     generation: AtomicU64,
     faults: RwLock<HashSet<NodeId>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 impl SharedFamilyCache {
     pub fn new(cfg: L2Config) -> Self {
         let n = cfg.shards.max(1).next_power_of_two();
         SharedFamilyCache {
-            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            shards: (0..n).map(|_| ShardState::new()).collect(),
             shard_mask: n - 1,
             shard_capacity: cfg.shard_capacity,
             generation: AtomicU64::new(0),
             faults: RwLock::new(HashSet::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
         }
     }
 
-    /// Number of lock stripes (power of two).
+    /// Number of shards (power of two).
     pub fn shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// Hot-generation capacity per stripe (0 = inert tier).
+    /// Hot-generation capacity per shard (0 = inert tier).
     pub fn shard_capacity(&self) -> usize {
         self.shard_capacity
     }
@@ -147,8 +299,8 @@ impl SharedFamilyCache {
         self.shards
             .iter()
             .map(|s| {
-                let s = s.read().expect("L2 shard lock poisoned");
-                s.hot.len() + s.cold.len()
+                let w = s.lock();
+                w.hot.len() + w.cold.len()
             })
             .sum()
     }
@@ -156,17 +308,6 @@ impl SharedFamilyCache {
     /// Whether no shard holds an entry.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-
-    /// Lifetime replay hits across all workers (inert tiers never
-    /// account).
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Lifetime replay misses across all workers.
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
     }
 
     /// Current fault-set generation: bumped once per successful
@@ -177,13 +318,16 @@ impl SharedFamilyCache {
 
     /// Current fault count.
     pub fn fault_count(&self) -> usize {
-        self.faults.read().expect("fault lock poisoned").len()
+        self.faults
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Marks `v` faulty; returns `false` (and does not bump the
     /// generation) if it already was.
     pub fn add_fault(&self, v: NodeId) -> bool {
-        let mut f = self.faults.write().expect("fault lock poisoned");
+        let mut f = self.faults.write().unwrap_or_else(PoisonError::into_inner);
         let added = f.insert(v);
         if added {
             self.generation.fetch_add(1, Ordering::AcqRel);
@@ -194,7 +338,7 @@ impl SharedFamilyCache {
     /// Heals `v`; returns `false` (and does not bump the generation) if
     /// it was not faulty.
     pub fn clear_fault(&self, v: NodeId) -> bool {
-        let mut f = self.faults.write().expect("fault lock poisoned");
+        let mut f = self.faults.write().unwrap_or_else(PoisonError::into_inner);
         let removed = f.remove(&v);
         if removed {
             self.generation.fetch_add(1, Ordering::AcqRel);
@@ -208,61 +352,41 @@ impl SharedFamilyCache {
     /// [`Self::generation`] moves — the epoch scheme's fast path is one
     /// atomic load per query.
     pub fn faults_snapshot(&self) -> (u64, HashSet<NodeId>) {
-        let f = self.faults.read().expect("fault lock poisoned");
+        let f = self.faults.read().unwrap_or_else(PoisonError::into_inner);
         (self.generation.load(Ordering::Acquire), f.clone())
+    }
+
+    /// [`Self::faults_snapshot`] into a caller-owned set (capacity is
+    /// reused, so a long-lived worker re-snapshots without allocating
+    /// once its set has grown to the high-water fault count).
+    pub fn faults_snapshot_into(&self, out: &mut HashSet<NodeId>) -> u64 {
+        let f = self.faults.read().unwrap_or_else(PoisonError::into_inner);
+        out.clone_from(&f);
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Drops every cached entry in every shard (fault set and
     /// generation untouched). Exists for the full-rebuild-on-fault
     /// baseline ablation; the serving path never needs it.
     pub fn flush(&self) {
-        for s in &self.shards {
-            let mut s = s.write().expect("L2 shard lock poisoned");
-            s.hot.clear();
-            s.cold.clear();
+        for s in self.shards.iter() {
+            let mut w = s.lock();
+            w.hot.clear();
+            w.cold.clear();
+            s.publish(&mut w);
         }
     }
 
-    fn shard_of(&self, key: u128) -> &RwLock<Shard> {
-        // Fold the 128-bit key and Fibonacci-hash it so dense key
-        // families still spread across stripes.
-        let folded = (key ^ (key >> 64)) as u64;
-        let mixed = folded.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(mixed >> 32) as usize & self.shard_mask]
-    }
-
-    /// On a hit, appends the cached family translated by `mask` to
-    /// `out` and returns its `(rotations, detours)` plan counts —
-    /// byte-identical to what the construction that stored it produced,
-    /// by the same equivariance argument as the L1 replay.
-    pub(crate) fn replay(&self, key: u128, mask: u128, out: &mut PathSet) -> Option<(u64, u64)> {
-        if self.shard_capacity == 0 {
-            return None;
-        }
-        let shard = self.shard_of(key).read().expect("L2 shard lock poisoned");
-        let entry = shard.hot.get(&key).or_else(|| shard.cold.get(&key));
-        match entry {
-            Some(e) => {
-                for w in e.offsets.windows(2) {
-                    for &raw in &e.nodes[w[0] as usize..w[1] as usize] {
-                        out.push_node(NodeId::from_raw(raw ^ mask));
-                    }
-                    out.finish_path();
-                }
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some((e.rotations, e.detours))
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+    #[inline]
+    fn shard_of(&self, h: u64) -> &ShardState {
+        &self.shards[(h >> 32) as usize & self.shard_mask]
     }
 
     /// Stores the family in `set` (a fresh construction under
-    /// translation `mask`) canonicalised to `Xu = 0`. Racing writers of
-    /// the same key insert identical bytes (construction is
-    /// deterministic), so last-writer-wins is harmless.
+    /// translation `mask`) canonicalised to `Xu = 0`, and publishes a
+    /// new shard snapshot. Racing writers of the same key insert
+    /// identical bytes (construction is deterministic), so
+    /// first-writer-wins is harmless.
     pub(crate) fn store(&self, key: u128, mask: u128, set: &PathSet, rotations: u64, detours: u64) {
         if self.shard_capacity == 0 {
             return;
@@ -274,29 +398,115 @@ impl SharedFamilyCache {
             nodes.extend(path.iter().map(|v| v.raw() ^ mask));
             offsets.push(nodes.len() as u32);
         }
-        let mut shard = self.shard_of(key).write().expect("L2 shard lock poisoned");
-        if shard.hot.contains_key(&key) {
+        let entry = Arc::new(SharedEntry {
+            nodes: nodes.into_boxed_slice(),
+            offsets: offsets.into_boxed_slice(),
+            rotations,
+            detours,
+        });
+        let shard = self.shard_of(fold_mix(key));
+        let mut w = shard.lock();
+        if w.hot.contains_key(&key) || w.cold.contains_key(&key) {
             return;
         }
-        if shard.hot.len() >= self.shard_capacity {
-            shard.cold = std::mem::take(&mut shard.hot);
-            shard.sweeps += 1;
+        if w.hot.len() >= self.shard_capacity {
+            w.cold = std::mem::take(&mut w.hot);
+            w.sweeps += 1;
         }
-        shard.hot.insert(
-            key,
-            SharedEntry {
-                nodes: nodes.into_boxed_slice(),
-                offsets: offsets.into_boxed_slice(),
-                rotations,
-                detours,
-            },
-        );
+        w.hot.insert(key, entry);
+        shard.publish(&mut w);
     }
 }
 
 impl Default for SharedFamilyCache {
     fn default() -> Self {
         SharedFamilyCache::new(L2Config::enabled())
+    }
+}
+
+/// Cached per-reader view of one shard: the snapshot `Arc` the reader
+/// last saw and the shard version it was published at.
+#[derive(Debug)]
+struct LocalShard {
+    version: u64,
+    snap: Arc<ShardSnapshot>,
+}
+
+/// A per-worker read handle over a [`SharedFamilyCache`].
+///
+/// The reader caches one published snapshot `Arc` per shard; a probe is
+/// one acquire load of the shard version plus a table probe of the
+/// local snapshot — no lock and no reference-count traffic on the
+/// steady-state path. When the version moved (a writer published), the
+/// reader takes the shard mutex once to re-clone the new `Arc`; the
+/// snapshot it let go of is freed when its last holder refreshes
+/// (plain `Arc` reclamation — see the module docs).
+///
+/// Created by
+/// [`PathBuilder::attach_shared_cache`](crate::PathBuilder::attach_shared_cache);
+/// one reader per builder/worker.
+#[derive(Debug)]
+pub(crate) struct L2Reader {
+    cache: Arc<SharedFamilyCache>,
+    local: Box<[LocalShard]>,
+}
+
+impl L2Reader {
+    pub(crate) fn new(cache: Arc<SharedFamilyCache>) -> Self {
+        // Version 0 with an empty local snapshot matches a shard that
+        // has never published; shards that already have entries carry a
+        // version > 0 and refresh on first probe.
+        let local = (0..cache.shards.len())
+            .map(|_| LocalShard {
+                version: 0,
+                snap: ShardSnapshot::empty(),
+            })
+            .collect();
+        L2Reader { cache, local }
+    }
+
+    /// The shared tier this reader probes.
+    pub(crate) fn cache(&self) -> &Arc<SharedFamilyCache> {
+        &self.cache
+    }
+
+    /// On a hit, appends the cached family translated by `mask` to
+    /// `out` and returns its `(rotations, detours)` plan counts —
+    /// byte-identical to what the construction that stored it produced,
+    /// by the same equivariance argument as the L1 replay. Lock-free
+    /// and allocation-free unless the shard published since the last
+    /// probe (then one brief mutex hold to re-clone the snapshot).
+    #[inline]
+    pub(crate) fn replay(
+        &mut self,
+        key: u128,
+        mask: u128,
+        out: &mut PathSet,
+    ) -> Option<(u64, u64)> {
+        if self.cache.shard_capacity == 0 {
+            return None;
+        }
+        let h = fold_mix(key);
+        let idx = (h >> 32) as usize & self.cache.shard_mask;
+        let shard = &self.cache.shards[idx];
+        let local = &mut self.local[idx];
+        let v = shard.version.load(Ordering::Acquire);
+        if v != local.version {
+            let w = shard.lock();
+            local.snap = Arc::clone(&w.published);
+            // Re-read under the lock: no writer can be mid-publish, so
+            // the pair is consistent.
+            local.version = shard.version.load(Ordering::Relaxed);
+        }
+        let e = local.snap.get(h, key)?;
+        out.extend_csr_xor(&e.nodes, &e.offsets, mask);
+        Some((e.rotations, e.detours))
+    }
+
+    /// Promotes a fresh construction into the shared tier (write side —
+    /// takes the shard mutex; see [`SharedFamilyCache::store`]).
+    pub(crate) fn store(&self, key: u128, mask: u128, set: &PathSet, rotations: u64, detours: u64) {
+        self.cache.store(key, mask, set, rotations, detours);
     }
 }
 
@@ -315,30 +525,71 @@ mod tests {
         set
     }
 
+    fn reader(l2: &Arc<SharedFamilyCache>) -> L2Reader {
+        L2Reader::new(Arc::clone(l2))
+    }
+
     #[test]
     fn store_replay_round_trips_translation() {
-        let l2 = SharedFamilyCache::new(L2Config {
+        let l2 = Arc::new(SharedFamilyCache::new(L2Config {
             shards: 4,
             shard_capacity: 8,
-        });
+        }));
         l2.store(1, 4, &two_path_set(), 2, 1);
+        let mut r = reader(&l2);
         let mut out = PathSet::new();
-        let (nr, nd) = l2.replay(1, 8, &mut out).unwrap();
+        let (nr, nd) = r.replay(1, 8, &mut out).unwrap();
         assert_eq!((nr, nd), (2, 1));
         let expect: Vec<u128> = [5u128, 7, 9, 5, 6, 9].iter().map(|r| r ^ 4 ^ 8).collect();
         let got: Vec<u128> = out.iter().flatten().map(|v| v.raw()).collect();
         assert_eq!(got, expect);
-        assert!(l2.replay(2, 0, &mut PathSet::new()).is_none());
-        assert_eq!((l2.hits(), l2.misses()), (1, 1));
+        assert!(r.replay(2, 0, &mut PathSet::new()).is_none());
+    }
+
+    #[test]
+    fn reader_sees_stores_published_after_creation() {
+        // The version check must pull in snapshots published both before
+        // and after the reader's first probe of a shard.
+        let l2 = Arc::new(SharedFamilyCache::new(L2Config {
+            shards: 2,
+            shard_capacity: 8,
+        }));
+        let mut r = reader(&l2);
+        let mut out = PathSet::new();
+        for key in 0..32u128 {
+            assert!(r.replay(key, 0, &mut out).is_none(), "cold tier misses");
+            l2.store(key, 0, &two_path_set(), key as u64, 0);
+            out.clear();
+            assert_eq!(
+                r.replay(key, 0, &mut out).expect("store is visible"),
+                (key as u64, 0)
+            );
+            out.clear();
+        }
+    }
+
+    #[test]
+    fn stale_snapshot_is_refreshed_not_resurrected() {
+        // After a flush, readers must stop replaying dropped entries.
+        let l2 = Arc::new(SharedFamilyCache::new(L2Config {
+            shards: 1,
+            shard_capacity: 8,
+        }));
+        let mut r = reader(&l2);
+        l2.store(7, 0, &two_path_set(), 1, 0);
+        let mut out = PathSet::new();
+        assert!(r.replay(7, 0, &mut out).is_some());
+        l2.flush();
+        out.clear();
+        assert!(r.replay(7, 0, &mut out).is_none(), "flush is visible");
     }
 
     #[test]
     fn disabled_tier_is_inert() {
-        let l2 = SharedFamilyCache::new(L2Config::disabled());
+        let l2 = Arc::new(SharedFamilyCache::new(L2Config::disabled()));
         l2.store(1, 0, &two_path_set(), 0, 1);
-        assert!(l2.replay(1, 0, &mut PathSet::new()).is_none());
+        assert!(reader(&l2).replay(1, 0, &mut PathSet::new()).is_none());
         assert!(l2.is_empty());
-        assert_eq!((l2.hits(), l2.misses()), (0, 0));
     }
 
     #[test]
@@ -359,6 +610,31 @@ mod tests {
     }
 
     #[test]
+    fn cold_generation_still_replays() {
+        let cap = 2;
+        let l2 = Arc::new(SharedFamilyCache::new(L2Config {
+            shards: 1,
+            shard_capacity: cap,
+        }));
+        let set = two_path_set();
+        for key in 0..cap as u128 + 1 {
+            l2.store(key, 0, &set, key as u64, 0);
+        }
+        // Key 0 or 1 was swept to the cold generation by the third
+        // store; both must still replay from the published snapshot.
+        let mut r = reader(&l2);
+        let mut out = PathSet::new();
+        for key in 0..cap as u128 + 1 {
+            out.clear();
+            assert_eq!(
+                r.replay(key, 0, &mut out),
+                Some((key as u64, 0)),
+                "key {key} must survive the generation sweep"
+            );
+        }
+    }
+
+    #[test]
     fn fault_events_bump_generation_only_on_change() {
         let l2 = SharedFamilyCache::default();
         let v = NodeId::from_raw(42);
@@ -373,6 +649,10 @@ mod tests {
         let (gen, snap) = l2.faults_snapshot();
         assert_eq!(gen, 2);
         assert!(snap.is_empty());
+        let mut reused = HashSet::new();
+        reused.insert(NodeId::from_raw(9));
+        assert_eq!(l2.faults_snapshot_into(&mut reused), 2);
+        assert!(reused.is_empty(), "snapshot_into replaces the contents");
     }
 
     #[test]
@@ -387,5 +667,62 @@ mod tests {
         assert!(l2.is_empty());
         assert_eq!(l2.fault_count(), 1);
         assert_eq!(l2.generation(), 1);
+    }
+
+    #[test]
+    fn concurrent_store_replay_smoke() {
+        // Writers and readers race over a small key space; every replay
+        // must return either a miss or the exact stored family.
+        let l2 = Arc::new(SharedFamilyCache::new(L2Config {
+            shards: 2,
+            shard_capacity: 16,
+        }));
+        let set = two_path_set();
+        let writers: Vec<_> = (0..2)
+            .map(|t| {
+                let l2 = Arc::clone(&l2);
+                let set = set.clone();
+                std::thread::spawn(move || {
+                    for round in 0..50u128 {
+                        for key in 0..24u128 {
+                            l2.store(key, 0, &set, key as u64, round as u64 % 7 + t);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let l2 = Arc::clone(&l2);
+                std::thread::spawn(move || {
+                    let mut r = L2Reader::new(l2);
+                    let mut out = PathSet::new();
+                    let mut hits = 0u64;
+                    for round in 0..200u128 {
+                        let key = round % 24;
+                        out.clear();
+                        if let Some((nr, _)) = r.replay(key, 0, &mut out) {
+                            assert_eq!(nr, key as u64, "payload matches key");
+                            assert_eq!(out.len(), 2, "stored family has two paths");
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        // After the dust settles a fresh reader sees every key.
+        let mut r = L2Reader::new(Arc::clone(&l2));
+        let mut out = PathSet::new();
+        for key in 0..24u128 {
+            out.clear();
+            assert!(r.replay(key, 0, &mut out).is_some());
+        }
     }
 }

@@ -6,18 +6,22 @@
 //!
 //! This extends the PR 4 (cache-on ≡ cache-off) and PR 7 (avoiding
 //! layer never consults caches under faults) equivalence suites to the
-//! concurrent tiers. Concurrency note: queries inside one burst run in
-//! parallel across workers, fault events are applied at burst
-//! boundaries — that linearisation is what "the same fault set" means
-//! for the oracle. The loom/shuttle crates are not vendored in-tree, so
-//! interleavings are exercised by seeded schedules and thread-count
-//! sweeps rather than exhaustive model checking; the shard tier is
-//! plain lock-striping (no lock-free retry loops), which keeps the
-//! schedule space benign.
+//! concurrent tiers, and covers **both** query pipelines: the
+//! allocation-free arena path ([`Router::query_many_into`] answering
+//! into a reused [`QueryBatchResult`]) and the owned-result
+//! compatibility shim ([`Router::query_many`]). Concurrency note:
+//! queries inside one burst run in parallel across workers, fault
+//! events are applied at burst boundaries — that linearisation is what
+//! "the same fault set" means for the oracle. The loom/shuttle crates
+//! are not vendored in-tree, so interleavings are exercised by seeded
+//! schedules and thread-count sweeps rather than exhaustive model
+//! checking; the shard tier publishes immutable snapshots (readers
+//! probe a locally held `Arc`, writers serialise on a per-shard mutex —
+//! no lock-free retry loops), which keeps the schedule space benign.
 
 use hhc_core::{
-    disjoint_paths_avoiding, CacheConfig, CrossingOrder, Hhc, HhcError, L2Config, NodeId, Router,
-    RouterConfig,
+    disjoint_paths_avoiding, CacheConfig, CrossingOrder, Hhc, HhcError, L2Config, NodeId, PathSet,
+    QueryBatchResult, Router, RouterConfig,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -64,7 +68,8 @@ fn oracle_run(h: &Hhc, script: &[Op]) -> Vec<Result<Vec<Vec<NodeId>>, HhcError>>
     answers
 }
 
-/// Runs the same schedule through a router, bursts via `query_many`.
+/// Runs the same schedule through a router, bursts via the owned-result
+/// shim `query_many`.
 fn router_run(router: &mut Router, script: &[Op]) -> Vec<Result<Vec<Vec<NodeId>>, HhcError>> {
     let mut answers = Vec::new();
     for op in script {
@@ -75,6 +80,32 @@ fn router_run(router: &mut Router, script: &[Op]) -> Vec<Result<Vec<Vec<NodeId>>
                 }
             }
             Op::Burst(pairs) => answers.extend(router.query_many(pairs)),
+        }
+    }
+    answers
+}
+
+/// Runs the same schedule through the allocation-free pipeline: bursts
+/// via `query_many_into` into one reused arena buffer, answers read out
+/// through `FamilyRef` borrows.
+fn router_run_arena(router: &mut Router, script: &[Op]) -> Vec<Result<Vec<Vec<NodeId>>, HhcError>> {
+    let mut answers = Vec::new();
+    let mut out = QueryBatchResult::new();
+    for op in script {
+        match op {
+            Op::Toggle(w) => {
+                if !router.add_fault(*w) {
+                    router.clear_fault(*w);
+                }
+            }
+            Op::Burst(pairs) => {
+                router.query_many_into(pairs, &mut out);
+                assert_eq!(out.len(), pairs.len());
+                answers.extend(
+                    out.iter()
+                        .map(|r| r.map(|f| f.to_paths()).map_err(Clone::clone)),
+                );
+            }
         }
     }
     answers
@@ -140,7 +171,12 @@ proptest! {
         for (i, cfg) in configs.into_iter().enumerate() {
             let mut router = Router::new(m, cfg).unwrap();
             let got = router_run(&mut router, &script);
-            prop_assert_eq!(&got, &want, "router config {} diverged from the oracle", i);
+            prop_assert_eq!(&got, &want, "router config {} (shim) diverged from the oracle", i);
+            // Fresh router per pipeline: fault toggles are stateful, and
+            // a cold start keeps both runs against the same cold oracle.
+            let mut router = Router::new(m, cfg).unwrap();
+            let got = router_run_arena(&mut router, &script);
+            prop_assert_eq!(&got, &want, "router config {} (arena) diverged from the oracle", i);
         }
     }
 }
@@ -234,7 +270,8 @@ fn seeded_fault_churn_hits_invalidation_path() {
     );
 }
 
-/// The serial `query` path (round-robin across workers) agrees with
+/// The serial single-query paths (round-robin across workers, both the
+/// owned shim `query` and the pooled `query_into`) agree with
 /// `query_many` and with the oracle.
 #[test]
 fn single_query_round_robin_matches_batch() {
@@ -246,8 +283,17 @@ fn single_query_round_robin_matches_batch() {
         (node(&h, 0, 0), node(&h, u64::MAX, 1)),
     ];
     let batch = router.query_many(&pairs);
+    let mut single = PathSet::new();
     for (i, &(u, v)) in pairs.iter().enumerate() {
         assert_eq!(router.query(u, v), batch[i]);
+        match router.query_into(u, v, &mut single) {
+            Ok(n) => {
+                let want = batch[i].as_ref().unwrap();
+                assert_eq!(n, want.len());
+                assert_eq!(&single.to_paths(), want);
+            }
+            Err(e) => assert_eq!(&Err(e), &batch[i]),
+        }
         let want =
             disjoint_paths_avoiding(&h, u, v, CrossingOrder::Gray, &HashSet::new()).map(|(p, _)| p);
         assert_eq!(batch[i], want);
@@ -255,4 +301,8 @@ fn single_query_round_robin_matches_batch() {
     // Equal endpoints error through the service like the library.
     let w = node(&h, 5, 1);
     assert_eq!(router.query(w, w), Err(HhcError::EqualNodes));
+    assert_eq!(
+        router.query_into(w, w, &mut single),
+        Err(HhcError::EqualNodes)
+    );
 }
